@@ -1,0 +1,211 @@
+// Command graphjs is the Graph.js scanner CLI: it analyzes JavaScript
+// files or npm-package directories and reports potential taint-style
+// and prototype-pollution vulnerabilities.
+//
+// Usage:
+//
+//	graphjs [flags] <file.js | package-dir> ...
+//
+// Flags:
+//
+//	-config FILE    sink configuration (JSON); default: built-in sinks
+//	-timeout DUR    per-target analysis timeout (default 5m, as in §5.1)
+//	-require-sink   treat dynamic require() as a code-injection sink
+//	-dump-mdg       print the MDG in Graphviz DOT format and exit
+//	-dump-core      print the normalized Core JavaScript and exit
+//	-export-db      write the loaded property graph as JSON and exit
+//	-trace          include source→sink witness paths in the report
+//	-poc            emit proof-of-vulnerability skeletons (§5.3 workflow)
+//	-confirm        dynamically confirm findings (instrumented interpreter)
+//	-stats          print graph-size and timing statistics
+//	-json           machine-readable findings output
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/js/normalize"
+	"repro/internal/poc"
+	"repro/internal/queries"
+	"repro/internal/scanner"
+)
+
+func main() {
+	configPath := flag.String("config", "", "sink configuration file (JSON)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-target analysis timeout")
+	requireSink := flag.Bool("require-sink", false, "treat dynamic require() as a code-injection sink")
+	dumpMDG := flag.Bool("dump-mdg", false, "print the MDG in DOT format")
+	dumpCore := flag.Bool("dump-core", false, "print the normalized Core JavaScript")
+	exportDB := flag.Bool("export-db", false, "write the loaded property graph as JSON")
+	trace := flag.Bool("trace", false, "print source→sink witness paths")
+	genPoC := flag.Bool("poc", false, "emit proof-of-vulnerability skeletons for findings")
+	confirm := flag.Bool("confirm", false, "dynamically confirm findings in the instrumented interpreter")
+	stats := flag.Bool("stats", false, "print size and timing statistics")
+	asJSON := flag.Bool("json", false, "JSON output")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: graphjs [flags] <file.js | package-dir> ...")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := queries.DefaultConfig()
+	if *configPath != "" {
+		var err error
+		cfg, err = queries.LoadConfig(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	cfg.RequireAsCodeInjection = *requireSink
+
+	exit := 0
+	for _, target := range flag.Args() {
+		if *dumpMDG || *dumpCore || *exportDB {
+			if err := dump(target, *dumpMDG, *dumpCore, *exportDB); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit = 1
+			}
+			continue
+		}
+		rep := scanTarget(target, scanner.Options{Config: cfg, Timeout: *timeout})
+		if rep.Err != nil {
+			fmt.Fprintf(os.Stderr, "graphjs: %v\n", rep.Err)
+			exit = 1
+			continue
+		}
+		if *asJSON {
+			printJSON(rep)
+		} else {
+			printHuman(rep, *stats, *trace)
+		}
+		if *genPoC {
+			for _, e := range poc.GenerateAll(rep.Findings, target) {
+				fmt.Printf("\n// ---- PoC for %s ----\n%s", e.Finding, e.Script)
+			}
+		}
+		if *confirm {
+			confirmFindings(target, rep)
+		}
+		if len(rep.Findings) > 0 {
+			exit = 3 // findings present
+		}
+	}
+	os.Exit(exit)
+}
+
+// confirmFindings drives the target in the instrumented interpreter
+// for each finding class and reports the dynamic verdicts (§5.3).
+func confirmFindings(target string, rep *scanner.Report) {
+	data, err := os.ReadFile(target)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphjs: confirm: %v\n", err)
+		return
+	}
+	sources := map[string]string{target: string(data)}
+	seen := map[queries.CWE]bool{}
+	for _, f := range rep.Findings {
+		if seen[f.CWE] {
+			continue
+		}
+		seen[f.CWE] = true
+		v, err := poc.Confirm(sources, target, f.CWE)
+		switch {
+		case err != nil:
+			fmt.Printf("  confirm %s: error: %v\n", f.CWE, err)
+		case v.Exploitable:
+			fmt.Printf("  confirm %s: EXPLOITABLE — %s\n", f.CWE, v.Evidence)
+		default:
+			fmt.Printf("  confirm %s: not confirmed (likely true false positive)\n", f.CWE)
+		}
+	}
+}
+
+func scanTarget(target string, opts scanner.Options) *scanner.Report {
+	info, err := os.Stat(target)
+	if err != nil {
+		return &scanner.Report{Name: target, Err: err}
+	}
+	if info.IsDir() {
+		return scanner.ScanPackage(target, opts)
+	}
+	return scanner.ScanFile(target, opts)
+}
+
+func printHuman(rep *scanner.Report, stats, trace bool) {
+	fmt.Printf("%s:\n", rep.Name)
+	if rep.TimedOut {
+		fmt.Println("  analysis timed out")
+	}
+	if len(rep.Findings) == 0 {
+		fmt.Println("  no vulnerabilities found")
+	}
+	for _, f := range rep.Findings {
+		fmt.Printf("  %s\n", f)
+		if trace && len(f.Path) > 0 {
+			fmt.Printf("    witness path: %d nodes (ids %v)\n", len(f.Path), f.Path)
+		}
+	}
+	if stats {
+		fmt.Printf("  stats: %d LoC, %d AST nodes, %d CFG nodes, %d MDG nodes, %d MDG edges\n",
+			rep.LoC, rep.ASTNodes, rep.CFGNodes, rep.MDGNodes, rep.MDGEdges)
+		fmt.Printf("  time: graph %s, traversals %s\n", rep.GraphTime, rep.QueryTime)
+	}
+}
+
+type jsonFinding struct {
+	CWE    string `json:"cwe"`
+	Sink   string `json:"sink"`
+	Line   int    `json:"line"`
+	Source string `json:"source"`
+}
+
+func printJSON(rep *scanner.Report) {
+	out := struct {
+		Name     string        `json:"name"`
+		TimedOut bool          `json:"timedOut"`
+		Findings []jsonFinding `json:"findings"`
+	}{Name: rep.Name, TimedOut: rep.TimedOut, Findings: []jsonFinding{}}
+	for _, f := range rep.Findings {
+		out.Findings = append(out.Findings, jsonFinding{
+			CWE: string(f.CWE), Sink: f.SinkName, Line: f.SinkLine, Source: f.Source,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}
+
+func dump(target string, mdgOut, coreOut, exportDB bool) error {
+	data, err := os.ReadFile(target)
+	if err != nil {
+		return err
+	}
+	prog, err := normalize.File(string(data), target)
+	if err != nil {
+		return err
+	}
+	if coreOut {
+		fmt.Print(core.Print(prog.Body))
+	}
+	if mdgOut {
+		res := analysis.Analyze(prog, analysis.DefaultOptions())
+		fmt.Print(res.Graph.DOT())
+	}
+	if exportDB {
+		res := analysis.Analyze(prog, analysis.DefaultOptions())
+		lg := queries.Load(res)
+		if err := lg.DB.ExportJSON(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+// Dynamic confirmation: the paper validates findings by writing
+// exploits and running them (§5.3). This example runs that loop
+// in-process: scan a package, generate a PoC skeleton for each finding,
+// and confirm exploitability by driving the exported entry points in
+// the instrumented concrete interpreter.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/poc"
+	"repro/internal/scanner"
+)
+
+const vulnerable = `
+const { exec } = require('child_process');
+
+function run(task) {
+	exec('make ' + task);
+}
+module.exports = run;
+`
+
+const guarded = `
+const { exec } = require('child_process');
+var TASKS = ['build', 'test', 'clean'];
+
+function run(task) {
+	if (TASKS.indexOf(task) === -1) {
+		return null;
+	}
+	exec('make ' + task);
+}
+module.exports = run;
+`
+
+func main() {
+	for name, src := range map[string]string{"vulnerable.js": vulnerable, "guarded.js": guarded} {
+		fmt.Printf("=== %s ===\n", name)
+		rep := scanner.ScanSource(src, name, scanner.Options{})
+		if rep.Err != nil {
+			log.Fatal(rep.Err)
+		}
+		for _, f := range rep.Findings {
+			fmt.Printf("static finding: %s\n", f)
+			v, err := poc.Confirm(map[string]string{name: src}, name, f.CWE)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if v.Exploitable {
+				fmt.Printf("  dynamically CONFIRMED: %s\n", v.Evidence)
+			} else {
+				fmt.Printf("  not confirmed (true false positive): %s\n", v.Evidence)
+			}
+			e := poc.Generate(f, "./"+name, "", 0, 1)
+			fmt.Printf("  PoC skeleton (%d lines) — oracle: %s\n",
+				countLines(e.Script), e.Oracle)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Both files are statically flagged (the scanner over-approximates")
+	fmt.Println("guards, §5.2); only the unguarded one is dynamically confirmed —")
+	fmt.Println("exactly the TP vs TFP distinction of Table 4.")
+}
+
+func countLines(s string) int {
+	n := 1
+	for _, c := range s {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,51 @@
+// The paper's Fig. 1 motivating example: git_reset hides both a
+// command-injection and a prototype-pollution vulnerability. This
+// example builds the MDG, prints it in the paper's edge notation, and
+// shows both detections.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/analysis"
+	"repro/internal/js/normalize"
+	"repro/internal/queries"
+)
+
+const gitReset = `
+const { exec } = require('child_process');
+
+function git_reset(config, op, branch_name, url) {
+	var options = config[op];
+	options[branch_name] = url;
+	options.cmd = 'git reset HEAD~';
+	exec(options.cmd + options.commit);
+}
+module.exports = git_reset;
+`
+
+func main() {
+	prog, err := normalize.File(gitReset, "git_reset.js")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := analysis.Analyze(prog, analysis.DefaultOptions())
+
+	fmt.Println("MDG edges (paper notation, §2.2):")
+	fmt.Println(res.Graph.String())
+
+	fmt.Println("\nTaint sources (parameters of the exported function):")
+	for _, s := range res.Sources {
+		fmt.Printf("  o%d (%s)\n", s, res.Graph.Node(s).Label)
+	}
+
+	lg := queries.Load(res)
+	fmt.Println("\nFindings:")
+	for _, f := range queries.Detect(lg, queries.DefaultConfig()) {
+		fmt.Printf("  %s\n", f)
+	}
+	fmt.Println("\nExpected: a command injection at the exec call (Fig. 1d's")
+	fmt.Println("payload runs `git reset HEAD~1 | rm -rf /`) and a prototype")
+	fmt.Println("pollution via options[branch_name] = url (Fig. 1e).")
+}

@@ -1,0 +1,9 @@
+// A small npm-style package whose vulnerability spans two files: the
+// exported entry point forwards attacker input to a helper in lib/.
+var runner = require('./lib/runner');
+
+function deploy(branch) {
+	return runner.checkout('release/' + branch);
+}
+
+module.exports = deploy;

@@ -1,0 +1,7 @@
+const { exec } = require('child_process');
+
+function checkout(ref) {
+	exec('git checkout ' + ref);
+}
+
+module.exports = { checkout: checkout };

@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mdg"
+)
+
+func TestDebugSeed297(t *testing.T) {
+	prog := genProgram(297, 12+297%10)
+	res := Analyze(prog, Options{MaxLoopIter: 50})
+	cs := RunConcrete(prog, 5000)
+	fmt.Println(core.Print(prog.Body[129:]))
+	alpha := newAlpha(res.Graph, cs)
+	cl := cs.Store["v3"]
+	n := alpha.nodes[cl]
+	l, ok := alpha.resolve(cl)
+	fmt.Printf("v3: cl=%d key=%+v origin=%d -> alpha=%d ok=%v rho=%v\n", cl, n.Key, n.Origin, l, ok, res.Root.Get("v3"))
+	for _, al := range []mdg.Loc{152, 4, 161, 151} {
+		fmt.Printf("o%d = kind=%v label=%q site=%d\n", al, res.Graph.Node(al).Kind, res.Graph.Node(al).Label, res.Graph.Node(al).Site)
+	}
+}
+
+func TestDebugSeed1016(t *testing.T) {
+	prog := genProgram(1016, 60)
+	res := Analyze(prog, Options{MaxLoopIter: 50})
+	cs := RunConcrete(prog, 20000)
+	alpha := newAlpha(res.Graph, cs)
+	for _, e := range cs.Edges {
+		if e.From == 170 && e.To == 190 {
+			fn, tn := alpha.nodes[e.From], alpha.nodes[e.To]
+			af, _ := alpha.resolve(e.From)
+			at, _ := alpha.resolve(e.To)
+			fmt.Printf("edge %+v fromKey=%+v origin=%d toKey=%+v origin=%d alpha %d->%d\n", e, fn.Key, fn.Origin, tn.Key, tn.Origin, af, at)
+			fmt.Printf("out of o%d: ", af)
+			for _, ae := range res.Graph.Out(af) {
+				fmt.Printf("%s->o%d ", ae.Label(), ae.To)
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package cfg builds a control-flow graph over Core JavaScript
+// statements. Graph.js constructs the program's AST and CFG "in line
+// with the original CPGs" before building the MDG (paper §4); the CFG
+// is not consulted by the vulnerability queries, but its size is
+// counted in the graph-complexity comparison (Table 7), so the pipeline
+// builds it the same way.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// BlockID identifies a basic block.
+type BlockID int
+
+// Block is one basic block: a maximal straight-line statement sequence.
+type Block struct {
+	ID    BlockID
+	Stmts []core.Stmt
+	Succs []BlockID
+	// Kind annotates special blocks ("entry", "exit", "loop-head", "").
+	Kind string
+}
+
+// Graph is a per-function (or top-level) control-flow graph.
+type Graph struct {
+	Name   string
+	Blocks []*Block
+	Entry  BlockID
+	Exit   BlockID
+}
+
+// NumNodes returns the number of basic blocks.
+func (g *Graph) NumNodes() int { return len(g.Blocks) }
+
+// NumEdges returns the number of successor edges.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, b := range g.Blocks {
+		n += len(b.Succs)
+	}
+	return n
+}
+
+type builder struct {
+	g *Graph
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{ID: BlockID(len(b.g.Blocks)), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to BlockID) {
+	blk := b.g.Blocks[from]
+	for _, s := range blk.Succs {
+		if s == to {
+			return
+		}
+	}
+	blk.Succs = append(blk.Succs, to)
+}
+
+// Build constructs the CFG of a statement list (one function body or
+// the program top level).
+func Build(name string, stmts []core.Stmt) *Graph {
+	b := &builder{g: &Graph{Name: name}}
+	entry := b.newBlock("entry")
+	exit := b.newBlock("exit")
+	b.g.Entry = entry.ID
+	b.g.Exit = exit.ID
+	last := b.buildSeq(stmts, entry.ID, exit.ID)
+	b.edge(last, exit.ID)
+	return b.g
+}
+
+// buildSeq threads stmts starting from block cur; returns the block that
+// falls through at the end. brk is the target for break/return.
+func (b *builder) buildSeq(stmts []core.Stmt, cur BlockID, brk BlockID) BlockID {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *core.If:
+			condBlk := b.g.Blocks[cur]
+			condBlk.Stmts = append(condBlk.Stmts, s)
+			thenB := b.newBlock("")
+			elseB := b.newBlock("")
+			join := b.newBlock("")
+			b.edge(cur, thenB.ID)
+			b.edge(cur, elseB.ID)
+			tEnd := b.buildSeq(st.Then, thenB.ID, brk)
+			eEnd := b.buildSeq(st.Else, elseB.ID, brk)
+			b.edge(tEnd, join.ID)
+			b.edge(eEnd, join.ID)
+			cur = join.ID
+		case *core.While:
+			head := b.newBlock("loop-head")
+			head.Stmts = append(head.Stmts, s)
+			body := b.newBlock("")
+			after := b.newBlock("")
+			b.edge(cur, head.ID)
+			b.edge(head.ID, body.ID)
+			b.edge(head.ID, after.ID)
+			bEnd := b.buildSeq(st.Body, body.ID, after.ID)
+			b.edge(bEnd, head.ID)
+			cur = after.ID
+		case *core.ForIn:
+			head := b.newBlock("loop-head")
+			head.Stmts = append(head.Stmts, s)
+			body := b.newBlock("")
+			after := b.newBlock("")
+			b.edge(cur, head.ID)
+			b.edge(head.ID, body.ID)
+			b.edge(head.ID, after.ID)
+			bEnd := b.buildSeq(st.Body, body.ID, after.ID)
+			b.edge(bEnd, head.ID)
+			cur = after.ID
+		case *core.Return:
+			blk := b.g.Blocks[cur]
+			blk.Stmts = append(blk.Stmts, s)
+			b.edge(cur, b.g.Exit)
+			// Continue in a fresh unreachable block so later statements
+			// still appear in the graph.
+			cur = b.newBlock("").ID
+		case *core.Break, *core.Continue:
+			blk := b.g.Blocks[cur]
+			blk.Stmts = append(blk.Stmts, s)
+			b.edge(cur, brk)
+			cur = b.newBlock("").ID
+		case *core.FuncDef:
+			// Function bodies get their own graphs (see BuildAll); the
+			// definition itself is a straight-line statement.
+			blk := b.g.Blocks[cur]
+			blk.Stmts = append(blk.Stmts, s)
+		default:
+			blk := b.g.Blocks[cur]
+			blk.Stmts = append(blk.Stmts, s)
+		}
+	}
+	return cur
+}
+
+// BuildAll builds CFGs for the top level and every function in the
+// program.
+func BuildAll(prog *core.Program) []*Graph {
+	out := []*Graph{Build("<toplevel>", prog.Body)}
+	for _, fn := range core.Functions(prog.Body) {
+		out = append(out, Build(fn.Name, fn.Body))
+	}
+	return out
+}
+
+// TotalSize sums node and edge counts over a set of graphs.
+func TotalSize(gs []*Graph) (nodes, edges int) {
+	for _, g := range gs {
+		nodes += g.NumNodes()
+		edges += g.NumEdges()
+	}
+	return
+}
+
+// String renders the graph for diagnostics.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cfg %s (entry=%d exit=%d)\n", g.Name, g.Entry, g.Exit)
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "  b%d%s -> %v (%d stmts)\n", blk.ID, kindSuffix(blk.Kind), blk.Succs, len(blk.Stmts))
+	}
+	return sb.String()
+}
+
+func kindSuffix(k string) string {
+	if k == "" {
+		return ""
+	}
+	return "[" + k + "]"
+}

@@ -1,0 +1,143 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/js/normalize"
+)
+
+func buildSrc(t *testing.T, src string) []*Graph {
+	t.Helper()
+	prog, err := normalize.File(src, "t.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BuildAll(prog)
+}
+
+func TestStraightLine(t *testing.T) {
+	gs := buildSrc(t, "var a = 1; var b = a + 2;")
+	if len(gs) != 1 {
+		t.Fatalf("graphs = %d", len(gs))
+	}
+	g := gs[0]
+	if g.NumNodes() < 2 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Entry must reach exit.
+	if !reaches(g, g.Entry, g.Exit) {
+		t.Fatal("entry does not reach exit")
+	}
+}
+
+func TestIfDiamond(t *testing.T) {
+	gs := buildSrc(t, "if (x) { a(); } else { b(); }")
+	g := gs[0]
+	// entry, exit, cond-carrier(entry), then, else, join >= 5 blocks.
+	if g.NumNodes() < 5 {
+		t.Fatalf("nodes = %d\n%s", g.NumNodes(), g)
+	}
+	if !reaches(g, g.Entry, g.Exit) {
+		t.Fatal("entry must reach exit")
+	}
+}
+
+func TestWhileBackEdge(t *testing.T) {
+	gs := buildSrc(t, "while (c) { f(); }")
+	g := gs[0]
+	// Find a loop head with an incoming back edge.
+	var head *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "loop-head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no loop head:\n%s", g)
+	}
+	backEdge := false
+	for _, b := range g.Blocks {
+		if b.ID > head.ID {
+			for _, s := range b.Succs {
+				if s == head.ID {
+					backEdge = true
+				}
+			}
+		}
+	}
+	if !backEdge {
+		t.Fatalf("no back edge:\n%s", g)
+	}
+}
+
+func TestReturnEdgesToExit(t *testing.T) {
+	gs := buildSrc(t, "function f(a) { if (a) { return 1; } return 2; }")
+	if len(gs) != 2 {
+		t.Fatalf("graphs = %d", len(gs))
+	}
+	fg := gs[1]
+	if fg.Name != "f" {
+		t.Fatalf("name = %q", fg.Name)
+	}
+	if !reaches(fg, fg.Entry, fg.Exit) {
+		t.Fatal("entry must reach exit")
+	}
+}
+
+func TestBreakTargets(t *testing.T) {
+	gs := buildSrc(t, "while (c) { if (x) { break; } f(); }")
+	g := gs[0]
+	if !reaches(g, g.Entry, g.Exit) {
+		t.Fatalf("break must flow to after-loop:\n%s", g)
+	}
+}
+
+func TestForInGraph(t *testing.T) {
+	gs := buildSrc(t, "for (var k in o) { use(k); }")
+	g := gs[0]
+	found := false
+	for _, b := range g.Blocks {
+		if b.Kind == "loop-head" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("for-in should create a loop head:\n%s", g)
+	}
+}
+
+func TestTotalSize(t *testing.T) {
+	gs := buildSrc(t, "function f() { g(); } f();")
+	n, e := TotalSize(gs)
+	if n <= 0 || e <= 0 {
+		t.Fatalf("n=%d e=%d", n, e)
+	}
+}
+
+func TestNestedFunctionsGetOwnGraphs(t *testing.T) {
+	gs := buildSrc(t, "function outer() { var inner = function() { return 1; }; }")
+	if len(gs) != 3 { // toplevel, outer, inner
+		t.Fatalf("graphs = %d", len(gs))
+	}
+}
+
+func reaches(g *Graph, from, to BlockID) bool {
+	seen := map[BlockID]bool{}
+	var walk func(BlockID) bool
+	walk = func(id BlockID) bool {
+		if id == to {
+			return true
+		}
+		if seen[id] {
+			return false
+		}
+		seen[id] = true
+		for _, s := range g.Blocks[id].Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}

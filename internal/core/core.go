@@ -1,0 +1,371 @@
+// Package core defines the Core JavaScript intermediate representation
+// from §3.2 of the paper. Full JavaScript is normalized (see
+// internal/js/normalize) into this small statement language:
+//
+//	e ::= v | x
+//	s ::= x := e | x :=i e1 ⊕ e2 | x :=i e.p | x :=i e1[e2]
+//	    | e1.p :=i e2 | e1[e2] :=i e3 | x :=i {} | if | while
+//	    | s1;s2 | x :=i f(e...)
+//
+// extended with function definitions, return, for-in/of loops and a few
+// control statements needed to cover real npm code. Every statement that
+// computes a new value or object carries a unique index i, which the
+// abstract analysis uses as its allocation site.
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ---------------------------------------------------------------------------
+// Expressions: values and variables only (paper §3.2).
+// ---------------------------------------------------------------------------
+
+// Expr is a Core JavaScript expression: a value or a variable.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Var references a program variable (possibly compiler-generated).
+type Var struct {
+	Name string
+}
+
+func (Var) exprNode()        {}
+func (v Var) String() string { return v.Name }
+
+// LitKind enumerates the primitive value kinds of Core JavaScript.
+type LitKind int
+
+// Literal kinds.
+const (
+	LitNumber LitKind = iota
+	LitString
+	LitBool
+	LitNull
+	LitUndefined
+	LitRegex
+)
+
+// Lit is a primitive literal value.
+type Lit struct {
+	Kind  LitKind
+	Value string
+}
+
+func (Lit) exprNode() {}
+func (l Lit) String() string {
+	if l.Kind == LitString {
+		return fmt.Sprintf("%q", l.Value)
+	}
+	return l.Value
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+// Stmt is a Core JavaScript statement.
+type Stmt interface {
+	stmtNode()
+	// Index returns the unique statement index i (0 when the statement
+	// computes no new value).
+	Index() int
+	// Line returns the original source line.
+	Line() int
+	String() string
+}
+
+// Meta carries the statement index and original source position shared
+// by all statements.
+type Meta struct {
+	Idx int
+	Ln  int
+	Col int
+}
+
+// Index returns the allocation-site index of the statement.
+func (m Meta) Index() int { return m.Idx }
+
+// Line returns the 1-based source line the statement came from.
+func (m Meta) Line() int { return m.Ln }
+
+func (Meta) stmtNode() {}
+
+// Assign is `x := e`.
+type Assign struct {
+	Meta
+	X string
+	E Expr
+}
+
+func (s *Assign) String() string { return fmt.Sprintf("%s := %s", s.X, s.E) }
+
+// BinOp is `x :=i e1 ⊕ e2`.
+type BinOp struct {
+	Meta
+	X    string
+	Op   string
+	L, R Expr
+}
+
+func (s *BinOp) String() string {
+	return fmt.Sprintf("%s :=%d %s %s %s", s.X, s.Idx, s.L, s.Op, s.R)
+}
+
+// UnOp is `x :=i ⊕ e` (prefix operators).
+type UnOp struct {
+	Meta
+	X  string
+	Op string
+	E  Expr
+}
+
+func (s *UnOp) String() string { return fmt.Sprintf("%s :=%d %s%s", s.X, s.Idx, s.Op, s.E) }
+
+// Lookup is the static property lookup `x :=i e.p`.
+type Lookup struct {
+	Meta
+	X    string
+	Obj  Expr
+	Prop string
+}
+
+func (s *Lookup) String() string { return fmt.Sprintf("%s :=%d %s.%s", s.X, s.Idx, s.Obj, s.Prop) }
+
+// DynLookup is the dynamic property lookup `x :=i e1[e2]`.
+type DynLookup struct {
+	Meta
+	X    string
+	Obj  Expr
+	Prop Expr
+}
+
+func (s *DynLookup) String() string { return fmt.Sprintf("%s :=%d %s[%s]", s.X, s.Idx, s.Obj, s.Prop) }
+
+// Update is the static property update `e1.p :=i e2`.
+type Update struct {
+	Meta
+	Obj  Expr
+	Prop string
+	Val  Expr
+}
+
+func (s *Update) String() string { return fmt.Sprintf("%s.%s :=%d %s", s.Obj, s.Prop, s.Idx, s.Val) }
+
+// DynUpdate is the dynamic property update `e1[e2] :=i e3`.
+type DynUpdate struct {
+	Meta
+	Obj  Expr
+	Prop Expr
+	Val  Expr
+}
+
+func (s *DynUpdate) String() string {
+	return fmt.Sprintf("%s[%s] :=%d %s", s.Obj, s.Prop, s.Idx, s.Val)
+}
+
+// NewObj is `x :=i {}` — object, array, or other allocation.
+type NewObj struct {
+	Meta
+	X string
+}
+
+func (s *NewObj) String() string { return fmt.Sprintf("%s :=%d {}", s.X, s.Idx) }
+
+// If is `if e then s1 else s2`.
+type If struct {
+	Meta
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+func (s *If) String() string { return fmt.Sprintf("if %s then … else …", s.Cond) }
+
+// While is `while e do s`.
+type While struct {
+	Meta
+	Cond Expr
+	Body []Stmt
+}
+
+func (s *While) String() string { return fmt.Sprintf("while %s do …", s.Cond) }
+
+// ForIn iterates the keys (or values, when Of) of an object. Key binds
+// the loop variable, which depends on the iterated object.
+type ForIn struct {
+	Meta
+	Key  string
+	Obj  Expr
+	Body []Stmt
+	Of   bool
+}
+
+func (s *ForIn) String() string {
+	kw := "in"
+	if s.Of {
+		kw = "of"
+	}
+	return fmt.Sprintf("for %s %s %s do …", s.Key, kw, s.Obj)
+}
+
+// Call is `x :=i f(e1, ..., en)`. Callee is the variable holding the
+// function value; CalleeName preserves the source-level callee path
+// (e.g. "exec", "fs.readFile") for sink matching; This optionally names
+// the receiver variable of a method call.
+type Call struct {
+	Meta
+	X          string
+	Callee     Expr
+	CalleeName string
+	This       Expr // nil for plain calls
+	Args       []Expr
+	IsNew      bool
+}
+
+func (s *Call) String() string {
+	var args []string
+	for _, a := range s.Args {
+		args = append(args, a.String())
+	}
+	nw := ""
+	if s.IsNew {
+		nw = "new "
+	}
+	return fmt.Sprintf("%s :=%d %s%s(%s)", s.X, s.Idx, nw, s.CalleeName, strings.Join(args, ", "))
+}
+
+// FuncDef introduces a function. The body is Core JavaScript; Params are
+// plain identifiers (patterns are expanded by the normalizer).
+type FuncDef struct {
+	Meta
+	Name   string // unique within the program (synthesized for anonymous)
+	Params []string
+	Body   []Stmt
+}
+
+func (s *FuncDef) String() string {
+	return fmt.Sprintf("func %s(%s) :=%d …", s.Name, strings.Join(s.Params, ", "), s.Idx)
+}
+
+// Return is `return e` (E may be nil).
+type Return struct {
+	Meta
+	E Expr
+}
+
+func (s *Return) String() string {
+	if s.E == nil {
+		return "return"
+	}
+	return fmt.Sprintf("return %s", s.E)
+}
+
+// Break exits the innermost loop; the abstract analysis treats it as a
+// no-op (joining over-approximates all exits).
+type Break struct{ Meta }
+
+func (s *Break) String() string { return "break" }
+
+// Continue re-enters the innermost loop; treated like Break.
+type Continue struct{ Meta }
+
+func (s *Continue) String() string { return "continue" }
+
+// Program is a whole normalized compilation unit.
+type Program struct {
+	FileName string
+	Body     []Stmt
+	// MaxIndex is one past the highest statement index used.
+	MaxIndex int
+}
+
+// ---------------------------------------------------------------------------
+// Pretty printing and traversal
+// ---------------------------------------------------------------------------
+
+// Print renders the statement list with indentation, one statement per
+// line; used in tests and the CLI's -dump-core mode.
+func Print(stmts []Stmt) string {
+	var sb strings.Builder
+	printInto(&sb, stmts, 0)
+	return sb.String()
+}
+
+func printInto(sb *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *If:
+			fmt.Fprintf(sb, "%sif %s {\n", ind, st.Cond)
+			printInto(sb, st.Then, depth+1)
+			if len(st.Else) > 0 {
+				fmt.Fprintf(sb, "%s} else {\n", ind)
+				printInto(sb, st.Else, depth+1)
+			}
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case *While:
+			fmt.Fprintf(sb, "%swhile %s {\n", ind, st.Cond)
+			printInto(sb, st.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case *ForIn:
+			kw := "in"
+			if st.Of {
+				kw = "of"
+			}
+			fmt.Fprintf(sb, "%sfor %s %s %s {\n", ind, st.Key, kw, st.Obj)
+			printInto(sb, st.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case *FuncDef:
+			fmt.Fprintf(sb, "%sfunc %s(%s) {  // idx=%d\n", ind, st.Name, strings.Join(st.Params, ", "), st.Idx)
+			printInto(sb, st.Body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", ind)
+		default:
+			fmt.Fprintf(sb, "%s%s\n", ind, s)
+		}
+	}
+}
+
+// Walk visits every statement in the tree in pre-order, recursing into
+// the bodies of compound statements. fn returning false prunes descent.
+func Walk(stmts []Stmt, fn func(Stmt) bool) {
+	for _, s := range stmts {
+		if !fn(s) {
+			continue
+		}
+		switch st := s.(type) {
+		case *If:
+			Walk(st.Then, fn)
+			Walk(st.Else, fn)
+		case *While:
+			Walk(st.Body, fn)
+		case *ForIn:
+			Walk(st.Body, fn)
+		case *FuncDef:
+			Walk(st.Body, fn)
+		}
+	}
+}
+
+// CountStmts returns the number of statements in the tree.
+func CountStmts(stmts []Stmt) int {
+	n := 0
+	Walk(stmts, func(Stmt) bool { n++; return true })
+	return n
+}
+
+// Functions returns all function definitions in the program, including
+// nested ones, in definition order.
+func Functions(stmts []Stmt) []*FuncDef {
+	var out []*FuncDef
+	Walk(stmts, func(s Stmt) bool {
+		if f, ok := s.(*FuncDef); ok {
+			out = append(out, f)
+		}
+		return true
+	})
+	return out
+}

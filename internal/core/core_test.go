@@ -1,0 +1,141 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExprString(t *testing.T) {
+	cases := map[Expr]string{
+		Var{Name: "x"}:                              "x",
+		Lit{Kind: LitString, Value: "hi"}:           `"hi"`,
+		Lit{Kind: LitNumber, Value: "42"}:           "42",
+		Lit{Kind: LitBool, Value: "true"}:           "true",
+		Lit{Kind: LitUndefined, Value: "undefined"}: "undefined",
+	}
+	for e, want := range cases {
+		if got := e.String(); got != want {
+			t.Errorf("%#v.String() = %q, want %q", e, got, want)
+		}
+	}
+}
+
+func TestStmtStrings(t *testing.T) {
+	stmts := []struct {
+		s    Stmt
+		want string
+	}{
+		{&Assign{X: "x", E: Var{Name: "y"}}, "x := y"},
+		{&BinOp{Meta: Meta{Idx: 3}, X: "t", Op: "+", L: Var{Name: "a"}, R: Var{Name: "b"}}, "t :=3 a + b"},
+		{&UnOp{Meta: Meta{Idx: 4}, X: "t", Op: "!", E: Var{Name: "a"}}, "t :=4 !a"},
+		{&Lookup{Meta: Meta{Idx: 5}, X: "v", Obj: Var{Name: "o"}, Prop: "p"}, "v :=5 o.p"},
+		{&DynLookup{Meta: Meta{Idx: 6}, X: "v", Obj: Var{Name: "o"}, Prop: Var{Name: "k"}}, "v :=6 o[k]"},
+		{&Update{Meta: Meta{Idx: 7}, Obj: Var{Name: "o"}, Prop: "p", Val: Var{Name: "v"}}, "o.p :=7 v"},
+		{&DynUpdate{Meta: Meta{Idx: 8}, Obj: Var{Name: "o"}, Prop: Var{Name: "k"}, Val: Var{Name: "v"}}, "o[k] :=8 v"},
+		{&NewObj{Meta: Meta{Idx: 9}, X: "o"}, "o :=9 {}"},
+		{&Return{E: Var{Name: "r"}}, "return r"},
+		{&Return{}, "return"},
+		{&Break{}, "break"},
+		{&Continue{}, "continue"},
+	}
+	for _, c := range stmts {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCallString(t *testing.T) {
+	c := &Call{Meta: Meta{Idx: 2}, X: "r", CalleeName: "exec",
+		Args: []Expr{Var{Name: "cmd"}, Lit{Kind: LitNumber, Value: "1"}}}
+	if got := c.String(); got != "r :=2 exec(cmd, 1)" {
+		t.Fatalf("got %q", got)
+	}
+	c.IsNew = true
+	if !strings.Contains(c.String(), "new exec") {
+		t.Fatalf("got %q", c.String())
+	}
+}
+
+func mkTree() []Stmt {
+	return []Stmt{
+		&NewObj{Meta: Meta{Idx: 1}, X: "o"},
+		&If{Cond: Var{Name: "c"},
+			Then: []Stmt{&Assign{X: "a", E: Lit{Kind: LitNumber, Value: "1"}}},
+			Else: []Stmt{&Assign{X: "a", E: Lit{Kind: LitNumber, Value: "2"}}},
+		},
+		&While{Cond: Var{Name: "c"}, Body: []Stmt{
+			&Update{Meta: Meta{Idx: 2}, Obj: Var{Name: "o"}, Prop: "n", Val: Var{Name: "a"}},
+		}},
+		&ForIn{Meta: Meta{Idx: 3}, Key: "k", Obj: Var{Name: "o"}, Body: []Stmt{
+			&Break{},
+		}},
+		&FuncDef{Meta: Meta{Idx: 4}, Name: "f", Params: []string{"p"}, Body: []Stmt{
+			&Return{E: Var{Name: "p"}},
+			&FuncDef{Meta: Meta{Idx: 5}, Name: "inner"},
+		}},
+	}
+}
+
+func TestWalkAndCount(t *testing.T) {
+	stmts := mkTree()
+	if got := CountStmts(stmts); got != 11 {
+		t.Fatalf("CountStmts = %d, want 11", got)
+	}
+	// Prune: skipping the FuncDef hides its children.
+	n := 0
+	Walk(stmts, func(s Stmt) bool {
+		n++
+		_, isFn := s.(*FuncDef)
+		return !isFn
+	})
+	if n != 9 { // 11 - return - inner
+		t.Fatalf("pruned walk = %d, want 9", n)
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	fns := Functions(mkTree())
+	if len(fns) != 2 || fns[0].Name != "f" || fns[1].Name != "inner" {
+		t.Fatalf("functions = %v", fns)
+	}
+}
+
+func TestPrintStructure(t *testing.T) {
+	out := Print(mkTree())
+	for _, want := range []string{"if c {", "} else {", "while c {", "for k in o {", "func f(p) {", "o :=1 {}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Print missing %q:\n%s", want, out)
+		}
+	}
+	// Indentation present for nesting.
+	if !strings.Contains(out, "  a := 1") {
+		t.Errorf("nested statements should be indented:\n%s", out)
+	}
+}
+
+func TestMetaAccessors(t *testing.T) {
+	m := Meta{Idx: 7, Ln: 3}
+	if m.Index() != 7 || m.Line() != 3 {
+		t.Fatalf("meta = %+v", m)
+	}
+}
+
+func TestCompoundStmtStrings(t *testing.T) {
+	iff := &If{Cond: Var{Name: "c"}}
+	if !strings.Contains(iff.String(), "if c") {
+		t.Errorf("if = %q", iff.String())
+	}
+	w := &While{Cond: Var{Name: "c"}}
+	if !strings.Contains(w.String(), "while c") {
+		t.Errorf("while = %q", w.String())
+	}
+	fi := &ForIn{Key: "k", Obj: Var{Name: "o"}, Of: true}
+	if !strings.Contains(fi.String(), "for k of o") {
+		t.Errorf("forin = %q", fi.String())
+	}
+	fd := &FuncDef{Name: "f", Params: []string{"a", "b"}}
+	if !strings.Contains(fd.String(), "func f(a, b)") {
+		t.Errorf("funcdef = %q", fd.String())
+	}
+}

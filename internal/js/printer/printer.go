@@ -1,0 +1,657 @@
+// Package printer renders the JavaScript AST back to source text. Its
+// main consumer is the test suite: parse → print → parse must yield
+// structurally identical trees (round-trip property), which validates
+// both the parser and the printer against each other.
+package printer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/js/ast"
+)
+
+// Print renders a whole program.
+func Print(prog *ast.Program) string {
+	p := &printer{}
+	for _, s := range prog.Body {
+		p.stmt(s)
+	}
+	return p.sb.String()
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e ast.Expr) string {
+	p := &printer{}
+	p.expr(e, 0)
+	return p.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.sb.WriteString(strings.Repeat("\t", p.indent))
+	fmt.Fprintf(&p.sb, format, args...)
+	p.sb.WriteByte('\n')
+}
+
+func (p *printer) open(format string, args ...any) {
+	p.sb.WriteString(strings.Repeat("\t", p.indent))
+	fmt.Fprintf(&p.sb, format, args...)
+}
+
+func (p *printer) raw(format string, args ...any) {
+	fmt.Fprintf(&p.sb, format, args...)
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+func (p *printer) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.VarDecl:
+		p.open("%s ", x.Kind)
+		for i, d := range x.Decls {
+			if i > 0 {
+				p.raw(", ")
+			}
+			if d.Pattern != nil {
+				p.raw("%s", PrintExpr(d.Pattern))
+			} else {
+				p.raw("%s", d.Name)
+			}
+			if d.Init != nil {
+				p.raw(" = %s", PrintExpr(d.Init))
+			}
+		}
+		p.raw(";\n")
+	case *ast.ExprStmt:
+		// Parenthesize expressions that would be misparsed in statement
+		// position (object literals, function expressions).
+		text := PrintExpr(x.X)
+		if needsStmtParens(x.X) {
+			text = "(" + text + ")"
+		}
+		p.line("%s;", text)
+	case *ast.BlockStmt:
+		p.line("{")
+		p.indent++
+		for _, inner := range x.Body {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+	case *ast.IfStmt:
+		p.open("if (%s) ", PrintExpr(x.Cond))
+		p.blockOrStmt(x.Then)
+		if x.Else != nil {
+			p.open("else ")
+			p.blockOrStmt(x.Else)
+		}
+	case *ast.WhileStmt:
+		p.open("while (%s) ", PrintExpr(x.Cond))
+		p.blockOrStmt(x.Body)
+	case *ast.DoWhileStmt:
+		p.open("do ")
+		p.blockOrStmt(x.Body)
+		p.line("while (%s);", PrintExpr(x.Cond))
+	case *ast.ForStmt:
+		p.open("for (")
+		if x.Init != nil {
+			p.raw("%s", strings.TrimRight(strings.TrimSpace(p.capture(x.Init)), ";"))
+		}
+		p.raw("; ")
+		if x.Cond != nil {
+			p.raw("%s", PrintExpr(x.Cond))
+		}
+		p.raw("; ")
+		if x.Post != nil {
+			p.raw("%s", PrintExpr(x.Post))
+		}
+		p.raw(") ")
+		p.blockOrStmt(x.Body)
+	case *ast.ForInStmt:
+		kw := "in"
+		if x.Of {
+			kw = "of"
+		}
+		decl := x.DeclKind
+		if decl != "" {
+			decl += " "
+		}
+		p.open("for (%s%s %s %s) ", decl, PrintExpr(x.Left), kw, PrintExpr(x.Right))
+		p.blockOrStmt(x.Body)
+	case *ast.ReturnStmt:
+		if x.X != nil {
+			p.line("return %s;", PrintExpr(x.X))
+		} else {
+			p.line("return;")
+		}
+	case *ast.BreakStmt:
+		if x.Label != "" {
+			p.line("break %s;", x.Label)
+		} else {
+			p.line("break;")
+		}
+	case *ast.ContinueStmt:
+		if x.Label != "" {
+			p.line("continue %s;", x.Label)
+		} else {
+			p.line("continue;")
+		}
+	case *ast.FuncDecl:
+		p.open("")
+		p.function(x.Fn, true)
+		p.raw("\n")
+	case *ast.ThrowStmt:
+		p.line("throw %s;", PrintExpr(x.X))
+	case *ast.TryStmt:
+		p.open("try ")
+		p.blockOrStmt(x.Block)
+		if x.CatchBlock != nil {
+			if x.CatchParam != "" {
+				p.open("catch (%s) ", x.CatchParam)
+			} else {
+				p.open("catch ")
+			}
+			p.blockOrStmt(x.CatchBlock)
+		}
+		if x.FinallyBody != nil {
+			p.open("finally ")
+			p.blockOrStmt(x.FinallyBody)
+		}
+	case *ast.SwitchStmt:
+		p.line("switch (%s) {", PrintExpr(x.Disc))
+		p.indent++
+		for _, c := range x.Cases {
+			if c.Test != nil {
+				p.line("case %s:", PrintExpr(c.Test))
+			} else {
+				p.line("default:")
+			}
+			p.indent++
+			for _, inner := range c.Body {
+				p.stmt(inner)
+			}
+			p.indent--
+		}
+		p.indent--
+		p.line("}")
+	case *ast.LabeledStmt:
+		p.open("%s: ", x.Label)
+		p.blockOrStmt(x.Body)
+	case *ast.ClassDecl:
+		p.open("class %s ", x.Name)
+		if x.Super != nil {
+			p.raw("extends %s ", PrintExpr(x.Super))
+		}
+		p.raw("{\n")
+		p.indent++
+		for _, m := range x.Methods {
+			if m.Fn == nil {
+				continue
+			}
+			mods := ""
+			if m.Static {
+				mods = "static "
+			}
+			switch m.Kind {
+			case "get", "set":
+				mods += m.Kind + " "
+			}
+			if m.Kind == "field" {
+				p.line("%s%s = %s;", mods, m.Name, PrintExpr(m.Fn.ExprBody))
+				continue
+			}
+			p.open("%s%s(", mods, m.Name)
+			p.params(m.Fn.Params)
+			p.raw(") ")
+			p.blockOrStmt(m.Fn.Body)
+		}
+		p.indent--
+		p.line("}")
+	case *ast.EmptyStmt:
+		p.line(";")
+	}
+}
+
+// capture renders a statement into a string (for for-init).
+func (p *printer) capture(s ast.Stmt) string {
+	sub := &printer{}
+	sub.stmt(s)
+	return sub.sb.String()
+}
+
+func (p *printer) blockOrStmt(s ast.Stmt) {
+	if blk, ok := s.(*ast.BlockStmt); ok {
+		p.raw("{\n")
+		p.indent++
+		for _, inner := range blk.Body {
+			p.stmt(inner)
+		}
+		p.indent--
+		p.line("}")
+		return
+	}
+	p.raw("\n")
+	p.indent++
+	p.stmt(s)
+	p.indent--
+}
+
+// needsStmtParens reports whether the expression's leftmost token would
+// be misparsed in statement position (`{` starts a block, `function`
+// starts a declaration), recursing into left-spine positions.
+func needsStmtParens(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.ObjectLit:
+		return true
+	case *ast.FunctionLit:
+		return !x.Arrow
+	case *ast.AssignExpr:
+		return needsStmtParens(x.Target)
+	case *ast.SeqExpr:
+		return len(x.Exprs) > 0 && needsStmtParens(x.Exprs[0])
+	case *ast.BinaryExpr:
+		return needsStmtParens(x.L)
+	case *ast.LogicalExpr:
+		return needsStmtParens(x.L)
+	case *ast.CondExpr:
+		return needsStmtParens(x.Cond)
+	case *ast.CallExpr:
+		return needsStmtParens(x.Callee)
+	case *ast.MemberExpr:
+		return needsStmtParens(x.Obj)
+	case *ast.UpdateExpr:
+		return !x.Prefix && needsStmtParens(x.X)
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence-aware)
+// ---------------------------------------------------------------------------
+
+// Precedence levels; higher binds tighter.
+const (
+	precSeq = iota
+	precAssign
+	precCond
+	precNullish
+	precOr
+	precAnd
+	precBitOr
+	precBitXor
+	precBitAnd
+	precEq
+	precRel
+	precShift
+	precAdd
+	precMul
+	precExp
+	precUnary
+	precPostfix
+	precCall
+	precPrimary
+)
+
+func binPrec(op string) int {
+	switch op {
+	case "??":
+		return precNullish
+	case "||":
+		return precOr
+	case "&&":
+		return precAnd
+	case "|":
+		return precBitOr
+	case "^":
+		return precBitXor
+	case "&":
+		return precBitAnd
+	case "==", "!=", "===", "!==":
+		return precEq
+	case "<", ">", "<=", ">=", "in", "instanceof":
+		return precRel
+	case "<<", ">>", ">>>":
+		return precShift
+	case "+", "-":
+		return precAdd
+	case "*", "/", "%":
+		return precMul
+	case "**":
+		return precExp
+	}
+	return precPrimary
+}
+
+func (p *printer) expr(e ast.Expr, min int) {
+	prec := exprPrec(e)
+	// Object literals as operands are parenthesized defensively: a
+	// closing `}` followed by `/` would lex as a regular expression.
+	if _, isObj := e.(*ast.ObjectLit); isObj && min > precAssign {
+		p.raw("(")
+		p.exprInner(e)
+		p.raw(")")
+		return
+	}
+	if prec < min {
+		p.raw("(")
+		p.exprInner(e)
+		p.raw(")")
+		return
+	}
+	p.exprInner(e)
+}
+
+func exprPrec(e ast.Expr) int {
+	switch x := e.(type) {
+	case *ast.SeqExpr:
+		return precSeq
+	case *ast.AssignExpr, *ast.FunctionLit:
+		return precAssign
+	case *ast.CondExpr:
+		return precCond
+	case *ast.BinaryExpr:
+		return binPrec(x.Op)
+	case *ast.LogicalExpr:
+		return binPrec(x.Op)
+	case *ast.UnaryExpr:
+		return precUnary
+	case *ast.UpdateExpr:
+		if x.Prefix {
+			return precUnary
+		}
+		return precPostfix
+	case *ast.CallExpr, *ast.MemberExpr, *ast.NewExpr:
+		return precCall
+	default:
+		return precPrimary
+	}
+}
+
+func (p *printer) exprInner(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		p.raw("%s", x.Name)
+	case *ast.Literal:
+		p.literal(x)
+	case *ast.ThisExpr:
+		p.raw("this")
+	case *ast.TemplateLiteral:
+		p.raw("`")
+		for i, q := range x.Quasis {
+			p.raw("%s", q)
+			if i < len(x.Exprs) {
+				p.raw("${%s}", PrintExpr(x.Exprs[i]))
+			}
+		}
+		p.raw("`")
+	case *ast.ObjectLit:
+		p.raw("{")
+		for i, prop := range x.Props {
+			if i > 0 {
+				p.raw(", ")
+			}
+			switch {
+			case prop.Spread:
+				p.raw("...%s", PrintExpr(prop.Value))
+			case prop.Computed:
+				p.raw("[%s]: %s", PrintExpr(prop.Key), PrintExpr(prop.Value))
+			default:
+				p.raw("%s: %s", propKeyText(prop.Key), PrintExpr(prop.Value))
+			}
+		}
+		p.raw("}")
+	case *ast.ArrayLit:
+		p.raw("[")
+		for i, el := range x.Elems {
+			if i > 0 {
+				p.raw(", ")
+			}
+			if el != nil {
+				p.expr(el, precAssign)
+			}
+		}
+		p.raw("]")
+	case *ast.FunctionLit:
+		p.function(x, false)
+	case *ast.BinaryExpr:
+		prec := binPrec(x.Op)
+		if x.Op == "**" {
+			// Right-associative: the LEFT operand needs parentheses at
+			// equal precedence.
+			p.expr(x.L, prec+1)
+			p.raw(" %s ", x.Op)
+			p.expr(x.R, prec)
+			return
+		}
+		// Left-associative: right operand needs prec+1.
+		p.expr(x.L, prec)
+		p.raw(" %s ", x.Op)
+		p.expr(x.R, prec+1)
+	case *ast.LogicalExpr:
+		prec := binPrec(x.Op)
+		p.expr(x.L, prec)
+		p.raw(" %s ", x.Op)
+		p.expr(x.R, prec+1)
+	case *ast.UnaryExpr:
+		switch {
+		case len(x.Op) > 1: // typeof, void, delete
+			p.raw("%s ", x.Op)
+		case signClash(x.Op, x.X):
+			// `+ +b` must not print as `++b` (and likewise for -).
+			p.raw("%s ", x.Op)
+		default:
+			p.raw("%s", x.Op)
+		}
+		p.expr(x.X, precUnary)
+	case *ast.UpdateExpr:
+		if x.Prefix {
+			p.raw("%s", x.Op)
+			p.expr(x.X, precUnary)
+		} else {
+			p.expr(x.X, precPostfix)
+			p.raw("%s", x.Op)
+		}
+	case *ast.AssignExpr:
+		p.expr(x.Target, precCall)
+		p.raw(" %s= ", x.Op)
+		p.expr(x.Value, precAssign)
+	case *ast.CondExpr:
+		p.expr(x.Cond, precCond+1)
+		p.raw(" ? ")
+		p.expr(x.Then, precAssign)
+		p.raw(" : ")
+		p.expr(x.Else, precAssign)
+	case *ast.CallExpr:
+		p.expr(x.Callee, precCall)
+		if x.Optional {
+			p.raw("?.")
+		}
+		p.raw("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				p.raw(", ")
+			}
+			p.expr(a, precAssign)
+		}
+		p.raw(")")
+	case *ast.NewExpr:
+		p.raw("new ")
+		p.expr(x.Callee, precCall)
+		p.raw("(")
+		for i, a := range x.Args {
+			if i > 0 {
+				p.raw(", ")
+			}
+			p.expr(a, precAssign)
+		}
+		p.raw(")")
+	case *ast.MemberExpr:
+		// A numeric-literal receiver needs parentheses: `42.x` lexes as
+		// a malformed number.
+		if lit, ok := x.Obj.(*ast.Literal); ok && lit.Kind == ast.LitNumber {
+			p.raw("(%s)", lit.Value)
+		} else {
+			p.expr(x.Obj, precCall)
+		}
+		switch {
+		case x.Computed && x.Optional:
+			p.raw("?.[%s]", PrintExpr(x.Prop))
+		case x.Computed:
+			p.raw("[%s]", PrintExpr(x.Prop))
+		case x.Optional:
+			p.raw("?.%s", identText(x.Prop))
+		default:
+			p.raw(".%s", identText(x.Prop))
+		}
+	case *ast.SeqExpr:
+		for i, sub := range x.Exprs {
+			if i > 0 {
+				p.raw(", ")
+			}
+			p.expr(sub, precAssign)
+		}
+	case *ast.SpreadExpr:
+		p.raw("...")
+		p.expr(x.X, precAssign)
+	}
+}
+
+func (p *printer) literal(x *ast.Literal) {
+	switch x.Kind {
+	case ast.LitString:
+		p.raw("%s", quoteJS(x.Value))
+	case ast.LitRegex:
+		p.raw("%s", x.Value)
+	default:
+		p.raw("%s", x.Value)
+	}
+}
+
+// signClash reports whether printing op directly against operand x
+// would fuse into ++ or -- .
+func signClash(op string, x ast.Expr) bool {
+	if op != "+" && op != "-" {
+		return false
+	}
+	switch inner := x.(type) {
+	case *ast.UnaryExpr:
+		return inner.Op == op
+	case *ast.UpdateExpr:
+		return inner.Prefix && inner.Op[:1] == op
+	}
+	return false
+}
+
+// quoteJS renders a JavaScript string literal with escapes.
+func quoteJS(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('\'')
+	for _, r := range s {
+		switch r {
+		case '\'':
+			sb.WriteString(`\'`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\r':
+			sb.WriteString(`\r`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&sb, `\x%02x`, r)
+			} else {
+				sb.WriteRune(r)
+			}
+		}
+	}
+	sb.WriteByte('\'')
+	return sb.String()
+}
+
+func propKeyText(e ast.Expr) string {
+	switch k := e.(type) {
+	case *ast.Ident:
+		return k.Name
+	case *ast.Literal:
+		if k.Kind == ast.LitString {
+			return quoteJS(k.Value)
+		}
+		return k.Value
+	}
+	return PrintExpr(e)
+}
+
+func identText(e ast.Expr) string {
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	return PrintExpr(e)
+}
+
+func (p *printer) params(params []ast.Param) {
+	for i, prm := range params {
+		if i > 0 {
+			p.raw(", ")
+		}
+		if prm.Rest {
+			p.raw("...")
+		}
+		if prm.Name == "@patparam" && prm.Default != nil {
+			p.raw("%s", PrintExpr(prm.Default))
+			continue
+		}
+		p.raw("%s", prm.Name)
+		if prm.Default != nil {
+			p.raw(" = %s", PrintExpr(prm.Default))
+		}
+	}
+}
+
+func (p *printer) function(fn *ast.FunctionLit, decl bool) {
+	if fn.Arrow {
+		p.raw("(")
+		p.params(fn.Params)
+		p.raw(") => ")
+		if fn.Body != nil {
+			p.raw("{\n")
+			p.indent++
+			for _, s := range fn.Body.Body {
+				p.stmt(s)
+			}
+			p.indent--
+			p.open("}")
+		} else if fn.ExprBody != nil {
+			// Parenthesize object-literal bodies.
+			if _, isObj := fn.ExprBody.(*ast.ObjectLit); isObj {
+				p.raw("(%s)", PrintExpr(fn.ExprBody))
+			} else {
+				p.expr(fn.ExprBody, precAssign)
+			}
+		}
+		return
+	}
+	p.raw("function")
+	if fn.Name != "" {
+		p.raw(" %s", fn.Name)
+	}
+	p.raw("(")
+	p.params(fn.Params)
+	p.raw(") {\n")
+	p.indent++
+	if fn.Body != nil {
+		for _, s := range fn.Body.Body {
+			p.stmt(s)
+		}
+	}
+	p.indent--
+	p.open("}")
+}

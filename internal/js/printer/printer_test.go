@@ -1,0 +1,211 @@
+package printer
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/js/ast"
+	"repro/internal/js/parser"
+)
+
+// shape renders the structural skeleton of an AST (node types, names,
+// operators, literal values) independent of positions, for round-trip
+// comparison.
+func shape(n ast.Node) string {
+	var sb strings.Builder
+	ast.Walk(n, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.Ident:
+			fmt.Fprintf(&sb, "I(%s)", v.Name)
+		case *ast.Literal:
+			fmt.Fprintf(&sb, "L(%d,%s)", v.Kind, v.Value)
+		case *ast.BinaryExpr:
+			fmt.Fprintf(&sb, "B(%s)", v.Op)
+		case *ast.LogicalExpr:
+			fmt.Fprintf(&sb, "G(%s)", v.Op)
+		case *ast.UnaryExpr:
+			fmt.Fprintf(&sb, "U(%s)", v.Op)
+		case *ast.UpdateExpr:
+			fmt.Fprintf(&sb, "P(%s,%v)", v.Op, v.Prefix)
+		case *ast.AssignExpr:
+			fmt.Fprintf(&sb, "A(%s)", v.Op)
+		case *ast.MemberExpr:
+			fmt.Fprintf(&sb, "M(%v)", v.Computed)
+		case *ast.FunctionLit:
+			fmt.Fprintf(&sb, "F(%s,%d)", v.Name, len(v.Params))
+		case *ast.VarDecl:
+			fmt.Fprintf(&sb, "V(%s,%d)", v.Kind, len(v.Decls))
+		default:
+			fmt.Fprintf(&sb, "%s", strings.TrimPrefix(reflect.TypeOf(x).String(), "*ast."))
+		}
+		sb.WriteByte(';')
+		return true
+	})
+	return sb.String()
+}
+
+// roundTrip asserts parse(print(parse(src))) has the same shape as
+// parse(src).
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	p1, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("initial parse: %v\n%s", err, src)
+	}
+	out := Print(p1)
+	p2, err := parser.Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\nprinted:\n%s", err, out)
+	}
+	if s1, s2 := shape(p1), shape(p2); s1 != s2 {
+		t.Fatalf("round-trip changed the tree\nsource:\n%s\nprinted:\n%s\nshape1: %s\nshape2: %s",
+			src, out, s1, s2)
+	}
+}
+
+func TestRoundTripStatements(t *testing.T) {
+	cases := []string{
+		"var a = 1, b;",
+		"let x = a + b * c;",
+		"const s = 'it\\'s';",
+		"if (a) { b(); } else if (c) { d(); } else { e(); }",
+		"while (x < 10) { x++; }",
+		"do { tick(); } while (alive);",
+		"for (var i = 0; i < n; i++) { f(i); }",
+		"for (;;) { break; }",
+		"for (var k in obj) { use(k); }",
+		"for (const v of list) { use(v); }",
+		"function f(a, b = 2, ...rest) { return a; }",
+		"try { risky(); } catch (e) { log(e); } finally { done(); }",
+		"try { risky(); } catch { recover(); }",
+		"switch (x) { case 1: a(); break; default: b(); }",
+		"outer: for (;;) { continue outer; }",
+		"throw new Error('nope');",
+		";",
+	}
+	for _, src := range cases {
+		roundTrip(t, src)
+	}
+}
+
+func TestRoundTripExpressions(t *testing.T) {
+	cases := []string{
+		"x = a + b * c - d / e % f;",
+		"x = (a + b) * c;",
+		"x = a ** b ** c;",
+		"x = (a ** b) ** c;",
+		"x = a && b || c;",
+		"x = a && (b || c);",
+		"x = a ?? b;",
+		"x = -a + +b - ~c;",
+		"x = !done;",
+		"x = typeof v;",
+		"x = void 0;",
+		"x = a ? b : c ? d : e;",
+		"x = (a, b, c);",
+		"x = a.b.c[d].e;",
+		"x = f(1)(2).g(3);",
+		"x = new Foo(1, 2);",
+		"x = new a.b.C();",
+		"x = i++;",
+		"x = --j;",
+		"x = [1, , 3, ...xs];",
+		"x = {a: 1, 'b c': 2, [k]: 3, ...rest};",
+		"x = function named(p) { return p; };",
+		"x = (a, b) => a + b;",
+		"x = q => ({wrapped: q});",
+		"x = `head ${a + 1} tail`;",
+		"x = a?.b?.[c]?.(d);",
+		"x += 1; x -= 2; x *= 3; x ||= y;",
+		"x = a < b;",
+		"x = 'k' in obj;",
+		"x = v instanceof C;",
+		"x = a >> 2 << 1 >>> 3;",
+		"x = a & b | c ^ d;",
+	}
+	for _, src := range cases {
+		roundTrip(t, src)
+	}
+}
+
+func TestRoundTripFunctionsAndClasses(t *testing.T) {
+	cases := []string{
+		`class A {
+	constructor(x) { this.x = x; }
+	get val() { return this.x; }
+	set val(v) { this.x = v; }
+	static make() { return new A(0); }
+	plain() { return 1; }
+}`,
+		"class B extends A { constructor() { super(); } }",
+		"var o = { m(a) { return a; }, get g() { return 1; } };",
+	}
+	for _, src := range cases {
+		roundTrip(t, src)
+	}
+}
+
+func TestRoundTripRealistic(t *testing.T) {
+	src := `
+const { exec } = require('child_process');
+function git_reset(config, op, branch_name, url) {
+	var options = config[op];
+	options[branch_name] = url;
+	options.cmd = 'git reset HEAD~';
+	exec(options.cmd + options.commit);
+}
+module.exports = git_reset;
+`
+	roundTrip(t, src)
+}
+
+func TestRoundTripIdempotent(t *testing.T) {
+	// print(parse(print(parse(src)))) == print(parse(src)).
+	src := "function f(a) { if (a) { return a * 2; } var o = {x: [1, 2]}; return o.x[0]; }"
+	p1, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1 := Print(p1)
+	p2, err := parser.Parse(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := Print(p2)
+	if out1 != out2 {
+		t.Fatalf("printer not idempotent:\n%s\nvs\n%s", out1, out2)
+	}
+}
+
+func TestStatementPositionObjectLiteral(t *testing.T) {
+	// An expression statement starting with { must be parenthesized.
+	prog := &ast.Program{Body: []ast.Stmt{
+		&ast.ExprStmt{X: &ast.ObjectLit{Props: []ast.Property{{
+			Key: &ast.Ident{Name: "a"}, Value: &ast.Literal{Kind: ast.LitNumber, Value: "1"},
+		}}}},
+	}}
+	out := Print(prog)
+	if !strings.HasPrefix(strings.TrimSpace(out), "(") {
+		t.Fatalf("object literal statement must be parenthesized: %q", out)
+	}
+	if _, err := parser.Parse(out); err != nil {
+		t.Fatalf("printed form must re-parse: %v", err)
+	}
+}
+
+func TestQuoteJS(t *testing.T) {
+	cases := map[string]string{
+		"plain":   "'plain'",
+		"it's":    `'it\'s'`,
+		"a\nb":    `'a\nb'`,
+		"back\\s": `'back\\s'`,
+		"tab\t":   `'tab\t'`,
+	}
+	for in, want := range cases {
+		if got := quoteJS(in); got != want {
+			t.Errorf("quoteJS(%q) = %s, want %s", in, got, want)
+		}
+	}
+}

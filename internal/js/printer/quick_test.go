@@ -1,0 +1,154 @@
+package printer
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/js/ast"
+	"repro/internal/js/parser"
+)
+
+// astGen builds random well-formed ASTs for the generative round-trip
+// property: print(tree) must re-parse to the same shape.
+type astGen struct {
+	r     *rand.Rand
+	depth int
+}
+
+var genIdents = []string{"a", "b", "cfg", "opts", "x9", "$v", "_tmp"}
+
+func (g *astGen) ident() *ast.Ident {
+	return &ast.Ident{Name: genIdents[g.r.Intn(len(genIdents))]}
+}
+
+func (g *astGen) literal() *ast.Literal {
+	switch g.r.Intn(4) {
+	case 0:
+		return &ast.Literal{Kind: ast.LitNumber, Value: []string{"0", "1", "42", "3.5"}[g.r.Intn(4)]}
+	case 1:
+		return &ast.Literal{Kind: ast.LitString, Value: []string{"s", "a b", "it's", "x\ny"}[g.r.Intn(4)]}
+	case 2:
+		return &ast.Literal{Kind: ast.LitBool, Value: []string{"true", "false"}[g.r.Intn(2)]}
+	default:
+		return &ast.Literal{Kind: ast.LitNull, Value: "null"}
+	}
+}
+
+func (g *astGen) expr() ast.Expr {
+	g.depth++
+	defer func() { g.depth-- }()
+	if g.depth > 4 {
+		if g.r.Intn(2) == 0 {
+			return g.ident()
+		}
+		return g.literal()
+	}
+	switch g.r.Intn(12) {
+	case 0:
+		return g.ident()
+	case 1:
+		return g.literal()
+	case 2:
+		ops := []string{"+", "-", "*", "/", "%", "==", "===", "<", ">", "<=", "&", "|", "^", "<<", ">>", "**"}
+		return &ast.BinaryExpr{Op: ops[g.r.Intn(len(ops))], L: g.expr(), R: g.expr()}
+	case 3:
+		ops := []string{"&&", "||", "??"}
+		return &ast.LogicalExpr{Op: ops[g.r.Intn(len(ops))], L: g.expr(), R: g.expr()}
+	case 4:
+		ops := []string{"!", "-", "+", "~", "typeof", "void"}
+		return &ast.UnaryExpr{Op: ops[g.r.Intn(len(ops))], X: g.expr()}
+	case 5:
+		return &ast.CondExpr{Cond: g.expr(), Then: g.expr(), Else: g.expr()}
+	case 6:
+		n := g.r.Intn(3)
+		call := &ast.CallExpr{Callee: g.ident()}
+		for i := 0; i < n; i++ {
+			call.Args = append(call.Args, g.expr())
+		}
+		return call
+	case 7:
+		if g.r.Intn(2) == 0 {
+			return &ast.MemberExpr{Obj: g.expr(), Prop: g.ident()}
+		}
+		return &ast.MemberExpr{Obj: g.expr(), Prop: g.expr(), Computed: true}
+	case 8:
+		obj := &ast.ObjectLit{}
+		for i := 0; i < g.r.Intn(3); i++ {
+			obj.Props = append(obj.Props, ast.Property{Key: g.ident(), Value: g.expr()})
+		}
+		return obj
+	case 9:
+		arr := &ast.ArrayLit{}
+		for i := 0; i < g.r.Intn(4); i++ {
+			arr.Elems = append(arr.Elems, g.expr())
+		}
+		return arr
+	case 10:
+		return &ast.AssignExpr{Target: g.ident(), Value: g.expr()}
+	default:
+		return &ast.NewExpr{Callee: g.ident(), Args: []ast.Expr{g.expr()}}
+	}
+}
+
+func (g *astGen) stmt() ast.Stmt {
+	g.depth++
+	defer func() { g.depth-- }()
+	if g.depth > 3 {
+		return &ast.ExprStmt{X: g.expr()}
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return &ast.VarDecl{Kind: []string{"var", "let", "const"}[g.r.Intn(3)],
+			Decls: []ast.Declarator{{Name: g.ident().Name, Init: g.expr()}}}
+	case 1:
+		s := &ast.IfStmt{Cond: g.expr(), Then: g.block()}
+		if g.r.Intn(2) == 0 {
+			s.Else = g.block()
+		}
+		return s
+	case 2:
+		return &ast.WhileStmt{Cond: g.expr(), Body: g.block()}
+	case 3:
+		return &ast.ReturnStmt{X: g.expr()}
+	case 4:
+		return &ast.ForInStmt{DeclKind: "var", Left: g.ident(), Right: g.expr(), Body: g.block()}
+	case 5:
+		fn := &ast.FunctionLit{Name: "fn" + g.ident().Name,
+			Params: []ast.Param{{Name: g.ident().Name}}, Body: &ast.BlockStmt{Body: []ast.Stmt{g.stmt()}}}
+		return &ast.FuncDecl{Fn: fn}
+	case 6:
+		return &ast.ThrowStmt{X: g.expr()}
+	default:
+		return &ast.ExprStmt{X: g.expr()}
+	}
+}
+
+func (g *astGen) block() *ast.BlockStmt {
+	b := &ast.BlockStmt{}
+	for i := 0; i <= g.r.Intn(3); i++ {
+		b.Body = append(b.Body, g.stmt())
+	}
+	return b
+}
+
+// TestGenerativeRoundTrip: randomly generated ASTs survive
+// print → parse with identical shapes. This cross-validates the
+// printer's precedence handling against the parser's.
+func TestGenerativeRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 400; seed++ {
+		g := &astGen{r: rand.New(rand.NewSource(seed))}
+		prog := &ast.Program{}
+		n := 1 + g.r.Intn(5)
+		for i := 0; i < n; i++ {
+			prog.Body = append(prog.Body, g.stmt())
+		}
+		out := Print(prog)
+		reparsed, err := parser.Parse(out)
+		if err != nil {
+			t.Fatalf("seed %d: printed program does not parse: %v\n%s", seed, err, out)
+		}
+		if s1, s2 := shape(prog), shape(reparsed); s1 != s2 {
+			t.Fatalf("seed %d: shape mismatch\nprinted:\n%s\nwant %s\ngot  %s", seed, out, s1, s2)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+// Package token defines the lexical tokens of the JavaScript subset
+// understood by the parser, together with source positions.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. The ordering groups literals, identifiers/keywords,
+// punctuators, and operators; Kind values are internal and may change.
+const (
+	ILLEGAL Kind = iota
+	EOF
+
+	// Literals and identifiers.
+	IDENT    // foo
+	KEYWORD  // var, function, ... (Lit holds the keyword text)
+	NUMBER   // 123, 0x1f, 1.5e3
+	STRING   // "abc", 'abc'
+	TEMPLATE // `abc ${ ... } def` (raw text; parser re-scans pieces)
+	REGEX    // /ab+c/g
+
+	// Punctuation.
+	LPAREN   // (
+	RPAREN   // )
+	LBRACE   // {
+	RBRACE   // }
+	LBRACKET // [
+	RBRACKET // ]
+	SEMI     // ;
+	COMMA    // ,
+	DOT      // .
+	ELLIPSIS // ...
+	COLON    // :
+	QUESTION // ?
+	ARROW    // =>
+	OPTCHAIN // ?.
+
+	// Operators.
+	ASSIGN         // =
+	PLUS_ASSIGN    // +=
+	MINUS_ASSIGN   // -=
+	STAR_ASSIGN    // *=
+	SLASH_ASSIGN   // /=
+	PERCENT_ASSIGN // %=
+	AND_ASSIGN     // &=
+	OR_ASSIGN      // |=
+	XOR_ASSIGN     // ^=
+	SHL_ASSIGN     // <<=
+	SHR_ASSIGN     // >>=
+	USHR_ASSIGN    // >>>=
+	POW_ASSIGN     // **=
+	LOGAND_ASSIGN  // &&=
+	LOGOR_ASSIGN   // ||=
+	NULLISH_ASSIGN // ??=
+
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	POW     // **
+	INC     // ++
+	DEC     // --
+
+	EQ        // ==
+	NEQ       // !=
+	STRICTEQ  // ===
+	STRICTNEQ // !==
+	LT        // <
+	GT        // >
+	LEQ       // <=
+	GEQ       // >=
+
+	LOGAND  // &&
+	LOGOR   // ||
+	NULLISH // ??
+	NOT     // !
+
+	AND  // &
+	OR   // |
+	XOR  // ^
+	TILD // ~
+	SHL  // <<
+	SHR  // >>
+	USHR // >>>
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", IDENT: "IDENT", KEYWORD: "KEYWORD",
+	NUMBER: "NUMBER", STRING: "STRING", TEMPLATE: "TEMPLATE", REGEX: "REGEX",
+	LPAREN: "(", RPAREN: ")", LBRACE: "{", RBRACE: "}", LBRACKET: "[",
+	RBRACKET: "]", SEMI: ";", COMMA: ",", DOT: ".", ELLIPSIS: "...",
+	COLON: ":", QUESTION: "?", ARROW: "=>", OPTCHAIN: "?.",
+	ASSIGN: "=", PLUS_ASSIGN: "+=", MINUS_ASSIGN: "-=", STAR_ASSIGN: "*=",
+	SLASH_ASSIGN: "/=", PERCENT_ASSIGN: "%=", AND_ASSIGN: "&=",
+	OR_ASSIGN: "|=", XOR_ASSIGN: "^=", SHL_ASSIGN: "<<=", SHR_ASSIGN: ">>=",
+	USHR_ASSIGN: ">>>=", POW_ASSIGN: "**=", LOGAND_ASSIGN: "&&=",
+	LOGOR_ASSIGN: "||=", NULLISH_ASSIGN: "??=",
+	PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/", PERCENT: "%", POW: "**",
+	INC: "++", DEC: "--", EQ: "==", NEQ: "!=", STRICTEQ: "===",
+	STRICTNEQ: "!==", LT: "<", GT: ">", LEQ: "<=", GEQ: ">=",
+	LOGAND: "&&", LOGOR: "||", NULLISH: "??", NOT: "!",
+	AND: "&", OR: "|", XOR: "^", TILD: "~", SHL: "<<", SHR: ">>", USHR: ">>>",
+}
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Pos is a source position (1-based line and column, 0-based byte offset).
+type Pos struct {
+	Line   int
+	Column int
+	Offset int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Column) }
+
+// Token is a single lexical token with its literal text and position.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text: identifier name, keyword, decoded string value, raw number, ...
+	Raw  string // exact source text (used for regex/template/string round-trips)
+	Pos  Pos
+	// NewlineBefore reports whether a line terminator occurred between
+	// the previous token and this one; the parser uses it for automatic
+	// semicolon insertion and restricted productions (return, ++/--).
+	NewlineBefore bool
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, KEYWORD, NUMBER, STRING, TEMPLATE, REGEX:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Keywords of the supported JavaScript subset. Contextual keywords (get,
+// set, of, static, async) are scanned as IDENT and recognized by the parser.
+var keywords = map[string]bool{
+	"break": true, "case": true, "catch": true, "class": true,
+	"const": true, "continue": true, "debugger": true, "default": true,
+	"delete": true, "do": true, "else": true, "extends": true,
+	"finally": true, "for": true, "function": true, "if": true,
+	"import": true, "in": true, "instanceof": true, "let": true,
+	"new": true, "return": true, "super": true, "switch": true,
+	"this": true, "throw": true, "try": true, "typeof": true,
+	"var": true, "void": true, "while": true, "with": true,
+	"yield": true, "export": true,
+	// Literal-valued keywords; the parser maps them to literal nodes.
+	"null": true, "true": true, "false": true, "undefined": true,
+}
+
+// IsKeyword reports whether name is a reserved word.
+func IsKeyword(name string) bool { return keywords[name] }
+
+// Assignment maps a compound-assignment token kind to the underlying
+// binary operator text (e.g. PLUS_ASSIGN -> "+"). Plain ASSIGN maps to "".
+var Assignment = map[Kind]string{
+	ASSIGN: "", PLUS_ASSIGN: "+", MINUS_ASSIGN: "-", STAR_ASSIGN: "*",
+	SLASH_ASSIGN: "/", PERCENT_ASSIGN: "%", AND_ASSIGN: "&", OR_ASSIGN: "|",
+	XOR_ASSIGN: "^", SHL_ASSIGN: "<<", SHR_ASSIGN: ">>", USHR_ASSIGN: ">>>",
+	POW_ASSIGN: "**", LOGAND_ASSIGN: "&&", LOGOR_ASSIGN: "||",
+	NULLISH_ASSIGN: "??",
+}
+
+// IsAssign reports whether k is an assignment operator (simple or compound).
+func IsAssign(k Kind) bool { _, ok := Assignment[k]; return ok }

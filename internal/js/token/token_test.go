@@ -1,0 +1,88 @@
+package token
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		IDENT:    "IDENT",
+		EOF:      "EOF",
+		PLUS:     "+",
+		ARROW:    "=>",
+		ELLIPSIS: "...",
+		STRICTEQ: "===",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+	// Unknown kinds render diagnostically rather than panicking.
+	if got := Kind(9999).String(); !strings.Contains(got, "9999") {
+		t.Errorf("unknown kind = %q", got)
+	}
+}
+
+func TestPosString(t *testing.T) {
+	p := Pos{Line: 3, Column: 7}
+	if p.String() != "3:7" {
+		t.Fatalf("got %q", p.String())
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: IDENT, Lit: "foo"}
+	if !strings.Contains(tok.String(), "foo") {
+		t.Errorf("ident token = %q", tok.String())
+	}
+	tok = Token{Kind: LPAREN}
+	if tok.String() != "(" {
+		t.Errorf("punct token = %q", tok.String())
+	}
+	tok = Token{Kind: STRING, Lit: "hi"}
+	if !strings.Contains(tok.String(), `"hi"`) {
+		t.Errorf("string token = %q", tok.String())
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	for _, kw := range []string{"var", "function", "return", "class", "typeof", "null", "true"} {
+		if !IsKeyword(kw) {
+			t.Errorf("IsKeyword(%q) = false", kw)
+		}
+	}
+	for _, id := range []string{"foo", "async", "of", "get", "set", "await", "static"} {
+		if IsKeyword(id) {
+			t.Errorf("IsKeyword(%q) = true; contextual keywords must be idents", id)
+		}
+	}
+}
+
+func TestAssignmentMap(t *testing.T) {
+	if Assignment[ASSIGN] != "" {
+		t.Error("plain = maps to empty operator")
+	}
+	if Assignment[PLUS_ASSIGN] != "+" {
+		t.Error("+= maps to +")
+	}
+	if Assignment[LOGOR_ASSIGN] != "||" {
+		t.Error("||= maps to ||")
+	}
+	if !IsAssign(XOR_ASSIGN) {
+		t.Error("^= is an assignment")
+	}
+	if IsAssign(PLUS) {
+		t.Error("+ is not an assignment")
+	}
+}
+
+func TestAllKindsHaveNames(t *testing.T) {
+	// Every kind from ILLEGAL to USHR should have a printable name.
+	for k := ILLEGAL; k <= USHR; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+}

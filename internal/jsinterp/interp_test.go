@@ -1,0 +1,345 @@
+package jsinterp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/js/normalize"
+)
+
+func run(t *testing.T, src string) (*Interp, Value) {
+	t.Helper()
+	prog, err := normalize.File(src, "main.js")
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	in := New(100000)
+	exports, err := in.RunModule(prog)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return in, exports
+}
+
+func callExport(t *testing.T, in *Interp, exports Value, args ...Value) Value {
+	t.Helper()
+	res, err := in.CallFunction(exports, Undefined{}, args)
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	return res
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	_, exports := run(t, `
+function fib(n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+module.exports = fib;
+`)
+	in := New(100000)
+	_ = in
+	// Reuse the interpreter that loaded the module.
+	in2, exports2 := run(t, "function fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } module.exports = fib;")
+	res := callExport(t, in2, exports2, Number(10))
+	if ToNumber(res) != 55 {
+		t.Fatalf("fib(10) = %v", res)
+	}
+	_ = exports
+}
+
+func TestStringOperations(t *testing.T) {
+	in, exports := run(t, `
+function f(s) {
+	var parts = s.split('.');
+	return parts.join('/') + '!' + parts.length;
+}
+module.exports = f;
+`)
+	res := callExport(t, in, exports, String("a.b.c"))
+	if ToString(res) != "a/b/c!3" {
+		t.Fatalf("got %q", ToString(res))
+	}
+}
+
+func TestLoopsAndArrays(t *testing.T) {
+	in, exports := run(t, `
+function f(n) {
+	var acc = [];
+	for (var i = 0; i < n; i++) {
+		acc.push(i * 2);
+	}
+	return acc.join(',');
+}
+module.exports = f;
+`)
+	res := callExport(t, in, exports, Number(4))
+	if ToString(res) != "0,2,4,6" {
+		t.Fatalf("got %q", ToString(res))
+	}
+}
+
+func TestObjectsAndMethods(t *testing.T) {
+	in, exports := run(t, `
+function make(name) {
+	var counter = { n: 0, name: name };
+	counter.bump = function() { this.n = this.n + 1; return this.n; };
+	return counter;
+}
+module.exports = make;
+`)
+	obj := callExport(t, in, exports, String("c1")).(*Object)
+	bump := obj.Get("bump")
+	r1, err := in.CallFunction(bump, obj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := in.CallFunction(bump, obj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ToNumber(r1) != 1 || ToNumber(r2) != 2 {
+		t.Fatalf("bump: %v, %v", r1, r2)
+	}
+}
+
+func TestSinkInstrumentation(t *testing.T) {
+	in, exports := run(t, `
+const { exec } = require('child_process');
+function deploy(branch) {
+	exec('git checkout ' + branch);
+}
+module.exports = deploy;
+`)
+	callExport(t, in, exports, String("main; rm -rf /"))
+	if len(in.Sinks) != 1 || in.Sinks[0].Sink != "exec" {
+		t.Fatalf("sinks = %v", in.Sinks)
+	}
+	if !strings.Contains(in.Sinks[0].Args[0], "rm -rf /") {
+		t.Fatalf("args = %v", in.Sinks[0].Args)
+	}
+}
+
+func TestPrototypePollutionSemantics(t *testing.T) {
+	in, exports := run(t, `
+function pollute(obj, key, value) {
+	var sub = obj[key];
+	sub[value] = 'polluted-value';
+	return sub;
+}
+module.exports = pollute;
+`)
+	target := in.NewObj()
+	callExport(t, in, exports, target, String("__proto__"), String("evil"))
+	// A fresh object now sees the polluted property via its chain.
+	probe := in.NewObj()
+	if ToString(probe.Get("evil")) != "polluted-value" {
+		t.Fatal("Object.prototype not polluted")
+	}
+}
+
+func TestProtoAssignmentRewires(t *testing.T) {
+	in, _ := run(t, "var x = 1;")
+	obj := in.NewObj()
+	carrier := in.NewObj()
+	carrier.Set("inherited", String("yes"))
+	obj.Set("__proto__", carrier)
+	if ToString(obj.Get("inherited")) != "yes" {
+		t.Fatal("__proto__ assignment must rewire the chain")
+	}
+	// But it must not create an own property.
+	if _, own := obj.GetOwn("__proto__"); own {
+		t.Fatal("__proto__ must not be an own property")
+	}
+}
+
+func TestJSONParse(t *testing.T) {
+	in, exports := run(t, `
+function f(s) {
+	var o = JSON.parse(s);
+	return o.a + o.list[1] + (o.nested.deep ? '!' : '?');
+}
+module.exports = f;
+`)
+	res := callExport(t, in, exports, String(`{"a": "x", "list": [1, "y"], "nested": {"deep": true}}`))
+	if ToString(res) != "xy!" {
+		t.Fatalf("got %q", ToString(res))
+	}
+}
+
+func TestJSONParseProtoIsOwnProperty(t *testing.T) {
+	in, _ := run(t, "var x = 1;")
+	v, err := in.jsonParse(`{"__proto__": {"polluted": "m"}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := v.(*Object)
+	if _, own := obj.GetOwn("__proto__"); !own {
+		t.Fatal("JSON.parse must store __proto__ as an own property")
+	}
+	// And the chain is NOT rewired.
+	if _, isUndef := obj.Get("polluted").(Undefined); !isUndef {
+		t.Fatal("JSON.parse must not pollute")
+	}
+}
+
+func TestBudgetStopsInfiniteLoop(t *testing.T) {
+	prog, err := normalize.File("while (true) { var x = 1; }", "loop.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(1000)
+	if _, err := in.RunModule(prog); err != ErrBudget {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestCrossModuleRequire(t *testing.T) {
+	util, err := normalize.File(`
+const { exec } = require('child_process');
+function runIt(c) { exec(c); }
+module.exports = runIt;
+`, "util.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	index, err := normalize.File(`
+var runIt = require('./util');
+function entry(x) { runIt('echo ' + x); }
+module.exports = entry;
+`, "index.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(100000)
+	in.AddModule("util.js", util)
+	exports, err := in.RunModule(index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.CallFunction(exports, Undefined{}, []Value{String("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Sinks) != 1 || !strings.Contains(in.Sinks[0].Args[0], "hello") {
+		t.Fatalf("sinks = %v", in.Sinks)
+	}
+}
+
+func TestUnknownModuleStub(t *testing.T) {
+	in, exports := run(t, `
+var magic = require('some-unknown-lib');
+function f(x) { magic.transmogrify(x); return 'ok'; }
+module.exports = f;
+`)
+	res := callExport(t, in, exports, String("v"))
+	if ToString(res) != "ok" {
+		t.Fatalf("stub module call failed: %v", res)
+	}
+}
+
+func TestObjectAssignBuiltin(t *testing.T) {
+	in, exports := run(t, `
+function f(src) {
+	var dst = { a: 1 };
+	Object.assign(dst, src);
+	return dst.b;
+}
+module.exports = f;
+`)
+	src := in.NewObj()
+	src.Set("b", String("copied"))
+	res := callExport(t, in, exports, src)
+	if ToString(res) != "copied" {
+		t.Fatalf("got %v", res)
+	}
+}
+
+func TestPathBasenameSanitizer(t *testing.T) {
+	in, exports := run(t, `
+var fs = require('fs');
+var path = require('path');
+function read(p, cb) {
+	fs.readFile('/srv/' + path.basename(p + ''), cb);
+}
+module.exports = read;
+`)
+	callExport(t, in, exports, String("../../etc/passwd"), in.NoopCallback())
+	if len(in.Sinks) != 1 {
+		t.Fatalf("sinks = %v", in.Sinks)
+	}
+	if strings.Contains(in.Sinks[0].Args[0], "..") {
+		t.Fatalf("basename must strip traversal: %v", in.Sinks[0].Args)
+	}
+}
+
+func TestForInIteratesOwnKeys(t *testing.T) {
+	in, exports := run(t, `
+function keysOf(o) {
+	var out = [];
+	for (var k in o) { out.push(k); }
+	return out.join(',');
+}
+module.exports = keysOf;
+`)
+	o := in.NewObj()
+	o.Set("b", Number(1))
+	o.Set("a", Number(2))
+	res := callExport(t, in, exports, o)
+	if ToString(res) != "a,b" {
+		t.Fatalf("got %q", ToString(res))
+	}
+}
+
+func TestFunctionCallApply(t *testing.T) {
+	in, exports := run(t, `
+function target(a, b) { return a + ':' + b; }
+function f(x) {
+	var viaCall = target.call(null, x, 'c');
+	var viaApply = target.apply(null, [x, 'a']);
+	return viaCall + '|' + viaApply;
+}
+module.exports = f;
+`)
+	res := callExport(t, in, exports, String("v"))
+	if ToString(res) != "v:c|v:a" {
+		t.Fatalf("got %q", ToString(res))
+	}
+}
+
+func TestTypeofAndTruthiness(t *testing.T) {
+	in, exports := run(t, `
+function f(v) {
+	if (typeof v !== 'number') { return 'reject'; }
+	return 'accept';
+}
+module.exports = f;
+`)
+	if ToString(callExport(t, in, exports, String("5"))) != "reject" {
+		t.Fatal("string must be rejected")
+	}
+	if ToString(callExport(t, in, exports, Number(5))) != "accept" {
+		t.Fatal("number must be accepted")
+	}
+}
+
+func TestAllocationSiteReuseDoesNotLeakState(t *testing.T) {
+	// Objects created per call must be distinct concretely.
+	in, exports := run(t, `
+function f(v) {
+	var o = {};
+	o.x = v;
+	return o.x;
+}
+module.exports = f;
+`)
+	if ToString(callExport(t, in, exports, String("first"))) != "first" {
+		t.Fatal("bad first call")
+	}
+	if ToString(callExport(t, in, exports, String("second"))) != "second" {
+		t.Fatal("state leaked between calls")
+	}
+}
+
+var _ = core.CountStmts // keep the core import used in helpers

@@ -1,0 +1,506 @@
+package jsinterp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// stringProp resolves methods and properties of string primitives.
+func (in *Interp) stringProp(s String, name string) Value {
+	str := string(s)
+	switch name {
+	case "length":
+		return Number(len(str))
+	case "split":
+		return &Builtin{Name: "split", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			sep := ToString(firstArg(args))
+			var parts []string
+			if sep == "" {
+				for _, r := range str {
+					parts = append(parts, string(r))
+				}
+			} else {
+				parts = strings.Split(str, sep)
+			}
+			vals := make([]Value, len(parts))
+			for i, p := range parts {
+				vals[i] = String(p)
+			}
+			return ip.NewArray(vals...), nil
+		}}
+	case "indexOf":
+		return &Builtin{Name: "indexOf", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			return Number(strings.Index(str, ToString(firstArg(args)))), nil
+		}}
+	case "includes":
+		return &Builtin{Name: "includes", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			return Bool(strings.Contains(str, ToString(firstArg(args)))), nil
+		}}
+	case "startsWith":
+		return &Builtin{Name: "startsWith", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			return Bool(strings.HasPrefix(str, ToString(firstArg(args)))), nil
+		}}
+	case "replace":
+		return &Builtin{Name: "replace", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			if len(args) < 2 {
+				return String(str), nil
+			}
+			// Regex receivers are objects with a source; approximate by
+			// replacing the literal source text.
+			pat := ToString(args[0])
+			if o, ok := args[0].(*Object); ok {
+				pat = ToString(o.Get("source"))
+			}
+			return String(strings.Replace(str, pat, ToString(args[1]), 1)), nil
+		}}
+	case "slice", "substring":
+		return &Builtin{Name: name, Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			from := 0
+			to := len(str)
+			if len(args) > 0 {
+				from = clampIndex(int(ToNumber(args[0])), len(str))
+			}
+			if len(args) > 1 {
+				to = clampIndex(int(ToNumber(args[1])), len(str))
+			}
+			if from > to {
+				return String(""), nil
+			}
+			return String(str[from:to]), nil
+		}}
+	case "toLowerCase":
+		return &Builtin{Name: name, Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			return String(strings.ToLower(str)), nil
+		}}
+	case "toUpperCase":
+		return &Builtin{Name: name, Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			return String(strings.ToUpper(str)), nil
+		}}
+	case "trim":
+		return &Builtin{Name: name, Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			return String(strings.TrimSpace(str)), nil
+		}}
+	case "charAt":
+		return &Builtin{Name: name, Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			i := int(ToNumber(firstArg(args)))
+			if i < 0 || i >= len(str) {
+				return String(""), nil
+			}
+			return String(str[i : i+1]), nil
+		}}
+	case "toString":
+		return &Builtin{Name: name, Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			return s, nil
+		}}
+	}
+	// Numeric index: character access.
+	if i, err := strconv.Atoi(name); err == nil && i >= 0 && i < len(str) {
+		return String(str[i : i+1])
+	}
+	return Undefined{}
+}
+
+// functionProp resolves .call/.apply on function values.
+func (in *Interp) functionProp(fn *Function, name string) Value {
+	switch name {
+	case "call":
+		return &Builtin{Name: fn.Name + ".call", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			var t Value = Undefined{}
+			rest := args
+			if len(args) > 0 {
+				t = args[0]
+				rest = args[1:]
+			}
+			return ip.CallFunction(fn, t, rest)
+		}}
+	case "apply":
+		return &Builtin{Name: fn.Name + ".apply", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			var t Value = Undefined{}
+			var rest []Value
+			if len(args) > 0 {
+				t = args[0]
+			}
+			if len(args) > 1 {
+				if arr, ok := args[1].(*Object); ok {
+					n := lengthOf(arr)
+					for i := 0; i < n; i++ {
+						v, _ := arr.GetOwn(strconv.Itoa(i))
+						if v == nil {
+							v = Undefined{}
+						}
+						rest = append(rest, v)
+					}
+				}
+			}
+			return ip.CallFunction(fn, t, rest)
+		}}
+	case "name":
+		return String(fn.Name)
+	}
+	return Undefined{}
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		i += n
+	}
+	if i < 0 {
+		return 0
+	}
+	if i > n {
+		return n
+	}
+	return i
+}
+
+// installArrayMethods populates Object.prototype with the array-ish
+// methods the corpus uses; because every object chains to it, `push`
+// works on array objects without a distinct Array.prototype.
+func (in *Interp) installArrayMethods() {
+	op := in.ObjectPrototype
+	op.props["push"] = &Builtin{Name: "push", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		arr, ok := this.(*Object)
+		if !ok {
+			return Undefined{}, nil
+		}
+		n := lengthOf(arr)
+		for _, a := range args {
+			arr.Set(strconv.Itoa(n), a)
+			n++
+		}
+		arr.Set("length", Number(n))
+		return Number(n), nil
+	}}
+	op.props["join"] = &Builtin{Name: "join", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		arr, ok := this.(*Object)
+		if !ok {
+			return String(""), nil
+		}
+		sep := ","
+		if len(args) > 0 {
+			sep = ToString(args[0])
+		}
+		n := lengthOf(arr)
+		parts := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			v, _ := arr.GetOwn(strconv.Itoa(i))
+			if v == nil {
+				v = Undefined{}
+			}
+			parts = append(parts, ToString(v))
+		}
+		return String(strings.Join(parts, sep)), nil
+	}}
+	op.props["concat"] = &Builtin{Name: "concat", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		var vals []Value
+		collect := func(v Value) {
+			if o, ok := v.(*Object); ok {
+				_, hasLen := o.GetOwn("length")
+				_, hasZero := o.GetOwn("0")
+				if hasLen || hasZero {
+					n := lengthOf(o)
+					for i := 0; i < n; i++ {
+						el, _ := o.GetOwn(strconv.Itoa(i))
+						if el == nil {
+							el = Undefined{}
+						}
+						vals = append(vals, el)
+					}
+					return
+				}
+			}
+			vals = append(vals, v)
+		}
+		collect(this)
+		for _, a := range args {
+			collect(a)
+		}
+		return ip.NewArray(vals...), nil
+	}}
+	op.props["indexOf"] = &Builtin{Name: "indexOf", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		arr, ok := this.(*Object)
+		if !ok {
+			return Number(-1), nil
+		}
+		want := firstArg(args)
+		n := lengthOf(arr)
+		for i := 0; i < n; i++ {
+			v, _ := arr.GetOwn(strconv.Itoa(i))
+			if v != nil && looseEq(v, want) {
+				return Number(i), nil
+			}
+		}
+		return Number(-1), nil
+	}}
+	op.props["forEach"] = &Builtin{Name: "forEach", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		arr, ok := this.(*Object)
+		if !ok || len(args) == 0 {
+			return Undefined{}, nil
+		}
+		n := lengthOf(arr)
+		for i := 0; i < n; i++ {
+			v, _ := arr.GetOwn(strconv.Itoa(i))
+			if v == nil {
+				v = Undefined{}
+			}
+			if _, err := ip.CallFunction(args[0], Undefined{}, []Value{v, Number(i)}); err != nil {
+				return nil, err
+			}
+		}
+		return Undefined{}, nil
+	}}
+	op.props["map"] = &Builtin{Name: "map", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		arr, ok := this.(*Object)
+		if !ok || len(args) == 0 {
+			return ip.NewArray(), nil
+		}
+		n := lengthOf(arr)
+		var out []Value
+		for i := 0; i < n; i++ {
+			v, _ := arr.GetOwn(strconv.Itoa(i))
+			if v == nil {
+				v = Undefined{}
+			}
+			r, err := ip.CallFunction(args[0], Undefined{}, []Value{v, Number(i)})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+		return ip.NewArray(out...), nil
+	}}
+	op.props["hasOwnProperty"] = &Builtin{Name: "hasOwnProperty", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		o, ok := this.(*Object)
+		if !ok {
+			return Bool(false), nil
+		}
+		_, has := o.GetOwn(ToString(firstArg(args)))
+		return Bool(has), nil
+	}}
+	op.props["toString"] = &Builtin{Name: "toString", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		return String(ToString(this)), nil
+	}}
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON
+// ---------------------------------------------------------------------------
+
+// jsonParse parses a JSON document into interpreter values. Object keys
+// named __proto__ are stored as plain own properties (as JSON.parse
+// does in real engines — this is why pollution needs an assignment
+// step, which the PoCs perform).
+func (in *Interp) jsonParse(src string) (Value, error) {
+	p := &jsonParser{in: in, src: src}
+	p.ws()
+	v, err := p.value()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("jsinterp: trailing JSON at %d", p.pos)
+	}
+	return v, nil
+}
+
+type jsonParser struct {
+	in  *Interp
+	src string
+	pos int
+}
+
+func (p *jsonParser) ws() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *jsonParser) value() (Value, error) {
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("jsinterp: unexpected end of JSON")
+	}
+	switch c := p.src[p.pos]; {
+	case c == '{':
+		return p.object()
+	case c == '[':
+		return p.array()
+	case c == '"':
+		s, err := p.str()
+		return String(s), err
+	case c == 't':
+		return p.lit("true", Bool(true))
+	case c == 'f':
+		return p.lit("false", Bool(false))
+	case c == 'n':
+		return p.lit("null", Null{})
+	default:
+		return p.number()
+	}
+}
+
+func (p *jsonParser) lit(text string, v Value) (Value, error) {
+	if strings.HasPrefix(p.src[p.pos:], text) {
+		p.pos += len(text)
+		return v, nil
+	}
+	return nil, fmt.Errorf("jsinterp: bad JSON literal at %d", p.pos)
+}
+
+func (p *jsonParser) number() (Value, error) {
+	start := p.pos
+	for p.pos < len(p.src) && strings.ContainsRune("-+.eE0123456789", rune(p.src[p.pos])) {
+		p.pos++
+	}
+	f, err := strconv.ParseFloat(p.src[start:p.pos], 64)
+	if err != nil {
+		return nil, fmt.Errorf("jsinterp: bad JSON number at %d", start)
+	}
+	return Number(f), nil
+}
+
+func (p *jsonParser) str() (string, error) {
+	if p.pos >= len(p.src) || p.src[p.pos] != '"' {
+		return "", fmt.Errorf("jsinterp: expected string at %d", p.pos)
+	}
+	p.pos++
+	var sb strings.Builder
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		p.pos++
+		switch c {
+		case '"':
+			return sb.String(), nil
+		case '\\':
+			if p.pos >= len(p.src) {
+				return "", fmt.Errorf("jsinterp: bad escape")
+			}
+			e := p.src[p.pos]
+			p.pos++
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case 'u':
+				if p.pos+4 <= len(p.src) {
+					if n, err := strconv.ParseUint(p.src[p.pos:p.pos+4], 16, 32); err == nil {
+						sb.WriteRune(rune(n))
+					}
+					p.pos += 4
+				}
+			default:
+				sb.WriteByte(e)
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	return "", fmt.Errorf("jsinterp: unterminated JSON string")
+}
+
+func (p *jsonParser) object() (Value, error) {
+	obj := p.in.NewObj()
+	p.pos++ // {
+	p.ws()
+	if p.pos < len(p.src) && p.src[p.pos] == '}' {
+		p.pos++
+		return obj, nil
+	}
+	for {
+		p.ws()
+		key, err := p.str()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if p.pos >= len(p.src) || p.src[p.pos] != ':' {
+			return nil, fmt.Errorf("jsinterp: expected ':' at %d", p.pos)
+		}
+		p.pos++
+		p.ws()
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		// Plain own property, even for __proto__ (JSON.parse semantics).
+		obj.props[key] = v
+		p.ws()
+		if p.pos < len(p.src) && p.src[p.pos] == ',' {
+			p.pos++
+			continue
+		}
+		if p.pos < len(p.src) && p.src[p.pos] == '}' {
+			p.pos++
+			return obj, nil
+		}
+		return nil, fmt.Errorf("jsinterp: bad JSON object at %d", p.pos)
+	}
+}
+
+func (p *jsonParser) array() (Value, error) {
+	p.pos++ // [
+	p.ws()
+	var vals []Value
+	if p.pos < len(p.src) && p.src[p.pos] == ']' {
+		p.pos++
+		return p.in.NewArray(), nil
+	}
+	for {
+		p.ws()
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+		p.ws()
+		if p.pos < len(p.src) && p.src[p.pos] == ',' {
+			p.pos++
+			continue
+		}
+		if p.pos < len(p.src) && p.src[p.pos] == ']' {
+			p.pos++
+			return p.in.NewArray(vals...), nil
+		}
+		return nil, fmt.Errorf("jsinterp: bad JSON array at %d", p.pos)
+	}
+}
+
+func jsonStringify(v Value) string {
+	switch x := v.(type) {
+	case String:
+		return strconv.Quote(string(x))
+	case Number, Bool:
+		return ToString(v)
+	case Null, Undefined:
+		return "null"
+	case *Object:
+		if _, isArr := x.GetOwn("length"); isArr {
+			n := lengthOf(x)
+			parts := make([]string, 0, n)
+			for i := 0; i < n; i++ {
+				el, _ := x.GetOwn(strconv.Itoa(i))
+				if el == nil {
+					el = Undefined{}
+				}
+				parts = append(parts, jsonStringify(el))
+			}
+			return "[" + strings.Join(parts, ",") + "]"
+		}
+		var parts []string
+		for _, k := range x.Keys() {
+			pv, _ := x.GetOwn(k)
+			parts = append(parts, strconv.Quote(k)+":"+jsonStringify(pv))
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	}
+	return "null"
+}

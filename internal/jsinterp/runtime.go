@@ -1,0 +1,395 @@
+package jsinterp
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// stubMarker marks objects standing in for unknown external modules:
+// any property access on them yields a harmless no-op function.
+const stubMarker = "__stub__"
+
+// NewArray builds an array object.
+func (in *Interp) NewArray(vals ...Value) *Object {
+	arr := in.NewObj()
+	for i, v := range vals {
+		arr.Set(strconv.Itoa(i), v)
+	}
+	arr.Set("length", Number(len(vals)))
+	return arr
+}
+
+func (in *Interp) noop(name string) *Builtin {
+	return &Builtin{Name: name, Fn: func(in *Interp, this Value, args []Value) (Value, error) {
+		// Unknown helper: invoke any function arguments once with the
+		// other arguments (callback convention), then return undefined.
+		for _, a := range args {
+			if fn, ok := a.(*Function); ok {
+				var rest []Value
+				for _, o := range args {
+					if o != a {
+						rest = append(rest, o)
+					}
+				}
+				if _, err := in.CallFunction(fn, Undefined{}, rest); err != nil && errors.Is(err, ErrBudget) {
+					return nil, err
+				}
+				break
+			}
+		}
+		return Undefined{}, nil
+	}}
+}
+
+func (in *Interp) sink(name string, result func(in *Interp, args []Value) Value) *Builtin {
+	return &Builtin{Name: name, Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		ip.Sinks = append(ip.Sinks, SinkEvent{Sink: name, Args: renderArgs(args)})
+		if result != nil {
+			return result(ip, args), nil
+		}
+		return Undefined{}, nil
+	}}
+}
+
+// setupGlobals installs the global environment: instrumented sinks,
+// JSON/Object/console, and common constructors.
+func (in *Interp) setupGlobals() {
+	g := in.genv
+
+	g.SetLocal("undefined", Undefined{})
+	g.SetLocal("eval", in.sink("eval", nil))
+	g.SetLocal("Function", in.sink("Function", func(ip *Interp, args []Value) Value {
+		return &Builtin{Name: "anonymous", Fn: func(*Interp, Value, []Value) (Value, error) {
+			return Undefined{}, nil
+		}}
+	}))
+	g.SetLocal("setTimeout", in.sink("setTimeout", func(ip *Interp, args []Value) Value {
+		if len(args) > 0 {
+			if fn, ok := args[0].(*Function); ok {
+				_, _ = ip.CallFunction(fn, Undefined{}, nil)
+			}
+		}
+		return Number(1)
+	}))
+	g.SetLocal("setInterval", in.sink("setInterval", nil))
+
+	object := in.NewObj()
+	object.Set("assign", &Builtin{Name: "Object.assign", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Undefined{}, nil
+		}
+		target, ok := args[0].(*Object)
+		if !ok {
+			return args[0], nil
+		}
+		for _, src := range args[1:] {
+			if so, ok := src.(*Object); ok {
+				for _, k := range so.Keys() {
+					v, _ := so.GetOwn(k)
+					target.Set(k, v)
+				}
+			}
+		}
+		return target, nil
+	}})
+	object.Set("keys", &Builtin{Name: "Object.keys", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return ip.NewArray(), nil
+		}
+		if o, ok := args[0].(*Object); ok {
+			var keys []Value
+			for _, k := range o.Keys() {
+				keys = append(keys, String(k))
+			}
+			return ip.NewArray(keys...), nil
+		}
+		return ip.NewArray(), nil
+	}})
+	object.Set("values", &Builtin{Name: "Object.values", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return ip.NewArray(), nil
+		}
+		if o, ok := args[0].(*Object); ok {
+			var vals []Value
+			for _, k := range o.Keys() {
+				v, _ := o.GetOwn(k)
+				vals = append(vals, v)
+			}
+			return ip.NewArray(vals...), nil
+		}
+		return ip.NewArray(), nil
+	}})
+	g.SetLocal("Object", object)
+
+	jsonObj := in.NewObj()
+	jsonObj.Set("parse", &Builtin{Name: "JSON.parse", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Undefined{}, nil
+		}
+		return ip.jsonParse(ToString(args[0]))
+	}})
+	jsonObj.Set("stringify", &Builtin{Name: "JSON.stringify", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return String("undefined"), nil
+		}
+		return String(jsonStringify(args[0])), nil
+	}})
+	g.SetLocal("JSON", jsonObj)
+
+	console := in.NewObj()
+	console.Set("log", in.noopSilent("console.log"))
+	console.Set("error", in.noopSilent("console.error"))
+	g.SetLocal("console", console)
+
+	g.SetLocal("String", &Builtin{Name: "String", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return String(""), nil
+		}
+		return String(ToString(args[0])), nil
+	}})
+	g.SetLocal("Number", &Builtin{Name: "Number", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Number(0), nil
+		}
+		return Number(ToNumber(args[0])), nil
+	}})
+	g.SetLocal("parseInt", &Builtin{Name: "parseInt", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return Number(nan()), nil
+		}
+		return Number(float64(int64(ToNumber(args[0])))), nil
+	}})
+	g.SetLocal("Error", &Builtin{Name: "Error", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		e := ip.NewObj()
+		if len(args) > 0 {
+			e.Set("message", String(ToString(args[0])))
+		}
+		return e, nil
+	}})
+	g.SetLocal("TypeError", mustGet(g, "Error"))
+	g.SetLocal("Array", &Builtin{Name: "Array", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+		return ip.NewArray(args...), nil
+	}})
+	g.SetLocal("Date", in.dateObject())
+	global := in.NewObj()
+	g.SetLocal("global", global)
+	process := in.NewObj()
+	process.Set("platform", String("linux"))
+	process.Set("exit", in.noopSilent("process.exit"))
+	g.SetLocal("process", process)
+}
+
+func mustGet(e *Env, name string) Value {
+	v, _ := e.Get(name)
+	return v
+}
+
+// noopSilent is a no-op builtin that does not invoke callbacks.
+func (in *Interp) noopSilent(name string) *Builtin {
+	return &Builtin{Name: name, Fn: func(*Interp, Value, []Value) (Value, error) {
+		return Undefined{}, nil
+	}}
+}
+
+func (in *Interp) dateObject() Value {
+	d := in.NewObj()
+	counter := 0
+	d.Set("now", &Builtin{Name: "Date.now", Fn: func(*Interp, Value, []Value) (Value, error) {
+		counter++
+		return Number(1700000000000 + counter), nil
+	}})
+	return d
+}
+
+// requireModule implements require(spec).
+func (in *Interp) requireModule(spec string) (Value, error) {
+	switch spec {
+	case "child_process":
+		m := in.NewObj()
+		m.Set("exec", in.sink("exec", nil))
+		m.Set("execSync", in.sink("execSync", func(ip *Interp, args []Value) Value { return String("") }))
+		m.Set("spawn", in.sink("spawn", func(ip *Interp, args []Value) Value { return ip.NewObj() }))
+		m.Set("spawnSync", in.sink("spawnSync", func(ip *Interp, args []Value) Value { return ip.NewObj() }))
+		m.Set("execFile", in.sink("execFile", nil))
+		m.Set("execFileSync", in.sink("execFileSync", nil))
+		return m, nil
+	case "fs":
+		m := in.NewObj()
+		read := func(name string) *Builtin {
+			return &Builtin{Name: name, Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+				ip.Sinks = append(ip.Sinks, SinkEvent{Sink: name, Args: renderArgs(args)})
+				contents := String("<contents of " + ToString(firstArg(args)) + ">")
+				for _, a := range args {
+					if fn, ok := a.(*Function); ok {
+						if _, err := ip.CallFunction(fn, Undefined{}, []Value{Null{}, contents}); err != nil && errors.Is(err, ErrBudget) {
+							return nil, err
+						}
+						return Undefined{}, nil
+					}
+				}
+				return contents, nil
+			}}
+		}
+		for _, fn := range []string{"readFile", "readFileSync", "createReadStream", "readdir", "readdirSync"} {
+			m.Set(fn, read("fs."+fn))
+		}
+		for _, fn := range []string{"writeFile", "writeFileSync", "createWriteStream", "appendFile",
+			"appendFileSync", "unlink", "unlinkSync", "access"} {
+			m.Set(fn, in.sink("fs."+fn, nil))
+		}
+		return m, nil
+	case "path":
+		m := in.NewObj()
+		m.Set("basename", &Builtin{Name: "path.basename", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			return String(path.Base(ToString(firstArg(args)))), nil
+		}})
+		m.Set("dirname", &Builtin{Name: "path.dirname", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			return String(path.Dir(ToString(firstArg(args)))), nil
+		}})
+		m.Set("join", &Builtin{Name: "path.join", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			parts := make([]string, len(args))
+			for i, a := range args {
+				parts[i] = ToString(a)
+			}
+			return String(path.Join(parts...)), nil
+		}})
+		return m, nil
+	case "vm":
+		m := in.NewObj()
+		for _, fn := range []string{"runInContext", "runInNewContext", "runInThisContext"} {
+			m.Set(fn, in.sink("vm."+fn, nil))
+		}
+		return m, nil
+	case "http":
+		m := in.NewObj()
+		m.Set("createServer", &Builtin{Name: "http.createServer", Fn: func(ip *Interp, this Value, args []Value) (Value, error) {
+			srv := ip.NewObj()
+			srv.Set("listen", ip.noopSilent("listen"))
+			return srv, nil
+		}})
+		return m, nil
+	}
+	// Relative sibling modules.
+	if strings.HasPrefix(spec, "./") || strings.HasPrefix(spec, "../") {
+		if prog, ok := in.resolveSibling(spec); ok {
+			return in.RunModule(prog)
+		}
+	}
+	// Unknown external module: a stub whose members are no-ops.
+	stub := in.NewObj()
+	stub.Set(stubMarker, Bool(true))
+	return stub, nil
+}
+
+func (in *Interp) resolveSibling(spec string) (*core.Program, bool) {
+	clean := path.Clean(strings.TrimPrefix(spec, "./"))
+	for _, cand := range []string{clean, clean + ".js", path.Join(clean, "index.js")} {
+		if p, ok := in.modules[cand]; ok {
+			return p, true
+		}
+	}
+	base := path.Base(clean)
+	for name, p := range in.modules {
+		nb := strings.TrimSuffix(path.Base(name), ".js")
+		if nb == base || nb == strings.TrimSuffix(base, ".js") {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+func firstArg(args []Value) Value {
+	if len(args) == 0 {
+		return Undefined{}
+	}
+	return args[0]
+}
+
+// call executes `x := f(args)` including require, method dispatch and
+// stub fallback.
+func (in *Interp) call(x *core.Call, env *Env) error {
+	var args []Value
+	for _, a := range x.Args {
+		v, err := in.eval(a, env)
+		if err != nil {
+			return err
+		}
+		args = append(args, v)
+	}
+
+	if x.CalleeName == "require" && len(args) == 1 {
+		mod, err := in.requireModule(ToString(args[0]))
+		if err != nil {
+			return err
+		}
+		env.Set(x.X, mod)
+		return nil
+	}
+
+	calleeV, err := in.eval(x.Callee, env)
+	if err != nil {
+		return err
+	}
+	var thisV Value
+	if x.This != nil {
+		thisV, err = in.eval(x.This, env)
+		if err != nil {
+			return err
+		}
+		// Method on a stub module: a no-op.
+		if obj, ok := thisV.(*Object); ok {
+			if _, isStub := obj.GetOwn(stubMarker); isStub {
+				if _, undef := calleeV.(Undefined); undef {
+					calleeV = in.noop(x.CalleeName)
+				}
+			}
+		}
+	}
+
+	if x.IsNew {
+		return in.construct(x, calleeV, args, env)
+	}
+
+	res, err := in.CallFunction(calleeV, thisV, args)
+	if err != nil {
+		var rs returnSignal
+		if errors.As(err, &rs) {
+			res = rs.v
+		} else {
+			return err
+		}
+	}
+	env.Set(x.X, res)
+	return nil
+}
+
+// construct implements `new F(args)`.
+func (in *Interp) construct(x *core.Call, calleeV Value, args []Value, env *Env) error {
+	switch f := calleeV.(type) {
+	case *Builtin:
+		res, err := f.Fn(in, Undefined{}, args)
+		if err != nil {
+			return err
+		}
+		env.Set(x.X, res)
+		return nil
+	case *Function:
+		this := in.NewObj()
+		if _, err := in.CallFunction(f, this, args); err != nil {
+			return err
+		}
+		env.Set(x.X, this)
+		return nil
+	default:
+		return fmt.Errorf("jsinterp: %s is not a constructor", x.CalleeName)
+	}
+}
+
+// NoopCallback returns a callable that ignores its arguments; used by
+// drivers for Node-style trailing callbacks.
+func (in *Interp) NoopCallback() Value { return in.noopSilent("callback") }

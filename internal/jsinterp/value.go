@@ -1,0 +1,263 @@
+// Package jsinterp is a concrete interpreter for Core JavaScript used
+// to confirm findings dynamically: the paper validates reported
+// vulnerabilities by running hand-written exploits (§5.3); this
+// interpreter runs the equivalent experiment in-process. Sink built-ins
+// (exec, eval, fs.*) are instrumented to record their arguments, and
+// the object model implements real prototype-chain semantics so
+// Object.prototype pollution is observable.
+package jsinterp
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a JavaScript value.
+type Value interface{ typeof() string }
+
+// Undefined is the undefined value.
+type Undefined struct{}
+
+// Null is the null value.
+type Null struct{}
+
+// Bool is a boolean.
+type Bool bool
+
+// Number is a JS number.
+type Number float64
+
+// String is a JS string.
+type String string
+
+// Object is a JS object with a property table and a prototype link.
+type Object struct {
+	props map[string]Value
+	proto *Object
+}
+
+// Function is a closure over Core JavaScript.
+type Function struct {
+	Name   string
+	Params []string
+	Body   interface{} // []core.Stmt, kept loose to avoid the import here
+	Env    *Env
+}
+
+// Builtin is a native function.
+type Builtin struct {
+	Name string
+	Fn   func(in *Interp, this Value, args []Value) (Value, error)
+}
+
+func (Undefined) typeof() string { return "undefined" }
+func (Null) typeof() string      { return "object" }
+func (Bool) typeof() string      { return "boolean" }
+func (Number) typeof() string    { return "number" }
+func (String) typeof() string    { return "string" }
+func (*Object) typeof() string   { return "object" }
+func (*Function) typeof() string { return "function" }
+func (*Builtin) typeof() string  { return "function" }
+
+// NewObject creates an object with the given prototype.
+func NewObject(proto *Object) *Object {
+	return &Object{props: map[string]Value{}, proto: proto}
+}
+
+// Get reads a property, walking the prototype chain.
+func (o *Object) Get(name string) Value {
+	for cur := o; cur != nil; cur = cur.proto {
+		if v, ok := cur.props[name]; ok {
+			return v
+		}
+	}
+	return Undefined{}
+}
+
+// GetOwn reads an own property.
+func (o *Object) GetOwn(name string) (Value, bool) {
+	v, ok := o.props[name]
+	return v, ok
+}
+
+// Set writes an own property. Writing __proto__ rewires the prototype
+// link — the semantics that make prototype pollution possible.
+func (o *Object) Set(name string, v Value) {
+	if name == "__proto__" {
+		if obj, ok := v.(*Object); ok {
+			o.proto = obj
+		}
+		return
+	}
+	o.props[name] = v
+}
+
+// Proto returns the prototype link.
+func (o *Object) Proto() *Object { return o.proto }
+
+// Keys returns the own enumerable property names, sorted for
+// determinism.
+func (o *Object) Keys() []string {
+	out := make([]string, 0, len(o.props))
+	for k := range o.props {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Conversions
+// ---------------------------------------------------------------------------
+
+// Truthy implements ToBoolean.
+func Truthy(v Value) bool {
+	switch x := v.(type) {
+	case Undefined, Null:
+		return false
+	case Bool:
+		return bool(x)
+	case Number:
+		return x != 0 && x == x // NaN is falsy
+	case String:
+		return x != ""
+	default:
+		return true
+	}
+}
+
+// ToString implements the string conversion used by concatenation.
+func ToString(v Value) string {
+	switch x := v.(type) {
+	case Undefined:
+		return "undefined"
+	case Null:
+		return "null"
+	case Bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case Number:
+		f := float64(x)
+		if f == float64(int64(f)) {
+			return strconv.FormatInt(int64(f), 10)
+		}
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	case String:
+		return string(x)
+	case *Object:
+		// Arrays (objects with a length or index 0) join with commas;
+		// other objects render like Node's default.
+		_, hasLen := x.GetOwn("length")
+		_, hasZero := x.GetOwn("0")
+		if hasLen || hasZero {
+			var parts []string
+			n := lengthOf(x)
+			for i := 0; i < n; i++ {
+				el, _ := x.GetOwn(strconv.Itoa(i))
+				if el == nil {
+					el = Undefined{}
+				}
+				parts = append(parts, ToString(el))
+			}
+			return strings.Join(parts, ",")
+		}
+		return "[object Object]"
+	case *Function:
+		return "function " + x.Name + "() { ... }"
+	case *Builtin:
+		return "function " + x.Name + "() { [native] }"
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// ToNumber implements the numeric conversion.
+func ToNumber(v Value) float64 {
+	switch x := v.(type) {
+	case Number:
+		return float64(x)
+	case Bool:
+		if x {
+			return 1
+		}
+		return 0
+	case String:
+		s := strings.TrimSpace(string(x))
+		if s == "" {
+			return 0
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nan()
+		}
+		return f
+	case Undefined:
+		return nan()
+	case Null:
+		return 0
+	}
+	return nan()
+}
+
+func nan() float64 {
+	var zero float64
+	return 0 / zero
+}
+
+func lengthOf(o *Object) int {
+	if v, ok := o.GetOwn("length"); ok {
+		return int(ToNumber(v))
+	}
+	// Array literals lower to plain objects with numeric properties;
+	// recover the length by scanning indices.
+	n := 0
+	for {
+		if _, ok := o.GetOwn(strconv.Itoa(n)); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// Env is a lexical environment.
+type Env struct {
+	vars   map[string]Value
+	parent *Env
+}
+
+// NewEnv creates an environment with an optional parent.
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: map[string]Value{}, parent: parent}
+}
+
+// Get resolves a variable.
+func (e *Env) Get(name string) (Value, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Set assigns to the innermost binding, defaulting to this scope.
+func (e *Env) Set(name string, v Value) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if _, ok := cur.vars[name]; ok {
+			cur.vars[name] = v
+			return
+		}
+	}
+	e.vars[name] = v
+}
+
+// SetLocal binds in this scope.
+func (e *Env) SetLocal(name string, v Value) { e.vars[name] = v }
+
+// SetOwnProto stores v as an own `__proto__` property, bypassing the
+// magic setter — the JSON.parse behaviour that pollution payloads rely
+// on (the later assignment step does the actual pollution).
+func (o *Object) SetOwnProto(v Value) { o.props["__proto__"] = v }

@@ -1,0 +1,85 @@
+package mdg
+
+import "testing"
+
+func TestCollapseLinearChain(t *testing.T) {
+	g := New()
+	v1 := newObj(g, "v1", 1)
+	v2 := newObj(g, "v2", 2)
+	v3 := newObj(g, "v3", 3)
+	oldVal := newObj(g, "old", 4)
+	newVal := newObj(g, "new", 5)
+	other := newObj(g, "other", 6)
+	g.AddEdge(Edge{From: v1, To: oldVal, Type: Prop, Prop: "cmd"})
+	g.AddEdge(Edge{From: v1, To: v2, Type: Ver, Prop: "cmd"})
+	g.AddEdge(Edge{From: v2, To: newVal, Type: Prop, Prop: "cmd"})
+	g.AddEdge(Edge{From: v2, To: v3, Type: Ver, Prop: "extra"})
+	g.AddEdge(Edge{From: v3, To: other, Type: Prop, Prop: "extra"})
+
+	c := g.Collapse()
+	// All chain members share the newest representative.
+	rep := c.Rep[v1]
+	if rep != v3 || c.Rep[v2] != v3 || c.Rep[v3] != v3 {
+		t.Fatalf("reps = %d/%d/%d, want all %d", c.Rep[v1], c.Rep[v2], c.Rep[v3], v3)
+	}
+	props := c.Props[rep]
+	// cmd: the newest write wins.
+	if got := props["cmd"]; len(got) != 1 || got[0] != newVal {
+		t.Errorf("cmd = %v, want [%d]", got, newVal)
+	}
+	if got := props["extra"]; len(got) != 1 || got[0] != other {
+		t.Errorf("extra = %v", got)
+	}
+}
+
+func TestCollapseStarAccumulates(t *testing.T) {
+	g := New()
+	v1 := newObj(g, "v1", 1)
+	v2 := newObj(g, "v2", 2)
+	a := newObj(g, "a", 3)
+	b := newObj(g, "b", 4)
+	g.AddEdge(Edge{From: v1, To: a, Type: PropStar})
+	g.AddEdge(Edge{From: v1, To: v2, Type: VerStar})
+	g.AddEdge(Edge{From: v2, To: b, Type: PropStar})
+	c := g.Collapse()
+	star := c.Props[c.Rep[v1]]["*"]
+	if len(star) != 2 {
+		t.Fatalf("star = %v, want both dynamic values", star)
+	}
+}
+
+func TestCollapseDepsRetargeted(t *testing.T) {
+	g := New()
+	src := newObj(g, "src", 1)
+	v1 := newObj(g, "v1", 2)
+	v2 := newObj(g, "v2", 3)
+	g.AddEdge(Edge{From: v1, To: v2, Type: Ver, Prop: "p"})
+	g.AddEdge(Edge{From: src, To: v1, Type: Dep})
+	c := g.Collapse()
+	deps := c.Deps[c.Rep[src]]
+	if len(deps) != 1 || deps[0] != v2 {
+		t.Fatalf("deps = %v, want retargeted to newest version %d", deps, v2)
+	}
+}
+
+func TestCollapseCycleTerminates(t *testing.T) {
+	// §5.5 cyclic chains must collapse without hanging.
+	g := New()
+	a := newObj(g, "a", 1)
+	b := newObj(g, "b", 2)
+	g.AddEdge(Edge{From: a, To: b, Type: VerStar})
+	g.AddEdge(Edge{From: b, To: a, Type: VerStar})
+	c := g.Collapse()
+	if c.Rep[a] != c.Rep[b] {
+		t.Fatalf("cycle members must share a representative: %d vs %d", c.Rep[a], c.Rep[b])
+	}
+}
+
+func TestCollapseUnversionedNodeIsItsOwnRep(t *testing.T) {
+	g := New()
+	o := newObj(g, "o", 1)
+	c := g.Collapse()
+	if c.Rep[o] != o {
+		t.Fatalf("rep = %d", c.Rep[o])
+	}
+}

@@ -1,0 +1,564 @@
+// Package mdg implements the Multiversion Dependency Graph (MDG) of the
+// paper (§3.1): a single graph capturing the shape and evolution of
+// objects over time together with the data dependencies between the
+// values a program manipulates.
+//
+// Nodes are abstract locations representing objects, primitive values,
+// functions and calls. Edges carry one of five labels:
+//
+//	D      dependency: the target is computed using the source
+//	P(p)   known property: target is the value of property p of source
+//	P(*)   unknown property: as P(p) with a statically unknown name
+//	V(p)   version: target is a new version of source after writing p
+//	V(*)   version: as V(p) with a statically unknown property name
+//
+// Allocation is site-keyed: the same (site, role, origin) triple always
+// yields the same location, which keeps graphs finite and loops
+// convergent (the paper's fixed-point summary representation).
+package mdg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Loc is an abstract location: the identity of an MDG node.
+type Loc int
+
+// NoLoc is the zero Loc, used as "absent".
+const NoLoc Loc = 0
+
+// NodeKind classifies MDG nodes.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindObject  NodeKind = iota // objects and primitive values
+	KindCall                    // function-call nodes (f_x in the paper)
+	KindFunc                    // function values
+	KindParam                   // function parameters (taint sources live here)
+	KindLiteral                 // primitive literal pool nodes
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case KindObject:
+		return "Object"
+	case KindCall:
+		return "Call"
+	case KindFunc:
+		return "Func"
+	case KindParam:
+		return "Param"
+	case KindLiteral:
+		return "Literal"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", int(k))
+	}
+}
+
+// EdgeType classifies MDG edges.
+type EdgeType int
+
+// Edge types.
+const (
+	Dep      EdgeType = iota // D
+	Prop                     // P(p)
+	PropStar                 // P(*)
+	Ver                      // V(p)
+	VerStar                  // V(*)
+)
+
+func (t EdgeType) String() string {
+	switch t {
+	case Dep:
+		return "D"
+	case Prop:
+		return "P"
+	case PropStar:
+		return "P*"
+	case Ver:
+		return "V"
+	case VerStar:
+		return "V*"
+	default:
+		return fmt.Sprintf("EdgeType(%d)", int(t))
+	}
+}
+
+// Edge is one labeled MDG edge. Prop is the property name for Prop/Ver
+// edges and empty for Dep/PropStar/VerStar.
+type Edge struct {
+	From, To Loc
+	Type     EdgeType
+	Prop     string
+}
+
+// Label renders the edge label as in the paper (D, P(cmd), V(*), ...).
+func (e Edge) Label() string {
+	switch e.Type {
+	case Dep:
+		return "D"
+	case Prop:
+		return fmt.Sprintf("P(%s)", e.Prop)
+	case PropStar:
+		return "P(*)"
+	case Ver:
+		return fmt.Sprintf("V(%s)", e.Prop)
+	case VerStar:
+		return "V(*)"
+	}
+	return "?"
+}
+
+// Node is one MDG node.
+type Node struct {
+	Loc   Loc
+	Kind  NodeKind
+	Label string // variable hint, call name, function name, or literal text
+	Site  int    // statement index that allocated the node (0 = none)
+	Line  int    // source line of the allocating statement
+	File  string // source file of the allocating statement
+
+	// Source marks taint sources (parameters of exported functions).
+	Source bool
+
+	// Call metadata (KindCall only). CallArgs[i] holds the locations
+	// that may flow into the i-th argument.
+	CallName string
+	CallArgs [][]Loc
+
+	// Func metadata (KindFunc only): the function's parameter and
+	// return locations, for call linking and queries.
+	FuncName  string
+	ParamLocs []Loc
+	RetLoc    Loc
+
+	// Exported marks functions reachable from module.exports.
+	Exported bool
+}
+
+// Graph is a Multiversion Dependency Graph.
+type Graph struct {
+	nodes   map[Loc]*Node
+	out     map[Loc][]Edge
+	in      map[Loc][]Edge
+	edgeSet map[Edge]struct{}
+	next    Loc
+
+	// alloc implements site-keyed deterministic allocation.
+	alloc map[allocKey]Loc
+
+	// curFile annotates newly created nodes with their source file
+	// (multi-module analysis); see SetCurrentFile.
+	curFile string
+}
+
+// SetCurrentFile sets the source-file annotation applied to nodes
+// created from now on.
+func (g *Graph) SetCurrentFile(file string) { g.curFile = file }
+
+type allocKey struct {
+	role   string
+	site   int
+	origin Loc
+	prop   string
+}
+
+// New returns an empty MDG.
+func New() *Graph {
+	return &Graph{
+		nodes:   make(map[Loc]*Node),
+		out:     make(map[Loc][]Edge),
+		in:      make(map[Loc][]Edge),
+		edgeSet: make(map[Edge]struct{}),
+		alloc:   make(map[allocKey]Loc),
+	}
+}
+
+// NumNodes returns the number of nodes in the graph.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the number of edges in the graph.
+func (g *Graph) NumEdges() int { return len(g.edgeSet) }
+
+// Node returns the node at l, or nil.
+func (g *Graph) Node(l Loc) *Node { return g.nodes[l] }
+
+// Nodes returns all nodes in ascending Loc order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Loc < out[j].Loc })
+	return out
+}
+
+// Edges returns all edges in a deterministic order.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, n := range g.Nodes() {
+		out = append(out, g.out[n.Loc]...)
+	}
+	return out
+}
+
+// Out returns the outgoing edges of l.
+func (g *Graph) Out(l Loc) []Edge { return g.out[l] }
+
+// In returns the incoming edges of l.
+func (g *Graph) In(l Loc) []Edge { return g.in[l] }
+
+// fresh creates a brand-new node.
+func (g *Graph) fresh(kind NodeKind, label string, site, line int) *Node {
+	g.next++
+	n := &Node{Loc: g.next, Kind: kind, Label: label, Site: site, Line: line, File: g.curFile}
+	g.nodes[n.Loc] = n
+	return n
+}
+
+// Alloc returns the location for (role, site, origin, prop), creating a
+// node on first use. Repeated calls with the same key return the same
+// location — the allocation-site abstraction that keeps loops finite.
+func (g *Graph) Alloc(role string, site int, origin Loc, prop string, kind NodeKind, label string, line int) Loc {
+	key := allocKey{role: role, site: site, origin: origin, prop: prop}
+	if l, ok := g.alloc[key]; ok {
+		return l
+	}
+	n := g.fresh(kind, label, site, line)
+	g.alloc[key] = n.Loc
+	return n.Loc
+}
+
+// LocForKey returns the location previously allocated for the given
+// allocation key, if any. Soundness tests use it to build the
+// abstraction function α from concrete to abstract locations.
+func (g *Graph) LocForKey(role string, site int, origin Loc, prop string) (Loc, bool) {
+	l, ok := g.alloc[allocKey{role: role, site: site, origin: origin, prop: prop}]
+	return l, ok
+}
+
+// AddEdge inserts e if not already present. It reports whether the
+// graph changed.
+func (g *Graph) AddEdge(e Edge) bool {
+	if _, ok := g.edgeSet[e]; ok {
+		return false
+	}
+	if g.nodes[e.From] == nil || g.nodes[e.To] == nil {
+		panic(fmt.Sprintf("mdg: edge %v references unknown node", e))
+	}
+	g.edgeSet[e] = struct{}{}
+	g.out[e.From] = append(g.out[e.From], e)
+	g.in[e.To] = append(g.in[e.To], e)
+	return true
+}
+
+// HasEdge reports whether e is present.
+func (g *Graph) HasEdge(e Edge) bool {
+	_, ok := g.edgeSet[e]
+	return ok
+}
+
+// AddDep adds a dependency edge from → to.
+func (g *Graph) AddDep(from, to Loc) bool {
+	return g.AddEdge(Edge{From: from, To: to, Type: Dep})
+}
+
+// ---------------------------------------------------------------------------
+// Graph operations from the paper (§3.1–3.2)
+// ---------------------------------------------------------------------------
+
+// PropTarget returns the first direct P(p) target of l, or NoLoc.
+func (g *Graph) PropTarget(l Loc, p string) Loc {
+	for _, e := range g.out[l] {
+		if e.Type == Prop && e.Prop == p {
+			return e.To
+		}
+	}
+	return NoLoc
+}
+
+// PropTargets returns all direct P(p) targets of l. Version nodes that
+// merge several objects (site-keyed allocation) can carry multiple P(p)
+// edges for the same name.
+func (g *Graph) PropTargets(l Loc, p string) []Loc {
+	var out []Loc
+	for _, e := range g.out[l] {
+		if e.Type == Prop && e.Prop == p {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// StarTargets returns the direct P(*) targets of l.
+func (g *Graph) StarTargets(l Loc) []Loc {
+	var out []Loc
+	for _, e := range g.out[l] {
+		if e.Type == PropStar {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// VersionPredecessors returns the locations u with u →V(...) l.
+func (g *Graph) VersionPredecessors(l Loc) []Loc {
+	var out []Loc
+	for _, e := range g.in[l] {
+		if e.Type == Ver || e.Type == VerStar {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// VersionSuccessors returns the locations v with l →V(...) v.
+func (g *Graph) VersionSuccessors(l Loc) []Loc {
+	var out []Loc
+	for _, e := range g.out[l] {
+		if e.Type == Ver || e.Type == VerStar {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// LookupResult is the outcome of ĝ[l, p]: the found value locations and
+// the oldest chain version (where a lazy property must be created when
+// nothing was found).
+type LookupResult struct {
+	Values []Loc
+	// Oldest is the oldest version reached without finding P(p); NoLoc
+	// when the property was found statically on every chain path.
+	Oldest []Loc
+}
+
+// Lookup computes ĝ[l, p] (§3.1): the abstract locations associated with
+// the object represented by l via property p, walking the version chain
+// backwards. Dynamic P(*) properties encountered along the way may
+// shadow p, so their values are included. When a chain path reaches its
+// oldest version without a static definition of p, that version is
+// reported in Oldest so the caller can lazily extend it (AP).
+func (g *Graph) Lookup(l Loc, p string) LookupResult {
+	var res LookupResult
+	seen := make(map[Loc]bool)
+	var walk func(v Loc)
+	walk = func(v Loc) {
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		// A dynamic property on this version may hold (or shadow) p.
+		res.Values = append(res.Values, g.StarTargets(v)...)
+		if ts := g.PropTargets(v, p); len(ts) > 0 {
+			res.Values = append(res.Values, ts...)
+			return // defined here; older versions are shadowed
+		}
+		preds := g.VersionPredecessors(v)
+		if len(preds) == 0 {
+			res.Oldest = append(res.Oldest, v)
+			return
+		}
+		for _, u := range preds {
+			walk(u)
+		}
+	}
+	walk(l)
+	res.Values = dedupe(res.Values)
+	res.Oldest = dedupe(res.Oldest)
+	return res
+}
+
+// AllPropValues returns the values of every property (static and
+// dynamic) reachable along l's version chain; used for dynamic lookups
+// x := e1[e2] where any property may be read.
+func (g *Graph) AllPropValues(l Loc) []Loc {
+	var out []Loc
+	seen := make(map[Loc]bool)
+	var walk func(v Loc)
+	walk = func(v Loc) {
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		for _, e := range g.out[v] {
+			if e.Type == Prop || e.Type == PropStar {
+				out = append(out, e.To)
+			}
+		}
+		for _, u := range g.VersionPredecessors(v) {
+			walk(u)
+		}
+	}
+	walk(l)
+	return dedupe(out)
+}
+
+// AP implements AP_i(ĝ, L, p) (§3.2): extends each object in L with
+// property p unless already defined along its chain, allocating the
+// property node at site i. It returns the value locations of p for
+// every object in L after the extension.
+func (g *Graph) AP(site int, L []Loc, p string, line int) []Loc {
+	var values []Loc
+	for _, l := range L {
+		res := g.Lookup(l, p)
+		values = append(values, res.Values...)
+		for _, oldest := range res.Oldest {
+			// Site-keyed: all chains extended at this site share the
+			// node (the paper's cyclic summary representation).
+			nl := g.Alloc("prop", site, 0, p, KindObject, p, line)
+			if nl != oldest {
+				g.AddEdge(Edge{From: oldest, To: nl, Type: Prop, Prop: p})
+			}
+			values = append(values, nl)
+		}
+	}
+	return dedupe(values)
+}
+
+// APStar implements AP*_i(ĝ, L1, Lp): extends each object in L1 with an
+// unknown property whose name depends on the locations in Lp. If an
+// object already has a P(*) edge, the dependencies are added to the
+// existing property node. Returns the dynamic property value locations.
+func (g *Graph) APStar(site int, L1, Lp []Loc, line int) []Loc {
+	var values []Loc
+	for _, l := range L1 {
+		stars := g.StarTargets(l)
+		if len(stars) == 0 {
+			nl := g.Alloc("prop*", site, 0, "*", KindObject, "*", line)
+			if nl == l {
+				continue
+			}
+			g.AddEdge(Edge{From: l, To: nl, Type: PropStar})
+			stars = []Loc{nl}
+		}
+		for _, s := range stars {
+			for _, lp := range Lp {
+				g.AddDep(lp, s)
+			}
+			values = append(values, s)
+		}
+	}
+	return dedupe(values)
+}
+
+// NV implements NV_i(ĝ, ρ̂, L1, p): creates a new version of every
+// object in L1 due to an assignment of property p at site i, linking
+// old → new with V(p). The returned map sends each old location to its
+// new version; the caller rewrites the store.
+func (g *Graph) NV(site int, L1 []Loc, p string, line int) map[Loc]Loc {
+	repl := make(map[Loc]Loc, len(L1))
+	for _, l := range L1 {
+		// Site-keyed (no origin): every object updated at this site
+		// maps to the same new-version node, giving the finite cyclic
+		// representation of loops (§5.5).
+		nl := g.Alloc("ver", site, 0, p, KindObject, g.labelOf(l), line)
+		if nl != l {
+			g.AddEdge(Edge{From: l, To: nl, Type: Ver, Prop: p})
+		}
+		repl[l] = nl
+	}
+	return repl
+}
+
+// NVStar implements NV*_i(ĝ, ρ̂, L1, Lp): like NV for a dynamically
+// named property; each new version depends on all locations in Lp.
+func (g *Graph) NVStar(site int, L1, Lp []Loc, line int) map[Loc]Loc {
+	repl := make(map[Loc]Loc, len(L1))
+	for _, l := range L1 {
+		nl := g.Alloc("ver*", site, 0, "*", KindObject, g.labelOf(l), line)
+		if nl != l {
+			g.AddEdge(Edge{From: l, To: nl, Type: VerStar})
+		}
+		for _, lp := range Lp {
+			g.AddDep(lp, nl)
+		}
+		repl[l] = nl
+	}
+	return repl
+}
+
+func (g *Graph) labelOf(l Loc) string {
+	if n := g.nodes[l]; n != nil {
+		return n.Label
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------------
+// Lattice structure (§3.1): MDGs ordered by edge-set inclusion.
+// ---------------------------------------------------------------------------
+
+// Leq reports ĝ1 ⊑ ĝ2: every edge of g is an edge of h.
+func Leq(g, h *Graph) bool {
+	for e := range g.edgeSet {
+		if _, ok := h.edgeSet[e]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot captures the graph size; two equal snapshots on a monotone
+// graph mean no change happened in between (used by fixpoints).
+type Snapshot struct {
+	Nodes, Edges int
+}
+
+// Snap returns the current size snapshot.
+func (g *Graph) Snap() Snapshot { return Snapshot{Nodes: len(g.nodes), Edges: len(g.edgeSet)} }
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+// String renders the graph compactly: one edge per line, sorted.
+func (g *Graph) String() string {
+	var lines []string
+	for e := range g.edgeSet {
+		lines = append(lines, fmt.Sprintf("o%d -%s-> o%d", e.From, e.Label(), e.To))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// DOT renders the graph in Graphviz format.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph MDG {\n  rankdir=LR;\n")
+	for _, n := range g.Nodes() {
+		shape := "ellipse"
+		if n.Kind == KindCall {
+			shape = "box"
+		}
+		extra := ""
+		if n.Source {
+			extra = ", color=red"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q, shape=%s%s];\n", n.Loc,
+			fmt.Sprintf("o%d %s", n.Loc, n.Label), shape, extra)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  n%d -> n%d [label=%q];\n", e.From, e.To, e.Label())
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func dedupe(ls []Loc) []Loc {
+	if len(ls) < 2 {
+		return ls
+	}
+	seen := make(map[Loc]struct{}, len(ls))
+	out := ls[:0]
+	for _, l := range ls {
+		if _, ok := seen[l]; !ok {
+			seen[l] = struct{}{}
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package metrics
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/odgen"
+	"repro/internal/scanner"
+)
+
+// RunGraphJS scans every package of a corpus with Graph.js and collects
+// per-package results.
+func RunGraphJS(c *dataset.Corpus, opts scanner.Options) []PackageResult {
+	out := make([]PackageResult, 0, len(c.Packages))
+	for _, p := range c.Packages {
+		rep := scanner.ScanSource(p.Source, p.Name, opts)
+		out = append(out, PackageResult{
+			Package:    p,
+			Findings:   rep.Findings,
+			TimedOut:   rep.TimedOut,
+			GraphTime:  rep.GraphTime,
+			QueryTime:  rep.QueryTime,
+			TotalNodes: rep.TotalNodes(),
+			TotalEdges: rep.TotalEdges(),
+			LoC:        rep.LoC,
+		})
+	}
+	return out
+}
+
+// RunODGen scans every package of a corpus with the ODGen-style
+// baseline.
+func RunODGen(c *dataset.Corpus, opts odgen.Options) []PackageResult {
+	out := make([]PackageResult, 0, len(c.Packages))
+	for _, p := range c.Packages {
+		rep := odgen.Scan(p.Source, p.Name, opts)
+		out = append(out, PackageResult{
+			Package:    p,
+			Findings:   rep.Findings,
+			TimedOut:   rep.TimedOut,
+			GraphTime:  rep.GraphTime,
+			QueryTime:  rep.QueryTime,
+			TotalNodes: rep.ODGNodes,
+			TotalEdges: rep.ODGEdges,
+			LoC:        rep.LoC,
+		})
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package poc
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/js/normalize"
+	"repro/internal/jsinterp"
+	"repro/internal/queries"
+)
+
+// Verdict is the outcome of a dynamic confirmation run.
+type Verdict struct {
+	Exploitable bool
+	// Evidence describes the observation that confirmed (or the reason
+	// nothing fired).
+	Evidence string
+}
+
+// marker is the attack payload marker the oracles look for.
+const marker = "PWNED_MARKER_1337"
+
+// sinksFor maps a CWE class to the instrumented sink names whose
+// arguments the oracle inspects.
+var sinksFor = map[queries.CWE][]string{
+	queries.CWECommandInjection: {"exec", "execSync", "spawn", "spawnSync", "execFile", "execFileSync"},
+	queries.CWECodeInjection:    {"eval", "Function", "setTimeout", "setInterval", "vm.runInContext", "vm.runInNewContext", "vm.runInThisContext"},
+	queries.CWEPathTraversal:    {"fs.readFile", "fs.readFileSync", "fs.createReadStream", "fs.writeFile", "fs.writeFileSync", "fs.createWriteStream", "fs.appendFile", "fs.appendFileSync", "fs.unlink", "fs.unlinkSync", "fs.readdir", "fs.readdirSync"},
+}
+
+// payloadValues builds the attack inputs per class.
+func payloadValues(in *jsinterp.Interp, cwe queries.CWE) []jsinterp.Value {
+	switch cwe {
+	case queries.CWECommandInjection:
+		return []jsinterp.Value{jsinterp.String("x; touch /tmp/" + marker + " #")}
+	case queries.CWECodeInjection:
+		return []jsinterp.Value{jsinterp.String("global.x = '" + marker + "'")}
+	case queries.CWEPathTraversal:
+		return []jsinterp.Value{jsinterp.String("../../../../" + marker)}
+	case queries.CWEPrototypePollution:
+		// (target, key, value) convention plus a JSON.parse-shaped
+		// object for merge-style entry points.
+		payloadObj := in.NewObj()
+		protoCarrier := in.NewObj()
+		protoCarrier.Set("polluted", jsinterp.String(marker))
+		// Store __proto__ as an own property, as JSON.parse would.
+		payloadObj.SetOwnProto(protoCarrier)
+		return []jsinterp.Value{payloadObj, jsinterp.String("__proto__"), jsinterp.String("polluted")}
+	}
+	return []jsinterp.Value{jsinterp.String(marker)}
+}
+
+// Confirm dynamically validates a finding: the package sources are
+// executed in the instrumented interpreter, every exported function is
+// driven with class-appropriate payloads in every argument position,
+// and the class oracle checks the sink log (taint-style) or
+// Object.prototype (pollution). This is the §5.3 confirmation workflow,
+// automated.
+func Confirm(sources map[string]string, entryFile string, cwe queries.CWE) (Verdict, error) {
+	progs := map[string]*core.Program{}
+	for name, src := range sources {
+		prog, err := normalize.File(src, name)
+		if err != nil {
+			return Verdict{}, err
+		}
+		progs[name] = prog
+	}
+
+	// Try every exported entry point with the payload rotated through
+	// each argument position.
+	for _, entry := range []string{entryFile} {
+		for argPos := 0; argPos < 4; argPos++ {
+			v, err := runOnce(progs, entry, cwe, argPos)
+			if err != nil {
+				continue // runtime error on this drive; try others
+			}
+			if v.Exploitable {
+				return v, nil
+			}
+		}
+	}
+	return Verdict{Exploitable: false, Evidence: "no oracle fired for any entry point / argument position"}, nil
+}
+
+// runOnce executes one drive of the package with a fresh interpreter.
+func runOnce(progs map[string]*core.Program, entryFile string, cwe queries.CWE, argPos int) (Verdict, error) {
+	in := jsinterp.New(200000)
+	for name, prog := range progs {
+		if name != entryFile {
+			in.AddModule(name, prog)
+		}
+	}
+	exportsV, err := in.RunModule(progs[entryFile])
+	if err != nil {
+		return Verdict{}, err
+	}
+
+	entries := collectEntries(in, exportsV)
+	if len(entries) == 0 {
+		return Verdict{Exploitable: false, Evidence: "no callable exports"}, nil
+	}
+
+	payload := payloadValues(in, cwe)
+	for _, fn := range entries {
+		in.Sinks = nil
+		args := buildArgs(in, cwe, payload, argPos)
+		_, _ = in.CallFunction(fn, jsinterp.Undefined{}, args) // errors: partial run still observable
+		if v := oracle(in, cwe); v.Exploitable {
+			return v, nil
+		}
+	}
+	return Verdict{Exploitable: false}, nil
+}
+
+// buildArgs places the payload at argPos with benign fillers elsewhere.
+func buildArgs(in *jsinterp.Interp, cwe queries.CWE, payload []jsinterp.Value, argPos int) []jsinterp.Value {
+	if cwe == queries.CWEPrototypePollution {
+		// Pollution conventions: (target, key, value) and merge(dst, src).
+		switch argPos {
+		case 0:
+			return []jsinterp.Value{in.NewObj(), jsinterp.String("__proto__"), payloadCarrier(in)}
+		case 1:
+			return []jsinterp.Value{in.NewObj(), payload[0]}
+		case 2:
+			return []jsinterp.Value{in.NewObj(), jsinterp.String("__proto__.polluted"), jsinterp.String(marker)}
+		default:
+			return []jsinterp.Value{payload[0], jsinterp.String("polluted"), jsinterp.String(marker)}
+		}
+	}
+	n := argPos + 2
+	args := make([]jsinterp.Value, n)
+	for i := range args {
+		args[i] = jsinterp.String("benign")
+	}
+	args[argPos] = payload[0]
+	// A trailing callback argument for Node-style APIs.
+	args[n-1] = in.NoopCallback()
+	if argPos == n-1 {
+		args[argPos] = payload[0]
+	}
+	return args
+}
+
+func payloadCarrier(in *jsinterp.Interp) jsinterp.Value {
+	carrier := in.NewObj()
+	carrier.Set("polluted", jsinterp.String(marker))
+	return carrier
+}
+
+// oracle inspects the run's observable effects.
+func oracle(in *jsinterp.Interp, cwe queries.CWE) Verdict {
+	if cwe == queries.CWEPrototypePollution {
+		probe := in.NewObj()
+		if v := probe.Get("polluted"); jsinterp.ToString(v) == marker {
+			return Verdict{Exploitable: true, Evidence: "Object.prototype.polluted carries the marker"}
+		}
+		return Verdict{}
+	}
+	names := sinksFor[cwe]
+	for _, ev := range in.Sinks {
+		if !contains(names, ev.Sink) {
+			continue
+		}
+		if cwe == queries.CWEPathTraversal {
+			// Only the path argument (position 0) matters, and it is
+			// exploitable only if the traversal sequence survived into
+			// the sink — sanitizers like path.basename strip it while
+			// keeping the file name.
+			if len(ev.Args) > 0 && strings.Contains(ev.Args[0], "../") && strings.Contains(ev.Args[0], marker) {
+				return Verdict{Exploitable: true,
+					Evidence: ev.Sink + " received a traversal path: " + ev.Args[0]}
+			}
+			continue
+		}
+		for _, arg := range ev.Args {
+			if strings.Contains(arg, marker) {
+				return Verdict{Exploitable: true,
+					Evidence: ev.Sink + " received the marker: " + arg}
+			}
+		}
+	}
+	return Verdict{}
+}
+
+// collectEntries gathers callable exports: the export itself plus every
+// function-valued property, in deterministic order.
+func collectEntries(in *jsinterp.Interp, exportsV jsinterp.Value) []jsinterp.Value {
+	var out []jsinterp.Value
+	switch v := exportsV.(type) {
+	case *jsinterp.Function:
+		out = append(out, v)
+	case *jsinterp.Builtin:
+		out = append(out, v)
+	case *jsinterp.Object:
+		keys := v.Keys()
+		sort.Strings(keys)
+		for _, k := range keys {
+			pv, _ := v.GetOwn(k)
+			switch pv.(type) {
+			case *jsinterp.Function, *jsinterp.Builtin:
+				out = append(out, pv)
+			}
+		}
+	}
+	return out
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

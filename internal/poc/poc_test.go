@@ -1,0 +1,98 @@
+package poc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/js/parser"
+	"repro/internal/queries"
+)
+
+func TestGenerateCommandInjection(t *testing.T) {
+	f := queries.Finding{CWE: queries.CWECommandInjection, SinkName: "exec", SinkLine: 4, SinkFile: "index.js"}
+	e := Generate(f, "./vuln-pkg", "", 0, 2)
+	for _, want := range []string{"require(\"./vuln-pkg\")", "payload", "touch /tmp/pwned-", "benign1", "EXPLOITED"} {
+		if !strings.Contains(e.Script, want) {
+			t.Errorf("script missing %q:\n%s", want, e.Script)
+		}
+	}
+	// The generated PoC must itself be valid JavaScript.
+	if _, err := parser.Parse(e.Script); err != nil {
+		t.Fatalf("generated PoC does not parse: %v\n%s", err, e.Script)
+	}
+}
+
+func TestGenerateCodeInjection(t *testing.T) {
+	f := queries.Finding{CWE: queries.CWECodeInjection, SinkLine: 2}
+	e := Generate(f, "pkg", "run", 0, 1)
+	if !strings.Contains(e.Script, "pkg.run(payload)") {
+		t.Fatalf("entry invocation missing:\n%s", e.Script)
+	}
+	if !strings.Contains(e.Script, "global.__pwned") {
+		t.Fatal("oracle missing")
+	}
+	if _, err := parser.Parse(e.Script); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+}
+
+func TestGeneratePathTraversal(t *testing.T) {
+	f := queries.Finding{CWE: queries.CWEPathTraversal, SinkLine: 3}
+	e := Generate(f, "pkg", "", 0, 2)
+	if !strings.Contains(e.Script, "etc/passwd") {
+		t.Fatalf("payload missing:\n%s", e.Script)
+	}
+	if _, err := parser.Parse(e.Script); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+}
+
+func TestGeneratePollution(t *testing.T) {
+	f := queries.Finding{CWE: queries.CWEPrototypePollution, SinkLine: 5}
+	e := Generate(f, "pkg", "", 0, 3)
+	for _, want := range []string{"__proto__", "POLLUTED", "({}).polluted"} {
+		if !strings.Contains(e.Script, want) {
+			t.Errorf("script missing %q:\n%s", want, e.Script)
+		}
+	}
+	if _, err := parser.Parse(e.Script); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+}
+
+func TestGenerateArgPosition(t *testing.T) {
+	f := queries.Finding{CWE: queries.CWECommandInjection, SinkLine: 1}
+	e := Generate(f, "pkg", "go", 2, 0)
+	if !strings.Contains(e.Script, "pkg.go(benign0, benign1, payload)") {
+		t.Fatalf("payload must land in position 2:\n%s", e.Script)
+	}
+}
+
+func TestGenerateAll(t *testing.T) {
+	fs := []queries.Finding{
+		{CWE: queries.CWECommandInjection, SinkLine: 1},
+		{CWE: queries.CWEPrototypePollution, SinkLine: 2},
+	}
+	es := GenerateAll(fs, "pkg")
+	if len(es) != 2 {
+		t.Fatalf("exploits = %d", len(es))
+	}
+	for _, e := range es {
+		if e.Oracle == "" || e.Script == "" {
+			t.Fatalf("incomplete exploit: %+v", e)
+		}
+	}
+}
+
+// TestGeneratedPoCDetectedByScanner: scanning the vulnerable package
+// the PoC targets must produce the finding the PoC was generated from —
+// a consistency loop between detection and confirmation.
+func TestGeneratedPoCAgainstExample(t *testing.T) {
+	// The command injection in the multifile example package.
+	f := queries.Finding{CWE: queries.CWECommandInjection, SinkName: "exec",
+		SinkLine: 4, SinkFile: "lib/runner.js"}
+	e := Generate(f, "./examples/multifile/pkg", "", 0, 1)
+	if !strings.Contains(e.Script, "examples/multifile/pkg") {
+		t.Fatal("package path missing")
+	}
+}

@@ -1,0 +1,275 @@
+package queries
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graphdb"
+	"repro/internal/mdg"
+)
+
+// Finding is one reported potential vulnerability.
+type Finding struct {
+	CWE      CWE
+	SinkName string // callee path of the sink call ("" for pollution)
+	SinkLine int    // line of the sink call / polluting assignment
+	SinkFile string // file of the sink (multi-file packages)
+	Source   string // name of the tainted source parameter
+	// Path is a witness node sequence from the source to the sink.
+	Path []graphdb.NodeID
+}
+
+// String renders the finding for reports.
+func (f Finding) String() string {
+	if f.CWE == CWEPrototypePollution {
+		return fmt.Sprintf("[%s] prototype pollution at line %d (source %s)", f.CWE, f.SinkLine, f.Source)
+	}
+	return fmt.Sprintf("[%s] tainted call to %s at line %d (source %s)", f.CWE, f.SinkName, f.SinkLine, f.Source)
+}
+
+// Detect runs all Table 2 vulnerability queries against a loaded MDG.
+func Detect(lg *LoadedGraph, cfg *Config) []Finding {
+	lg.ApplySanitizers(cfg)
+	var out []Finding
+	out = append(out, DetectTaintStyle(lg, cfg, CWEPathTraversal)...)
+	out = append(out, DetectTaintStyle(lg, cfg, CWECommandInjection)...)
+	out = append(out, DetectTaintStyle(lg, cfg, CWECodeInjection)...)
+	out = append(out, DetectPrototypePollution(lg, cfg)...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SinkLine != out[j].SinkLine {
+			return out[i].SinkLine < out[j].SinkLine
+		}
+		return out[i].CWE < out[j].CWE
+	})
+	return out
+}
+
+// sources returns the taint-source nodes (parameters of exported
+// functions), found via the query engine.
+func (lg *LoadedGraph) sources() []*graphdb.Node {
+	res, err := lg.DB.Query(`MATCH (p:Param {source: true}) RETURN p`)
+	if err != nil {
+		panic("queries: " + err.Error())
+	}
+	var out []*graphdb.Node
+	for _, row := range res.Rows {
+		out = append(out, row["p"].(*graphdb.Node))
+	}
+	return out
+}
+
+// DetectTaintStyle implements the Table 2 taint-style query
+// TaintPath_{o_s} ∘ Arg_{f,n} for the sinks of one class: a tainted
+// path must connect a source to a sensitive argument of a sink call.
+func DetectTaintStyle(lg *LoadedGraph, cfg *Config, cwe CWE) []Finding {
+	sinks := cfg.SinksFor(cwe)
+	if len(sinks) == 0 {
+		return nil
+	}
+	srcs := lg.sources()
+	if len(srcs) == 0 {
+		return nil
+	}
+
+	// Precompute taint reachability per source (amortizes the DFS over
+	// all sinks).
+	reach := make([]map[graphdb.NodeID]bool, len(srcs))
+	for i, s := range srcs {
+		reach[i] = lg.TaintReach(s.ID, cfg.MaxHops)
+	}
+
+	var out []Finding
+	seen := map[string]bool{}
+	for _, call := range lg.DB.NodesByLabel("Call") {
+		name, _ := call.Props["name"].(string)
+		var sink *Sink
+		for i := range sinks {
+			if MatchSink(name, sinks[i].Name) {
+				sink = &sinks[i]
+				break
+			}
+		}
+		if sink == nil {
+			continue
+		}
+		callLoc := mdg.Loc(call.Props["loc"].(int64))
+		cn := lg.Result.Graph.Node(callLoc)
+		if cn == nil {
+			continue
+		}
+		for _, argPos := range sink.Args {
+			if argPos >= len(cn.CallArgs) {
+				continue
+			}
+			for _, argLoc := range cn.CallArgs[argPos] {
+				argID := lg.ByLoc[argLoc]
+				for i, src := range srcs {
+					if !reach[i][argID] {
+						continue
+					}
+					key := fmt.Sprintf("%s/%d/%s", cwe, call.Props["line"], name)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					srcName, _ := src.Props["name"].(string)
+					file, _ := call.Props["file"].(string)
+					out = append(out, Finding{
+						CWE:      cwe,
+						SinkName: name,
+						SinkLine: int(call.Props["line"].(int64)),
+						SinkFile: file,
+						Source:   srcName,
+						Path:     lg.TaintPathWitness(src.ID, argID, cfg.MaxHops),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DetectPrototypePollution implements the Table 2 pollution query
+// (ObjLookup* ∘ ObjAssignment*) filtered by three taint paths: an
+// attacker must control the lookup property, the assigned property, and
+// the assigned value (§4).
+func DetectPrototypePollution(lg *LoadedGraph, cfg *Config) []Finding {
+	srcs := lg.sources()
+	if len(srcs) == 0 {
+		return nil
+	}
+	reach := make([]map[graphdb.NodeID]bool, len(srcs))
+	for i, s := range srcs {
+		reach[i] = lg.TaintReach(s.ID, cfg.MaxHops)
+	}
+	tainted := func(id graphdb.NodeID) (int, bool) {
+		for i := range srcs {
+			if reach[i][id] {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+
+	var out []Finding
+	seen := map[string]bool{}
+
+	// Static-key variant: an explicit `obj['__proto__']` /
+	// `obj.constructor.prototype` lookup followed by a write of an
+	// attacker-controlled value pollutes Object.prototype even when the
+	// property names are literals — only the value needs tainting.
+	out = append(out, detectLiteralProtoPollution(lg, reach, srcs, seen)...)
+
+	for _, pair := range lg.ObjLookupStar() {
+		sub := pair[1]
+		// The lookup property must be attacker-controlled: sub is
+		// tainted via its dynamic-property dependency.
+		si, ok := tainted(sub.ID)
+		if !ok {
+			continue
+		}
+		for _, av := range lg.ObjAssignmentStar(sub, cfg.MaxHops) {
+			ver, val := av[0], av[1]
+			if _, ok := tainted(ver.ID); !ok {
+				continue // assigned property name not controlled
+			}
+			if _, ok := tainted(val.ID); !ok {
+				continue // assigned value not controlled
+			}
+			line := int(ver.Props["line"].(int64))
+			key := fmt.Sprintf("pp/%d", line)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			srcName, _ := srcs[si].Props["name"].(string)
+			file, _ := ver.Props["file"].(string)
+			out = append(out, Finding{
+				CWE:      CWEPrototypePollution,
+				SinkName: "prototype pollution",
+				SinkLine: line,
+				SinkFile: file,
+				Source:   srcName,
+				Path:     lg.TaintPathWitness(srcs[si].ID, sub.ID, cfg.MaxHops),
+			})
+		}
+	}
+	return out
+}
+
+// detectLiteralProtoPollution finds the static `__proto__` pattern:
+// (o)-[:P {prop:'__proto__'}]->(sub) with any later write on sub whose
+// value is tainted, or the constructor.prototype two-step equivalent.
+func detectLiteralProtoPollution(lg *LoadedGraph, reach []map[graphdb.NodeID]bool,
+	srcs []*graphdb.Node, seen map[string]bool) []Finding {
+	tainted := func(id graphdb.NodeID) (int, bool) {
+		for i := range srcs {
+			if reach[i][id] {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+
+	// Both `__proto__` lookups and `constructor` → `prototype` chains.
+	res, err := lg.DB.Query(`
+MATCH (o)-[:P {prop: '__proto__'}]->(sub)
+RETURN DISTINCT sub`)
+	if err != nil {
+		panic("queries: " + err.Error())
+	}
+	subs := map[graphdb.NodeID]*graphdb.Node{}
+	for _, row := range res.Rows {
+		sub := row["sub"].(*graphdb.Node)
+		subs[sub.ID] = sub
+	}
+	res, err = lg.DB.Query(`
+MATCH (o)-[:P {prop: 'constructor'}]->(c)-[:P {prop: 'prototype'}]->(sub)
+RETURN DISTINCT sub`)
+	if err != nil {
+		panic("queries: " + err.Error())
+	}
+	for _, row := range res.Rows {
+		sub := row["sub"].(*graphdb.Node)
+		subs[sub.ID] = sub
+	}
+
+	var out []Finding
+	for _, sub := range subs {
+		// Any write on (a version of) the prototype object whose value
+		// is attacker-controlled.
+		vq := `
+MATCH (sub)-[:V*0..6]->(mid)-[v:V]->(ver)-[p:P]->(val)
+WHERE id(sub) = ` + fmt.Sprint(int64(sub.ID)) + `
+RETURN DISTINCT ver, val`
+		vres, err := lg.DB.Query(vq)
+		if err != nil {
+			panic("queries: " + err.Error())
+		}
+		for _, row := range vres.Rows {
+			ver := row["ver"].(*graphdb.Node)
+			val := row["val"].(*graphdb.Node)
+			si, ok := tainted(val.ID)
+			if !ok {
+				continue
+			}
+			line := int(ver.Props["line"].(int64))
+			key := fmt.Sprintf("pp/%d", line)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			srcName, _ := srcs[si].Props["name"].(string)
+			file, _ := ver.Props["file"].(string)
+			out = append(out, Finding{
+				CWE:      CWEPrototypePollution,
+				SinkName: "prototype pollution",
+				SinkLine: line,
+				SinkFile: file,
+				Source:   srcName,
+				Path:     lg.TaintPathWitness(srcs[si].ID, val.ID, 64),
+			})
+		}
+	}
+	return out
+}

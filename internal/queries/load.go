@@ -1,0 +1,126 @@
+// Package queries implements Graph.js's vulnerability detection layer
+// (paper §4): the MDG is loaded into the embedded graph database and
+// the Table 1 base traversals / Table 2 vulnerability queries are run
+// against it.
+package queries
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/graphdb"
+	"repro/internal/mdg"
+)
+
+// LoadedGraph is an MDG loaded into the graph database, with the
+// loc ↔ node-id correspondence.
+type LoadedGraph struct {
+	DB     *graphdb.DB
+	ByLoc  map[mdg.Loc]graphdb.NodeID
+	Result *analysis.Result
+
+	// sanitized marks call nodes matching configured sanitizers; taint
+	// traversals do not pass through them (§6 extension).
+	sanitized map[graphdb.NodeID]bool
+}
+
+// ApplySanitizers marks the call nodes whose callee matches one of the
+// configuration's sanitizer names; subsequent taint searches treat them
+// as taint barriers. Call it before Detect when the configuration
+// carries sanitizers (Detect does this itself).
+func (lg *LoadedGraph) ApplySanitizers(cfg *Config) {
+	lg.sanitized = nil
+	if cfg == nil || len(cfg.Sanitizers) == 0 {
+		return
+	}
+	lg.sanitized = make(map[graphdb.NodeID]bool)
+	for _, n := range lg.DB.NodesByLabel("Call") {
+		name, _ := n.Props["name"].(string)
+		if cfg.IsSanitizer(name) {
+			lg.sanitized[n.ID] = true
+		}
+	}
+}
+
+// Edge type names used in the database.
+const (
+	RelDep  = "D"
+	RelProp = "P"
+	RelVer  = "V"
+	// StarProp is the property-name value used for P(*)/V(*) edges.
+	StarProp = "*"
+)
+
+// Load stores the analysis result's MDG into a fresh database. Node
+// labels follow the MDG node kinds (Object, Call, Func, Param,
+// Literal); edges become typed relationships with a `prop` property
+// carrying the property name ("*" for unknown).
+func Load(res *analysis.Result) *LoadedGraph {
+	db := graphdb.NewDB()
+	byLoc := make(map[mdg.Loc]graphdb.NodeID)
+
+	for _, n := range res.Graph.Nodes() {
+		props := map[string]graphdb.Value{
+			"loc":   int64(n.Loc),
+			"label": n.Label,
+			"site":  int64(n.Site),
+			"line":  int64(n.Line),
+			"file":  n.File,
+		}
+		var labels []string
+		switch n.Kind {
+		case mdg.KindCall:
+			labels = []string{"Call"}
+			props["name"] = n.CallName
+		case mdg.KindFunc:
+			labels = []string{"Func"}
+			props["name"] = n.FuncName
+			props["exported"] = n.Exported
+		case mdg.KindParam:
+			labels = []string{"Param"}
+			props["name"] = n.Label
+			props["source"] = n.Source
+		case mdg.KindLiteral:
+			labels = []string{"Literal"}
+		default:
+			labels = []string{"Object"}
+		}
+		if n.Source {
+			props["source"] = true
+		}
+		dn := db.CreateNode(labels, props)
+		byLoc[n.Loc] = dn.ID
+	}
+
+	for _, e := range res.Graph.Edges() {
+		var typ string
+		prop := e.Prop
+		switch e.Type {
+		case mdg.Dep:
+			typ = RelDep
+		case mdg.Prop:
+			typ = RelProp
+		case mdg.PropStar:
+			typ = RelProp
+			prop = StarProp
+		case mdg.Ver:
+			typ = RelVer
+		case mdg.VerStar:
+			typ = RelVer
+			prop = StarProp
+		}
+		props := map[string]graphdb.Value{}
+		if typ != RelDep {
+			props["prop"] = prop
+		}
+		// Endpoints always exist: they were inserted above.
+		if _, err := db.CreateRel(byLoc[e.From], byLoc[e.To], typ, props); err != nil {
+			panic("queries: " + err.Error())
+		}
+	}
+
+	return &LoadedGraph{DB: db, ByLoc: byLoc, Result: res}
+}
+
+// NodeOf returns the database node for an abstract location.
+func (lg *LoadedGraph) NodeOf(l mdg.Loc) *graphdb.Node {
+	return lg.DB.NodeByID(lg.ByLoc[l])
+}

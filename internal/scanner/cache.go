@@ -1,0 +1,101 @@
+package scanner
+
+import (
+	"crypto/sha256"
+	"sync"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/js/ast"
+	"repro/internal/js/normalize"
+	"repro/internal/js/parser"
+)
+
+// Cache memoizes the per-file front end (parse, AST metrics, Core
+// lowering, CFG construction) keyed by content hash. Re-scanning a
+// package after editing one file re-runs the front end only for that
+// file — the compositionality advantage of CPG-based approaches the
+// paper highlights (§2: "code changes only require partial
+// reconstructions of the CPG and rerunning pertinent queries").
+//
+// The MDG itself is rebuilt on every scan: it is a whole-package
+// fixed point, and its construction is the cheap phase (Table 6).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+
+	hits, misses int
+}
+
+type cacheEntry struct {
+	hash [sha256.Size]byte
+
+	prog      *core.Program
+	loc       int
+	astNodes  int
+	cfgNodes  int
+	cfgEdges  int
+	coreStmts int
+}
+
+// NewCache returns an empty front-end cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*cacheEntry)}
+}
+
+// Stats reports cache hits and misses so far.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// frontEnd parses and lowers one file, consulting the cache. rel is the
+// module-relative name used for require resolution.
+func (c *Cache) frontEnd(rel, src string) (*cacheEntry, error) {
+	h := sha256.Sum256([]byte(rel + "\x00" + src))
+	c.mu.Lock()
+	if e, ok := c.entries[rel]; ok && e.hash == h {
+		c.hits++
+		c.mu.Unlock()
+		return e, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	nprog := normalize.Normalize(prog, rel)
+	cn, ce := cfg.TotalSize(cfg.BuildAll(nprog))
+	e := &cacheEntry{
+		hash:      h,
+		prog:      nprog,
+		loc:       countLines(src),
+		astNodes:  ast.Count(prog),
+		cfgNodes:  cn,
+		cfgEdges:  ce,
+		coreStmts: core.CountStmts(nprog.Body),
+	}
+	c.mu.Lock()
+	c.entries[rel] = e
+	c.mu.Unlock()
+	return e, nil
+}
+
+// noCacheFrontEnd is the uncached path.
+func noCacheFrontEnd(rel, src string) (*cacheEntry, error) {
+	tmp := NewCache()
+	return tmp.frontEnd(rel, src)
+}
+
+func countLines(src string) int {
+	n := 1
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			n++
+		}
+	}
+	return n
+}

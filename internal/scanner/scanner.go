@@ -1,0 +1,221 @@
+// Package scanner is Graph.js proper: the end-to-end pipeline that
+// takes JavaScript sources (npm-package style), parses and normalizes
+// them, builds the MDG, loads it into the embedded graph database, and
+// runs the vulnerability queries (paper §4, "Implementation").
+package scanner
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/js/ast"
+	"repro/internal/js/normalize"
+	"repro/internal/js/parser"
+	"repro/internal/queries"
+)
+
+// Options tunes a scan.
+type Options struct {
+	// Config is the sink configuration (DefaultConfig when nil).
+	Config *queries.Config
+	// Analysis options forwarded to the MDG builder.
+	Analysis analysis.Options
+	// Timeout aborts the scan (0 = no timeout). Enforced via the
+	// analyzer's step budget plus wall-clock checks between phases.
+	Timeout time.Duration
+	// Cache, when set, memoizes the per-file front end across scans
+	// (see Cache).
+	Cache *Cache
+}
+
+// Report is the outcome of scanning one file or package.
+type Report struct {
+	Name     string
+	Findings []queries.Finding
+	TimedOut bool
+	Err      error
+
+	// Phase timings (Table 6).
+	GraphTime time.Duration // parse + normalize + MDG build + load
+	QueryTime time.Duration // traversals
+
+	// Size metrics (Table 7). ASTNodes/CFGNodes are included to match
+	// the paper's accounting ("we included the AST and CFG nodes used
+	// to generate the final MDG").
+	LoC       int
+	ASTNodes  int
+	CFGNodes  int
+	CFGEdges  int
+	MDGNodes  int
+	MDGEdges  int
+	CoreStmts int
+}
+
+// TotalNodes returns the node count as Table 7 reports it.
+func (r *Report) TotalNodes() int { return r.ASTNodes + r.CFGNodes + r.MDGNodes }
+
+// TotalEdges returns the edge count as Table 7 reports it.
+func (r *Report) TotalEdges() int { return r.CFGEdges + r.MDGEdges }
+
+// TotalTime returns the end-to-end analysis time.
+func (r *Report) TotalTime() time.Duration { return r.GraphTime + r.QueryTime }
+
+// ScanSource scans one JavaScript source text.
+func ScanSource(src, name string, opts Options) *Report {
+	rep := &Report{Name: name, LoC: strings.Count(src, "\n") + 1}
+	cfgq := opts.Config
+	if cfgq == nil {
+		cfgq = queries.DefaultConfig()
+	}
+	deadline := time.Time{}
+	if opts.Timeout > 0 {
+		deadline = time.Now().Add(opts.Timeout)
+	}
+	expired := func() bool { return !deadline.IsZero() && time.Now().After(deadline) }
+
+	start := time.Now()
+
+	prog, err := parser.Parse(src)
+	if err != nil {
+		rep.Err = fmt.Errorf("scanner: parse %s: %w", name, err)
+		return rep
+	}
+	rep.ASTNodes = ast.Count(prog)
+
+	nprog := normalize.Normalize(prog, name)
+	rep.CoreStmts = core.CountStmts(nprog.Body)
+
+	cfgs := cfg.BuildAll(nprog)
+	rep.CFGNodes, rep.CFGEdges = cfg.TotalSize(cfgs)
+
+	aopts := opts.Analysis
+	if aopts.MaxLoopIter == 0 {
+		aopts = analysis.DefaultOptions()
+	}
+	res := analysis.Analyze(nprog, aopts)
+	rep.MDGNodes = res.Graph.NumNodes()
+	rep.MDGEdges = res.Graph.NumEdges()
+	if res.TimedOut || expired() {
+		rep.TimedOut = true
+		rep.GraphTime = time.Since(start)
+		return rep
+	}
+
+	lg := queries.Load(res)
+	rep.GraphTime = time.Since(start)
+
+	qStart := time.Now()
+	rep.Findings = queries.Detect(lg, cfgq)
+	rep.QueryTime = time.Since(qStart)
+	if expired() {
+		rep.TimedOut = true
+	}
+	return rep
+}
+
+// ScanFile scans one JavaScript file.
+func ScanFile(path string, opts Options) *Report {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return &Report{Name: path, Err: fmt.Errorf("scanner: %w", err)}
+	}
+	return ScanSource(string(data), path, opts)
+}
+
+// ScanPackage scans every .js file under dir (skipping node_modules and
+// test directories, like the artifact does) as one multi-module
+// package: a single combined MDG is built so that require('./sibling')
+// flows connect across files, then the vulnerability queries run once
+// over the whole graph.
+func ScanPackage(dir string, opts Options) *Report {
+	var files []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			base := filepath.Base(path)
+			if base == "node_modules" || base == "test" || base == "tests" || base == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".js") && !strings.HasSuffix(path, ".min.js") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return &Report{Name: dir, Err: fmt.Errorf("scanner: %w", err)}
+	}
+	sort.Strings(files)
+
+	cfgq := opts.Config
+	if cfgq == nil {
+		cfgq = queries.DefaultConfig()
+	}
+	rep := &Report{Name: dir}
+	start := time.Now()
+
+	frontEnd := noCacheFrontEnd
+	if opts.Cache != nil {
+		frontEnd = opts.Cache.frontEnd
+	}
+	var progs []*core.Program
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			if rep.Err == nil {
+				rep.Err = fmt.Errorf("scanner: %w", err)
+			}
+			continue
+		}
+		rel, relErr := filepath.Rel(dir, f)
+		if relErr != nil {
+			rel = f
+		}
+		entry, err := frontEnd(rel, string(data))
+		if err != nil {
+			if rep.Err == nil {
+				rep.Err = fmt.Errorf("scanner: parse %s: %w", rel, err)
+			}
+			continue
+		}
+		rep.LoC += entry.loc
+		rep.ASTNodes += entry.astNodes
+		rep.CoreStmts += entry.coreStmts
+		rep.CFGNodes += entry.cfgNodes
+		rep.CFGEdges += entry.cfgEdges
+		progs = append(progs, entry.prog)
+	}
+	if len(progs) == 0 {
+		return rep
+	}
+
+	aopts := opts.Analysis
+	if aopts.MaxLoopIter == 0 {
+		aopts = analysis.DefaultOptions()
+	}
+	res := analysis.AnalyzeModules(progs, aopts)
+	rep.MDGNodes = res.Graph.NumNodes()
+	rep.MDGEdges = res.Graph.NumEdges()
+	if res.TimedOut {
+		rep.TimedOut = true
+		rep.GraphTime = time.Since(start)
+		return rep
+	}
+	lg := queries.Load(res)
+	rep.GraphTime = time.Since(start)
+
+	qStart := time.Now()
+	rep.Findings = queries.Detect(lg, cfgq)
+	rep.QueryTime = time.Since(qStart)
+	return rep
+}
