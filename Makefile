@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: check fmt vet build test race bench tables
+
+# check is the tier-1 gate: formatting, vet, build, and the race-enabled
+# test suite. CI and pre-commit both run this target.
+check: fmt vet build race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+tables:
+	$(GO) run ./cmd/benchtables

@@ -26,6 +26,7 @@ import (
 	"repro/internal/poc"
 	"repro/internal/queries"
 	"repro/internal/scanner"
+	"repro/internal/taint"
 )
 
 const gitResetSrc = `
@@ -208,11 +209,74 @@ func BenchmarkTable6TraversalPhase(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fs := queries.Detect(lg, cfg)
+		fs, err := queries.Detect(lg, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(fs) == 0 {
 			b.Fatal("no findings")
 		}
 	}
+}
+
+// BenchmarkNativeVsQueryDetection compares the two detection backends
+// on a pollution-heavy corpus (prototype pollution exercises the most
+// expensive traversals: star-edge enumeration plus per-pair reach
+// checks). Graph construction is excluded; each sub-benchmark measures
+// only its backend's detection phase. The query backend gets its
+// property graphs pre-loaded, while the native backend's cost includes
+// its own fixpoint construction — that is the work it does instead of
+// a graph load.
+func BenchmarkNativeVsQueryDetection(b *testing.B) {
+	g := dataset.NewGenForTest(7)
+	cfg := queries.DefaultConfig()
+	var results []*analysis.Result
+	var graphs []*queries.LoadedGraph
+	add := func(src, name string) {
+		prog, err := normalize.File(src, name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := analysis.Analyze(prog, analysis.DefaultOptions())
+		results = append(results, res)
+		graphs = append(graphs, queries.Load(res))
+	}
+	for i := 0; i < 12; i++ {
+		for _, class := range []dataset.Class{dataset.ClassPlain, dataset.ClassLoopy} {
+			p := dataset.RenderForTest(g, queries.CWEPrototypePollution, class)
+			add(p.Source, p.Name)
+		}
+	}
+	add(setValueSrc, "sv.js")
+
+	b.Run("query", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			total := 0
+			for _, lg := range graphs {
+				fs, err := queries.Detect(lg, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += len(fs)
+			}
+			if total == 0 {
+				b.Fatal("no findings")
+			}
+		}
+	})
+	b.Run("native", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			total := 0
+			for _, res := range results {
+				total += len(taint.NewEngine(res, cfg).Detect())
+			}
+			if total == 0 {
+				b.Fatal("no findings")
+			}
+		}
+	})
 }
 
 // BenchmarkTable7GraphSizes measures both tools' graph construction on

@@ -9,6 +9,7 @@
 // Flags:
 //
 //	-config FILE    sink configuration (JSON); default: built-in sinks
+//	-engine NAME    detection engine: query, native, or differential
 //	-timeout DUR    per-target analysis timeout (default 5m, as in §5.1)
 //	-require-sink   treat dynamic require() as a code-injection sink
 //	-dump-mdg       print the MDG in Graphviz DOT format and exit
@@ -38,6 +39,7 @@ import (
 
 func main() {
 	configPath := flag.String("config", "", "sink configuration file (JSON)")
+	engineName := flag.String("engine", "query", "detection engine: query, native, or differential")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-target analysis timeout")
 	requireSink := flag.Bool("require-sink", false, "treat dynamic require() as a code-injection sink")
 	dumpMDG := flag.Bool("dump-mdg", false, "print the MDG in DOT format")
@@ -67,6 +69,12 @@ func main() {
 	}
 	cfg.RequireAsCodeInjection = *requireSink
 
+	engine, err := scanner.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	exit := 0
 	for _, target := range flag.Args() {
 		if *dumpMDG || *dumpCore || *exportDB {
@@ -76,7 +84,7 @@ func main() {
 			}
 			continue
 		}
-		rep := scanTarget(target, scanner.Options{Config: cfg, Timeout: *timeout})
+		rep := scanTarget(target, scanner.Options{Config: cfg, Timeout: *timeout, Engine: engine})
 		if rep.Err != nil {
 			fmt.Fprintf(os.Stderr, "graphjs: %v\n", rep.Err)
 			exit = 1
@@ -157,7 +165,17 @@ func printHuman(rep *scanner.Report, stats, trace bool) {
 	if stats {
 		fmt.Printf("  stats: %d LoC, %d AST nodes, %d CFG nodes, %d MDG nodes, %d MDG edges\n",
 			rep.LoC, rep.ASTNodes, rep.CFGNodes, rep.MDGNodes, rep.MDGEdges)
-		fmt.Printf("  time: graph %s, traversals %s\n", rep.GraphTime, rep.QueryTime)
+		fmt.Printf("  time: graph %s, traversals %s (engine %s)\n", rep.GraphTime, rep.QueryTime, rep.Engine)
+		if rep.Engine == scanner.EngineDifferential {
+			fmt.Printf("  engines: query %s, native %s\n", rep.QueryEngineTime, rep.NativeTime)
+		}
+		if rep.FuncsTotal > 0 || rep.SkippedByReach {
+			fmt.Printf("  reach: %d/%d functions pruned, skipped=%v\n",
+				rep.FuncsPruned, rep.FuncsTotal, rep.SkippedByReach)
+		}
+		if rep.TruncatedSearches > 0 {
+			fmt.Printf("  truncated searches: %d (hop bound hit)\n", rep.TruncatedSearches)
+		}
 	}
 }
 

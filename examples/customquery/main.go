@@ -51,7 +51,11 @@ func main() {
 		},
 	}
 	fmt.Println("\ncustom SQL-injection query:")
-	for _, f := range queries.DetectTaintStyle(lg, cfg, queries.CWE("CWE-89")) {
+	sqlFindings, err := queries.DetectTaintStyle(lg, cfg, queries.CWE("CWE-89"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range sqlFindings {
 		fmt.Printf("  %s\n", f)
 	}
 

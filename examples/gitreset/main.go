@@ -42,7 +42,11 @@ func main() {
 
 	lg := queries.Load(res)
 	fmt.Println("\nFindings:")
-	for _, f := range queries.Detect(lg, queries.DefaultConfig()) {
+	fs, err := queries.Detect(lg, queries.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range fs {
 		fmt.Printf("  %s\n", f)
 	}
 	fmt.Println("\nExpected: a command injection at the exec call (Fig. 1d's")

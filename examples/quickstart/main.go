@@ -43,7 +43,10 @@ func main() {
 		res.Graph.NumNodes(), res.Graph.NumEdges(), len(res.Sources))
 
 	lg := queries.Load(res)
-	findings := queries.Detect(lg, queries.DefaultConfig())
+	findings, err := queries.Detect(lg, queries.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("findings (low-level API):")
 	for _, f := range findings {
 		fmt.Printf("  %s\n", f)

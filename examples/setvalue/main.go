@@ -41,7 +41,11 @@ func main() {
 		res.Graph.NumNodes(), res.Graph.NumEdges())
 
 	lg := queries.Load(res)
-	for _, f := range queries.Detect(lg, queries.DefaultConfig()) {
+	fs, err := queries.Detect(lg, queries.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range fs {
 		fmt.Printf("  %s\n", f)
 	}
 

@@ -153,6 +153,11 @@ type Graph struct {
 	// curFile annotates newly created nodes with their source file
 	// (multi-module analysis); see SetCurrentFile.
 	curFile string
+
+	// sorted caches the ascending-Loc node slice handed out by Nodes;
+	// node creation invalidates it. Detection backends iterate the
+	// frozen graph many times, so the sort must not repeat per call.
+	sorted []*Node
 }
 
 // SetCurrentFile sets the source-file annotation applied to nodes
@@ -186,13 +191,28 @@ func (g *Graph) NumEdges() int { return len(g.edgeSet) }
 // Node returns the node at l, or nil.
 func (g *Graph) Node(l Loc) *Node { return g.nodes[l] }
 
-// Nodes returns all nodes in ascending Loc order.
+// Nodes returns all nodes in ascending Loc order. The slice is cached
+// and shared between calls until the next node is created; callers
+// must not modify it.
 func (g *Graph) Nodes() []*Node {
-	out := make([]*Node, 0, len(g.nodes))
-	for _, n := range g.nodes {
-		out = append(out, n)
+	if g.sorted == nil {
+		g.sorted = make([]*Node, 0, len(g.nodes))
+		for _, n := range g.nodes {
+			g.sorted = append(g.sorted, n)
+		}
+		sort.Slice(g.sorted, func(i, j int) bool { return g.sorted[i].Loc < g.sorted[j].Loc })
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Loc < out[j].Loc })
+	return g.sorted
+}
+
+// NodesOfKind returns the nodes of one kind in ascending Loc order.
+func (g *Graph) NodesOfKind(kind NodeKind) []*Node {
+	var out []*Node
+	for _, n := range g.Nodes() {
+		if n.Kind == kind {
+			out = append(out, n)
+		}
+	}
 	return out
 }
 
@@ -216,6 +236,7 @@ func (g *Graph) fresh(kind NodeKind, label string, site, line int) *Node {
 	g.next++
 	n := &Node{Loc: g.next, Kind: kind, Label: label, Site: site, Line: line, File: g.curFile}
 	g.nodes[n.Loc] = n
+	g.sorted = nil
 	return n
 }
 

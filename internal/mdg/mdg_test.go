@@ -26,6 +26,35 @@ func TestAllocDeterministic(t *testing.T) {
 	}
 }
 
+func TestNodesCacheInvalidation(t *testing.T) {
+	g := New()
+	newObj(g, "a", 1)
+	first := g.Nodes()
+	if len(first) != 1 {
+		t.Fatalf("nodes = %d", len(first))
+	}
+	if &g.Nodes()[0] != &first[0] {
+		t.Error("repeated Nodes() must return the cached slice")
+	}
+	newObj(g, "b", 2)
+	second := g.Nodes()
+	if len(second) != 2 {
+		t.Fatalf("cache not invalidated: %d nodes", len(second))
+	}
+	for i := 1; i < len(second); i++ {
+		if second[i-1].Loc >= second[i].Loc {
+			t.Fatal("Nodes() not in ascending Loc order")
+		}
+	}
+	calls := g.NodesOfKind(KindCall)
+	if len(calls) != 0 {
+		t.Fatalf("NodesOfKind(KindCall) = %d on object-only graph", len(calls))
+	}
+	if got := g.NodesOfKind(KindObject); len(got) != 2 {
+		t.Fatalf("NodesOfKind(KindObject) = %d", len(got))
+	}
+}
+
 func TestAddEdgeDedup(t *testing.T) {
 	g := New()
 	a := newObj(g, "a", 1)

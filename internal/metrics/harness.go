@@ -13,14 +13,19 @@ func RunGraphJS(c *dataset.Corpus, opts scanner.Options) []PackageResult {
 	for _, p := range c.Packages {
 		rep := scanner.ScanSource(p.Source, p.Name, opts)
 		out = append(out, PackageResult{
-			Package:    p,
-			Findings:   rep.Findings,
-			TimedOut:   rep.TimedOut,
-			GraphTime:  rep.GraphTime,
-			QueryTime:  rep.QueryTime,
-			TotalNodes: rep.TotalNodes(),
-			TotalEdges: rep.TotalEdges(),
-			LoC:        rep.LoC,
+			Package:           p,
+			Findings:          rep.Findings,
+			TimedOut:          rep.TimedOut,
+			GraphTime:         rep.GraphTime,
+			QueryTime:         rep.QueryTime,
+			TotalNodes:        rep.TotalNodes(),
+			TotalEdges:        rep.TotalEdges(),
+			LoC:               rep.LoC,
+			QueryEngineTime:   rep.QueryEngineTime,
+			NativeTime:        rep.NativeTime,
+			FuncsPruned:       rep.FuncsPruned,
+			SkippedByReach:    rep.SkippedByReach,
+			TruncatedSearches: rep.TruncatedSearches,
 		})
 	}
 	return out

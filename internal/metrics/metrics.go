@@ -90,6 +90,14 @@ type PackageResult struct {
 	TotalNodes int
 	TotalEdges int
 	LoC        int
+	// Per-engine detection timings. QueryEngineTime and NativeTime
+	// are each non-zero only when the corresponding backend ran
+	// (both do under the differential engine).
+	QueryEngineTime   time.Duration
+	NativeTime        time.Duration
+	FuncsPruned       int
+	SkippedByReach    bool
+	TruncatedSearches int
 }
 
 // vulnKey identifies one annotated vulnerability.
@@ -227,6 +235,45 @@ func PhaseAverages(results []PackageResult) map[queries.CWE][2]time.Duration {
 			out[cwe] = [2]time.Duration{s[0] / time.Duration(n), s[1] / time.Duration(n)}
 		}
 	}
+	return out
+}
+
+// EngineAverage aggregates per-backend detection timings over a run.
+type EngineAverage struct {
+	QueryEngine    time.Duration // avg query-backend detection time
+	Native         time.Duration // avg native-backend detection time
+	Packages       int           // packages contributing to the averages
+	SkippedByReach int           // packages the reach gate skipped entirely
+	FuncsPruned    int           // total functions pruned across the run
+	Truncated      int           // total hop-bound-truncated searches
+}
+
+// EngineAverages summarizes the per-engine timing columns recorded by
+// RunGraphJS. Packages that timed out are excluded from the averages;
+// packages skipped by the reach gate count toward SkippedByReach but
+// not toward the timing averages (neither backend ran on them).
+func EngineAverages(results []PackageResult) EngineAverage {
+	var out EngineAverage
+	var timed int
+	for _, r := range results {
+		out.FuncsPruned += r.FuncsPruned
+		out.Truncated += r.TruncatedSearches
+		if r.SkippedByReach {
+			out.SkippedByReach++
+			continue
+		}
+		if r.TimedOut {
+			continue
+		}
+		out.QueryEngine += r.QueryEngineTime
+		out.Native += r.NativeTime
+		timed++
+	}
+	if timed > 0 {
+		out.QueryEngine /= time.Duration(timed)
+		out.Native /= time.Duration(timed)
+	}
+	out.Packages = timed
 	return out
 }
 

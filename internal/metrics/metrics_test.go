@@ -238,6 +238,40 @@ func TestPhaseAverages(t *testing.T) {
 	}
 }
 
+func TestEngineAverages(t *testing.T) {
+	results := []PackageResult{
+		{QueryEngineTime: 10 * time.Millisecond, NativeTime: 2 * time.Millisecond, FuncsPruned: 3},
+		{QueryEngineTime: 20 * time.Millisecond, NativeTime: 4 * time.Millisecond, TruncatedSearches: 1},
+		{SkippedByReach: true, FuncsPruned: 5},
+		{TimedOut: true, QueryEngineTime: time.Hour}, // excluded from averages
+	}
+	avg := EngineAverages(results)
+	if avg.QueryEngine != 15*time.Millisecond || avg.Native != 3*time.Millisecond {
+		t.Fatalf("averages = %+v", avg)
+	}
+	if avg.Packages != 2 || avg.SkippedByReach != 1 {
+		t.Errorf("counts = %+v", avg)
+	}
+	if avg.FuncsPruned != 8 || avg.Truncated != 1 {
+		t.Errorf("totals = %+v", avg)
+	}
+}
+
+// TestEngineColumnsRecorded checks the harness copies the per-engine
+// timing columns off the scanner report in differential mode.
+func TestEngineColumnsRecorded(t *testing.T) {
+	vul, _ := dataset.GroundTruth(42)
+	small := &dataset.Corpus{Name: "small", Packages: vul.Packages[:4]}
+	results := RunGraphJS(small, scanner.Options{Engine: scanner.EngineDifferential})
+	avg := EngineAverages(results)
+	if avg.Packages == 0 && avg.SkippedByReach == 0 {
+		t.Fatal("no packages classified")
+	}
+	if avg.Packages > 0 && (avg.QueryEngine == 0 || avg.Native == 0) {
+		t.Errorf("differential run must record both backend timings: %+v", avg)
+	}
+}
+
 func TestFormatters(t *testing.T) {
 	if FmtPct(0.8211) != "0.82" {
 		t.Errorf("FmtPct = %q", FmtPct(0.8211))

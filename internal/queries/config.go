@@ -21,6 +21,12 @@ const (
 // AllCWEs lists the supported classes in report order.
 var AllCWEs = []CWE{CWEPathTraversal, CWECommandInjection, CWECodeInjection, CWEPrototypePollution}
 
+// DefaultMaxHops is the taint-search hop bound applied when a
+// configuration leaves MaxHops unset. Searches cut short by the bound
+// are counted in LoadedGraph.Truncated (and the native engine's
+// equivalent) so the under-approximation is observable.
+const DefaultMaxHops = 64
+
 // Sink declares one unsafe sink function: its dotted name and the
 // indices of sensitive arguments.
 type Sink struct {
@@ -64,7 +70,7 @@ func (c *Config) IsSanitizer(calleeName string) bool {
 // mirroring the sinks named in the paper (§4).
 func DefaultConfig() *Config {
 	return &Config{
-		MaxHops: 64,
+		MaxHops: DefaultMaxHops,
 		Sinks: []Sink{
 			// Command injection (CWE-78).
 			{CWE: CWECommandInjection, Name: "exec", Args: []int{0}},
@@ -108,8 +114,8 @@ func LoadConfig(path string) (*Config, error) {
 	if err := json.Unmarshal(data, cfg); err != nil {
 		return nil, fmt.Errorf("queries: parsing config: %w", err)
 	}
-	if cfg.MaxHops == 0 {
-		cfg.MaxHops = 64
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = DefaultMaxHops
 	}
 	return cfg, nil
 }

@@ -27,11 +27,11 @@ const cypherMaxHops = 24
 
 // DetectTaintStyleCypher runs the taint-style query for one class
 // through the query engine.
-func DetectTaintStyleCypher(lg *LoadedGraph, cfg *Config, cwe CWE) []Finding {
+func DetectTaintStyleCypher(lg *LoadedGraph, cfg *Config, cwe CWE) ([]Finding, error) {
 	lg.ApplySanitizers(cfg)
 	sinks := cfg.SinksFor(cwe)
 	if len(sinks) == 0 {
-		return nil
+		return nil, nil
 	}
 
 	// Step 1 (declarative): all candidate paths from taint sources.
@@ -40,7 +40,7 @@ MATCH p = (s:Param {source: true})-[:D|P|V*1..%d]->(t)
 RETURN p, id(s) AS src, id(t) AS dst`, cypherMaxHops)
 	res, err := lg.DB.Query(q)
 	if err != nil {
-		panic("queries: " + err.Error())
+		return nil, fmt.Errorf("queries: cypher taint query: %w", err)
 	}
 
 	// Tainted destinations per source, after the UntaintedPath filter.
@@ -115,7 +115,7 @@ RETURN p, id(s) AS src, id(t) AS dst`, cypherMaxHops)
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // pathUntainted applies the Table 1 UntaintedPath pattern: a version

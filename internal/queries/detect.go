@@ -28,47 +28,60 @@ func (f Finding) String() string {
 }
 
 // Detect runs all Table 2 vulnerability queries against a loaded MDG.
-func Detect(lg *LoadedGraph, cfg *Config) []Finding {
+// A non-nil error means an internal query failed; partial findings are
+// not returned in that case.
+func Detect(lg *LoadedGraph, cfg *Config) ([]Finding, error) {
 	lg.ApplySanitizers(cfg)
 	var out []Finding
-	out = append(out, DetectTaintStyle(lg, cfg, CWEPathTraversal)...)
-	out = append(out, DetectTaintStyle(lg, cfg, CWECommandInjection)...)
-	out = append(out, DetectTaintStyle(lg, cfg, CWECodeInjection)...)
-	out = append(out, DetectPrototypePollution(lg, cfg)...)
+	for _, cwe := range []CWE{CWEPathTraversal, CWECommandInjection, CWECodeInjection} {
+		fs, err := DetectTaintStyle(lg, cfg, cwe)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs...)
+	}
+	fs, err := DetectPrototypePollution(lg, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fs...)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].SinkLine != out[j].SinkLine {
 			return out[i].SinkLine < out[j].SinkLine
 		}
 		return out[i].CWE < out[j].CWE
 	})
-	return out
+	return out, nil
 }
 
 // sources returns the taint-source nodes (parameters of exported
 // functions), found via the query engine.
-func (lg *LoadedGraph) sources() []*graphdb.Node {
+func (lg *LoadedGraph) sources() ([]*graphdb.Node, error) {
 	res, err := lg.DB.Query(`MATCH (p:Param {source: true}) RETURN p`)
 	if err != nil {
-		panic("queries: " + err.Error())
+		return nil, fmt.Errorf("queries: sources: %w", err)
 	}
 	var out []*graphdb.Node
 	for _, row := range res.Rows {
 		out = append(out, row["p"].(*graphdb.Node))
 	}
-	return out
+	return out, nil
 }
 
 // DetectTaintStyle implements the Table 2 taint-style query
 // TaintPath_{o_s} ∘ Arg_{f,n} for the sinks of one class: a tainted
 // path must connect a source to a sensitive argument of a sink call.
-func DetectTaintStyle(lg *LoadedGraph, cfg *Config, cwe CWE) []Finding {
+func DetectTaintStyle(lg *LoadedGraph, cfg *Config, cwe CWE) ([]Finding, error) {
 	sinks := cfg.SinksFor(cwe)
 	if len(sinks) == 0 {
-		return nil
+		return nil, nil
 	}
-	srcs := lg.sources()
+	srcs, err := lg.sources()
+	if err != nil {
+		return nil, err
+	}
 	if len(srcs) == 0 {
-		return nil
+		return nil, nil
 	}
 
 	// Precompute taint reachability per source (amortizes the DFS over
@@ -126,17 +139,20 @@ func DetectTaintStyle(lg *LoadedGraph, cfg *Config, cwe CWE) []Finding {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // DetectPrototypePollution implements the Table 2 pollution query
 // (ObjLookup* ∘ ObjAssignment*) filtered by three taint paths: an
 // attacker must control the lookup property, the assigned property, and
 // the assigned value (§4).
-func DetectPrototypePollution(lg *LoadedGraph, cfg *Config) []Finding {
-	srcs := lg.sources()
+func DetectPrototypePollution(lg *LoadedGraph, cfg *Config) ([]Finding, error) {
+	srcs, err := lg.sources()
+	if err != nil {
+		return nil, err
+	}
 	if len(srcs) == 0 {
-		return nil
+		return nil, nil
 	}
 	reach := make([]map[graphdb.NodeID]bool, len(srcs))
 	for i, s := range srcs {
@@ -158,9 +174,17 @@ func DetectPrototypePollution(lg *LoadedGraph, cfg *Config) []Finding {
 	// `obj.constructor.prototype` lookup followed by a write of an
 	// attacker-controlled value pollutes Object.prototype even when the
 	// property names are literals — only the value needs tainting.
-	out = append(out, detectLiteralProtoPollution(lg, reach, srcs, seen)...)
+	lits, err := detectLiteralProtoPollution(lg, reach, srcs, seen, cfg.MaxHops)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, lits...)
 
-	for _, pair := range lg.ObjLookupStar() {
+	pairs, err := lg.ObjLookupStar()
+	if err != nil {
+		return nil, err
+	}
+	for _, pair := range pairs {
 		sub := pair[1]
 		// The lookup property must be attacker-controlled: sub is
 		// tainted via its dynamic-property dependency.
@@ -168,7 +192,11 @@ func DetectPrototypePollution(lg *LoadedGraph, cfg *Config) []Finding {
 		if !ok {
 			continue
 		}
-		for _, av := range lg.ObjAssignmentStar(sub, cfg.MaxHops) {
+		avs, err := lg.ObjAssignmentStar(sub, cfg.MaxHops)
+		if err != nil {
+			return nil, err
+		}
+		for _, av := range avs {
 			ver, val := av[0], av[1]
 			if _, ok := tainted(ver.ID); !ok {
 				continue // assigned property name not controlled
@@ -194,14 +222,14 @@ func DetectPrototypePollution(lg *LoadedGraph, cfg *Config) []Finding {
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // detectLiteralProtoPollution finds the static `__proto__` pattern:
 // (o)-[:P {prop:'__proto__'}]->(sub) with any later write on sub whose
 // value is tainted, or the constructor.prototype two-step equivalent.
 func detectLiteralProtoPollution(lg *LoadedGraph, reach []map[graphdb.NodeID]bool,
-	srcs []*graphdb.Node, seen map[string]bool) []Finding {
+	srcs []*graphdb.Node, seen map[string]bool, maxHops int) ([]Finding, error) {
 	tainted := func(id graphdb.NodeID) (int, bool) {
 		for i := range srcs {
 			if reach[i][id] {
@@ -216,7 +244,7 @@ func detectLiteralProtoPollution(lg *LoadedGraph, reach []map[graphdb.NodeID]boo
 MATCH (o)-[:P {prop: '__proto__'}]->(sub)
 RETURN DISTINCT sub`)
 	if err != nil {
-		panic("queries: " + err.Error())
+		return nil, fmt.Errorf("queries: proto lookup: %w", err)
 	}
 	subs := map[graphdb.NodeID]*graphdb.Node{}
 	for _, row := range res.Rows {
@@ -227,7 +255,7 @@ RETURN DISTINCT sub`)
 MATCH (o)-[:P {prop: 'constructor'}]->(c)-[:P {prop: 'prototype'}]->(sub)
 RETURN DISTINCT sub`)
 	if err != nil {
-		panic("queries: " + err.Error())
+		return nil, fmt.Errorf("queries: constructor.prototype lookup: %w", err)
 	}
 	for _, row := range res.Rows {
 		sub := row["sub"].(*graphdb.Node)
@@ -244,7 +272,7 @@ WHERE id(sub) = ` + fmt.Sprint(int64(sub.ID)) + `
 RETURN DISTINCT ver, val`
 		vres, err := lg.DB.Query(vq)
 		if err != nil {
-			panic("queries: " + err.Error())
+			return nil, fmt.Errorf("queries: proto write scan: %w", err)
 		}
 		for _, row := range vres.Rows {
 			ver := row["ver"].(*graphdb.Node)
@@ -267,9 +295,9 @@ RETURN DISTINCT ver, val`
 				SinkLine: line,
 				SinkFile: file,
 				Source:   srcName,
-				Path:     lg.TaintPathWitness(srcs[si].ID, val.ID, 64),
+				Path:     lg.TaintPathWitness(srcs[si].ID, val.ID, maxHops),
 			})
 		}
 	}
-	return out
+	return out, nil
 }

@@ -17,6 +17,11 @@ type LoadedGraph struct {
 	ByLoc  map[mdg.Loc]graphdb.NodeID
 	Result *analysis.Result
 
+	// Truncated counts taint searches cut short by the hop bound while
+	// unexplored edges remained — silent under-approximation made
+	// observable. It accumulates across searches on this graph.
+	Truncated int
+
 	// sanitized marks call nodes matching configured sanitizers; taint
 	// traversals do not pass through them (§6 extension).
 	sanitized map[graphdb.NodeID]bool

@@ -20,7 +20,16 @@ func loadSrc(t *testing.T, src string) *LoadedGraph {
 
 func detect(t *testing.T, src string) []Finding {
 	t.Helper()
-	return Detect(loadSrc(t, src), DefaultConfig())
+	return mustDetect(t, loadSrc(t, src), DefaultConfig())
+}
+
+func mustDetect(t *testing.T, lg *LoadedGraph, cfg *Config) []Finding {
+	t.Helper()
+	fs, err := Detect(lg, cfg)
+	if err != nil {
+		t.Fatalf("Detect: %v", err)
+	}
+	return fs
 }
 
 func hasCWE(fs []Finding, cwe CWE) bool {
@@ -252,7 +261,7 @@ module.exports = load;
 	}
 	cfg := DefaultConfig()
 	cfg.RequireAsCodeInjection = true
-	fs = Detect(loadSrc(t, src), cfg)
+	fs = mustDetect(t, loadSrc(t, src), cfg)
 	if !hasCWE(fs, CWECodeInjection) {
 		t.Fatalf("require sink not detected with opt-in: %v", fs)
 	}
@@ -400,7 +409,7 @@ module.exports = run;
 	// With the program-specific sanitizer declared (§6): clean.
 	cfg := DefaultConfig()
 	cfg.Sanitizers = []string{"shellEscape"}
-	fs = Detect(loadSrc(t, src), cfg)
+	fs = mustDetect(t, loadSrc(t, src), cfg)
 	if hasCWE(fs, CWECommandInjection) {
 		t.Fatalf("sanitizer must break the taint path: %v", fs)
 	}
@@ -417,7 +426,7 @@ module.exports = run;
 `
 	cfg := DefaultConfig()
 	cfg.Sanitizers = []string{"shellEscape"}
-	fs := Detect(loadSrc(t, src), cfg)
+	fs := mustDetect(t, loadSrc(t, src), cfg)
 	if !hasCWE(fs, CWECommandInjection) {
 		t.Fatalf("direct flow must still be reported: %v", fs)
 	}
@@ -434,7 +443,7 @@ module.exports = run;
 `
 	cfg := DefaultConfig()
 	cfg.Sanitizers = []string{"escape"}
-	fs := Detect(loadSrc(t, src), cfg)
+	fs := mustDetect(t, loadSrc(t, src), cfg)
 	if hasCWE(fs, CWECommandInjection) {
 		t.Fatalf("method-style sanitizer must match: %v", fs)
 	}
@@ -454,7 +463,10 @@ module.exports = findUser;
 		Sinks:   []Sink{{CWE: CWE("CWE-89"), Name: "conn.query", Args: []int{0}}},
 	}
 	lg := loadSrc(t, src)
-	fs := DetectTaintStyle(lg, cfg, CWE("CWE-89"))
+	fs, err := DetectTaintStyle(lg, cfg, CWE("CWE-89"))
+	if err != nil {
+		t.Fatalf("DetectTaintStyle: %v", err)
+	}
 	if len(fs) != 1 || fs[0].SinkLine != 3 {
 		t.Fatalf("SQL injection not detected: %v", fs)
 	}
@@ -488,8 +500,14 @@ module.exports = run;`,
 	for i, src := range programs {
 		lg := loadSrc(t, src)
 		for _, cwe := range []CWE{CWECommandInjection, CWECodeInjection} {
-			native := DetectTaintStyle(lg, cfg, cwe)
-			declarative := DetectTaintStyleCypher(lg, cfg, cwe)
+			native, err := DetectTaintStyle(lg, cfg, cwe)
+			if err != nil {
+				t.Fatalf("DetectTaintStyle: %v", err)
+			}
+			declarative, err := DetectTaintStyleCypher(lg, cfg, cwe)
+			if err != nil {
+				t.Fatalf("DetectTaintStyleCypher: %v", err)
+			}
 			if len(native) != len(declarative) {
 				t.Errorf("program %d %s: native %d vs declarative %d findings",
 					i, cwe, len(native), len(declarative))

@@ -1,6 +1,8 @@
 package queries
 
 import (
+	"fmt"
+
 	"repro/internal/graphdb"
 )
 
@@ -54,7 +56,7 @@ type pathState struct {
 // reached node and a non-nil path is returned when it reports true.
 func (lg *LoadedGraph) taintSearch(src graphdb.NodeID, accept func(graphdb.NodeID) bool, maxHops int) []graphdb.NodeID {
 	if maxHops <= 0 {
-		maxHops = 64
+		maxHops = DefaultMaxHops
 	}
 	type frame struct {
 		id      graphdb.NodeID
@@ -78,6 +80,11 @@ func (lg *LoadedGraph) taintSearch(src graphdb.NodeID, accept func(graphdb.NodeI
 			return append([]graphdb.NodeID(nil), path...)
 		}
 		if f.depth >= maxHops {
+			// The hop bound silently under-approximates; count the
+			// truncation so it is observable in reports.
+			if len(lg.DB.Out(f.id)) > 0 {
+				lg.Truncated++
+			}
 			return nil
 		}
 		for _, r := range lg.DB.Out(f.id) {
@@ -177,10 +184,10 @@ type CallArg struct {
 
 // ObjLookupStar finds all dynamic-property lookups: pairs (o, sub) with
 // o -P(*)-> sub. Table 1's ObjLookup*.
-func (lg *LoadedGraph) ObjLookupStar() [][2]*graphdb.Node {
+func (lg *LoadedGraph) ObjLookupStar() ([][2]*graphdb.Node, error) {
 	res, err := lg.DB.Query(`MATCH (o)-[:P {prop: '*'}]->(sub) RETURN o, sub`)
 	if err != nil {
-		panic("queries: " + err.Error())
+		return nil, fmt.Errorf("queries: ObjLookupStar: %w", err)
 	}
 	var out [][2]*graphdb.Node
 	for _, row := range res.Rows {
@@ -188,7 +195,7 @@ func (lg *LoadedGraph) ObjLookupStar() [][2]*graphdb.Node {
 		sub := row["sub"].(*graphdb.Node)
 		out = append(out, [2]*graphdb.Node{o, sub})
 	}
-	return out
+	return out, nil
 }
 
 // ObjAssignmentStar finds, for a given sub-object, the dynamic
@@ -197,16 +204,16 @@ func (lg *LoadedGraph) ObjLookupStar() [][2]*graphdb.Node {
 // the recursive-merge idiom where the sub-object flows into a callee
 // parameter before being assigned) has mid -V(*)-> ver -P(*)-> val.
 // Table 1's ObjAssignment* composed with the chaining of Table 2.
-func (lg *LoadedGraph) ObjAssignmentStar(sub *graphdb.Node, maxHops int) [][2]*graphdb.Node {
+func (lg *LoadedGraph) ObjAssignmentStar(sub *graphdb.Node, maxHops int) ([][2]*graphdb.Node, error) {
 	// All dynamic assignments in the graph, via the query engine.
 	res, err := lg.DB.Query(`
 MATCH (mid)-[:V {prop: '*'}]->(ver)-[:P {prop: '*'}]->(val)
 RETURN DISTINCT mid, ver, val`)
 	if err != nil {
-		panic("queries: " + err.Error())
+		return nil, fmt.Errorf("queries: ObjAssignmentStar: %w", err)
 	}
 	if len(res.Rows) == 0 {
-		return nil
+		return nil, nil
 	}
 	reach := lg.TaintReach(sub.ID, maxHops)
 	reach[sub.ID] = true
@@ -218,5 +225,5 @@ RETURN DISTINCT mid, ver, val`)
 		}
 		out = append(out, [2]*graphdb.Node{row["ver"].(*graphdb.Node), row["val"].(*graphdb.Node)})
 	}
-	return out
+	return out, nil
 }

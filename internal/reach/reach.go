@@ -1,0 +1,353 @@
+// Package reach is a call-graph reachability pre-pass over Core
+// JavaScript, in the spirit of SōjiTantei's reachability analysis for
+// npm packages: it computes which functions are reachable from the
+// package's exported API surface so the scanner can skip MDG
+// construction and detection entirely for packages whose reachable
+// code cannot produce a finding, and report pruned-function counts
+// otherwise.
+//
+// The pass is purely syntactic and errs on the side of keeping
+// functions. Roots are the top-level code plus every function whose
+// name is referenced in a value position anywhere (address-taken
+// functions cover both exported functions — every export flow starts
+// with such a reference — and callbacks passed to unresolved callees).
+// When the program shows no evidence of a module API (no
+// reference to any function, or no function at all flowing anywhere),
+// the analyzer's fallback attack model treats every function as
+// exported, and this pass mirrors that by treating every function as a
+// root.
+package reach
+
+import (
+	"repro/internal/core"
+	"repro/internal/queries"
+)
+
+// Result summarizes the reachability pre-pass for one package.
+type Result struct {
+	// TotalFuncs and PrunedFuncs count the package's functions and how
+	// many of them are unreachable from the exported API surface.
+	TotalFuncs  int
+	PrunedFuncs int
+	// Reachable holds the reachable function names (qualified with the
+	// file name for multi-file packages).
+	Reachable map[string]bool
+	// Fallback records that no export evidence was found, so every
+	// function was treated as a root (the analyzer's attack model for
+	// plain scripts).
+	Fallback bool
+
+	// HasSources reports that reachable code can carry taint sources
+	// (a root function with at least one parameter exists).
+	HasSources bool
+	// SinkReachable reports that reachable code calls a configured
+	// sink.
+	SinkReachable bool
+	// PollutionPossible reports that reachable code contains a dynamic
+	// property write or a literal prototype access — the shapes the
+	// pollution queries match.
+	PollutionPossible bool
+}
+
+// CanSkipDetection reports that no detection query can produce a
+// finding for this package, so graph construction and the query phase
+// can be skipped outright.
+func (r *Result) CanSkipDetection() bool {
+	return !r.HasSources || (!r.SinkReachable && !r.PollutionPossible)
+}
+
+// fn is one function with its shallow body (nested function bodies
+// excluded — they are functions of their own).
+type fn struct {
+	def   *core.FuncDef
+	owner string // qualified name of the enclosing function ("" = top level)
+	qname string
+}
+
+// Analyze runs the pre-pass over the (normalized) programs of one
+// package. cfg supplies the sink configuration; nil means
+// DefaultConfig.
+func Analyze(progs []*core.Program, cfg *queries.Config) *Result {
+	if cfg == nil {
+		cfg = queries.DefaultConfig()
+	}
+	a := &analyzer{
+		cfg:     cfg,
+		progs:   progs,
+		byQName: map[string]*fn{},
+		byName:  map[string][]*fn{},
+		calls:   map[string]map[string]bool{},
+	}
+	for _, p := range progs {
+		a.collect(p)
+	}
+	for _, p := range progs {
+		a.scanRefs(p)
+	}
+	return a.solve()
+}
+
+type analyzer struct {
+	cfg     *queries.Config
+	progs   []*core.Program
+	funcs   []*fn
+	byQName map[string]*fn
+	byName  map[string][]*fn // bare name -> functions (cross-file)
+	calls   map[string]map[string]bool
+	refs    map[string]bool // qualified names referenced in value position
+}
+
+// collect indexes every function with its enclosing owner. Names are
+// qualified as "file:name"; "file:" is the file's top-level scope.
+func (a *analyzer) collect(p *core.Program) {
+	var walk func(stmts []core.Stmt, owner string)
+	walk = func(stmts []core.Stmt, owner string) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *core.FuncDef:
+				q := p.FileName + ":" + st.Name
+				f := &fn{def: st, owner: owner, qname: q}
+				a.funcs = append(a.funcs, f)
+				a.byQName[q] = f
+				a.byName[st.Name] = append(a.byName[st.Name], f)
+				walk(st.Body, q)
+			case *core.If:
+				walk(st.Then, owner)
+				walk(st.Else, owner)
+			case *core.While:
+				walk(st.Body, owner)
+			case *core.ForIn:
+				walk(st.Body, owner)
+			}
+		}
+	}
+	walk(p.Body, p.FileName+":")
+}
+
+// scanRefs records call edges and value-position references.
+func (a *analyzer) scanRefs(p *core.Program) {
+	if a.refs == nil {
+		a.refs = map[string]bool{}
+	}
+	addRef := func(name string) {
+		for _, f := range a.byName[name] {
+			a.refs[f.qname] = true
+		}
+	}
+	addCall := func(owner, callee string) {
+		for _, f := range a.byName[callee] {
+			if a.calls[owner] == nil {
+				a.calls[owner] = map[string]bool{}
+			}
+			a.calls[owner][f.qname] = true
+		}
+	}
+	refExpr := func(e core.Expr) {
+		if v, ok := e.(core.Var); ok {
+			addRef(v.Name)
+		}
+	}
+	var walk func(stmts []core.Stmt, owner string)
+	walk = func(stmts []core.Stmt, owner string) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *core.Assign:
+				refExpr(st.E)
+			case *core.BinOp:
+				refExpr(st.L)
+				refExpr(st.R)
+			case *core.UnOp:
+				refExpr(st.E)
+			case *core.Lookup:
+				refExpr(st.Obj)
+			case *core.DynLookup:
+				refExpr(st.Obj)
+				refExpr(st.Prop)
+			case *core.Update:
+				refExpr(st.Obj)
+				refExpr(st.Val)
+			case *core.DynUpdate:
+				refExpr(st.Obj)
+				refExpr(st.Prop)
+				refExpr(st.Val)
+			case *core.If:
+				refExpr(st.Cond)
+				walk(st.Then, owner)
+				walk(st.Else, owner)
+			case *core.While:
+				refExpr(st.Cond)
+				walk(st.Body, owner)
+			case *core.ForIn:
+				refExpr(st.Obj)
+				walk(st.Body, owner)
+			case *core.Return:
+				if st.E != nil {
+					refExpr(st.E)
+				}
+			case *core.Call:
+				// The callee position is a call edge, not an
+				// address-taken reference; everything else (receiver,
+				// arguments) is a reference — a function passed as an
+				// argument may be invoked by an unresolvable callee
+				// (the analyzer's callback heuristic).
+				addCall(owner, st.CalleeName)
+				if v, ok := st.Callee.(core.Var); ok && v.Name != st.CalleeName {
+					addCall(owner, v.Name)
+				}
+				if st.This != nil {
+					refExpr(st.This)
+				}
+				for _, arg := range st.Args {
+					refExpr(arg)
+				}
+			case *core.FuncDef:
+				q := p.FileName + ":" + st.Name
+				walk(st.Body, q)
+			}
+		}
+	}
+	walk(p.Body, p.FileName+":")
+}
+
+// solve computes the reachable set and scans reachable bodies for
+// detection-relevant operations.
+func (a *analyzer) solve() *Result {
+	r := &Result{TotalFuncs: len(a.funcs), Reachable: map[string]bool{}}
+	r.Fallback = len(a.refs) == 0
+
+	roots := map[string]bool{}
+	for q := range a.byQName {
+		if r.Fallback || a.refs[q] {
+			roots[q] = true
+		}
+	}
+	// Top-level code of every file is always executed.
+	topLevels := map[string]bool{}
+	for _, f := range a.funcs {
+		topLevels[fileOf(f.qname)+":"] = true
+	}
+	for owner := range a.calls {
+		if isTopLevel(owner) {
+			topLevels[owner] = true
+		}
+	}
+
+	// Closure over call edges.
+	var queue []string
+	for q := range roots {
+		r.Reachable[q] = true
+		queue = append(queue, q)
+	}
+	for t := range topLevels {
+		queue = append(queue, t)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for callee := range a.calls[cur] {
+			if !r.Reachable[callee] {
+				r.Reachable[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+	for _, f := range a.funcs {
+		if !r.Reachable[f.qname] {
+			r.PrunedFuncs++
+		}
+	}
+
+	// Source shape: a reachable function with parameters. (Only
+	// exported functions' parameters become sources, and every export
+	// flow references the function, so reachable over-approximates.)
+	for _, f := range a.funcs {
+		if r.Reachable[f.qname] && len(f.def.Params) > 0 {
+			r.HasSources = true
+			break
+		}
+	}
+
+	// Dangerous-operation scan over reachable shallow bodies plus all
+	// top-level code.
+	for _, f := range a.funcs {
+		if r.Reachable[f.qname] {
+			a.scanDanger(f.def.Body, f.qname, r)
+		}
+	}
+	a.scanTopDanger(r)
+	return r
+}
+
+func fileOf(qname string) string {
+	for i := len(qname) - 1; i >= 0; i-- {
+		if qname[i] == ':' {
+			return qname[:i]
+		}
+	}
+	return ""
+}
+
+func isTopLevel(qname string) bool {
+	return len(qname) > 0 && qname[len(qname)-1] == ':'
+}
+
+// scanDanger marks sink calls and pollution-shaped statements in one
+// function's shallow body (nested functions are scanned when they are
+// themselves reachable).
+func (a *analyzer) scanDanger(stmts []core.Stmt, owner string, r *Result) {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *core.Call:
+			if a.isSinkCall(st.CalleeName) {
+				r.SinkReachable = true
+			}
+		case *core.DynUpdate:
+			// Creates a V(*) write — the ObjAssignment* shape.
+			r.PollutionPossible = true
+		case *core.DynLookup:
+			if lit, ok := st.Prop.(core.Lit); ok && protoProp(lit.Value) {
+				r.PollutionPossible = true
+			}
+		case *core.Lookup:
+			if protoProp(st.Prop) {
+				r.PollutionPossible = true
+			}
+		case *core.Update:
+			if protoProp(st.Prop) {
+				r.PollutionPossible = true
+			}
+		case *core.If:
+			a.scanDanger(st.Then, owner, r)
+			a.scanDanger(st.Else, owner, r)
+		case *core.While:
+			a.scanDanger(st.Body, owner, r)
+		case *core.ForIn:
+			a.scanDanger(st.Body, owner, r)
+		}
+	}
+}
+
+// scanTopDanger scans every file's top-level statements.
+func (a *analyzer) scanTopDanger(r *Result) {
+	for _, p := range a.progs {
+		a.scanDanger(p.Body, p.FileName+":", r)
+	}
+}
+
+func protoProp(p string) bool {
+	return p == "__proto__" || p == "constructor" || p == "prototype"
+}
+
+// isSinkCall reports whether the callee matches any configured sink,
+// including the optional require-as-code-injection sink.
+func (a *analyzer) isSinkCall(calleeName string) bool {
+	for _, s := range a.cfg.Sinks {
+		if queries.MatchSink(calleeName, s.Name) {
+			return true
+		}
+	}
+	if a.cfg.RequireAsCodeInjection && queries.MatchSink(calleeName, "require") {
+		return true
+	}
+	return false
+}

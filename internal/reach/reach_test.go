@@ -1,0 +1,182 @@
+package reach
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/js/normalize"
+	"repro/internal/queries"
+)
+
+func progs(t *testing.T, srcs map[string]string) []*core.Program {
+	t.Helper()
+	var out []*core.Program
+	for name, src := range srcs {
+		p, err := normalize.File(src, name)
+		if err != nil {
+			t.Fatalf("normalize %s: %v", name, err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func analyzeOne(t *testing.T, src string) *Result {
+	t.Helper()
+	return Analyze(progs(t, map[string]string{"index.js": src}), queries.DefaultConfig())
+}
+
+func TestDeadFunctionPruned(t *testing.T) {
+	r := analyzeOne(t, `
+const { exec } = require('child_process');
+function used(c) { exec(c); }
+function dead(x) { return x + 1; }
+function deadCaller() { dead(2); }
+module.exports = used;
+`)
+	if r.TotalFuncs != 3 {
+		t.Fatalf("total = %d", r.TotalFuncs)
+	}
+	if r.PrunedFuncs != 2 {
+		t.Errorf("pruned = %d, want 2 (dead + deadCaller)", r.PrunedFuncs)
+	}
+	if !r.SinkReachable || r.CanSkipDetection() {
+		t.Errorf("exported sink must keep detection: %+v", r)
+	}
+}
+
+func TestCallChainKeptAlive(t *testing.T) {
+	r := analyzeOne(t, `
+const { exec } = require('child_process');
+function helper(c) { exec(c); }
+function entry(y) { helper(y); }
+module.exports = entry;
+`)
+	if r.PrunedFuncs != 0 {
+		t.Errorf("transitively called helper pruned: %+v", r)
+	}
+	if !r.SinkReachable {
+		t.Error("sink in callee must be reachable")
+	}
+}
+
+func TestSinkInDeadCodeSkipped(t *testing.T) {
+	r := analyzeOne(t, `
+const { exec } = require('child_process');
+function dead(c) { exec(c); }
+function benign(a) { return a + 1; }
+module.exports = benign;
+`)
+	if r.PrunedFuncs != 1 {
+		t.Errorf("pruned = %d", r.PrunedFuncs)
+	}
+	if r.SinkReachable {
+		t.Error("sink only in dead code must not be reachable")
+	}
+	if !r.CanSkipDetection() {
+		t.Error("benign export with dead sink must be skippable")
+	}
+}
+
+// TestFallbackNoExports mirrors the analyzer's attack model: with no
+// export evidence every function is treated as a root, so a sink in an
+// otherwise-unreferenced function stays in scope.
+func TestFallbackNoExports(t *testing.T) {
+	r := analyzeOne(t, `
+const { exec } = require('child_process');
+function anywhere(c) { exec(c); }
+`)
+	if !r.Fallback {
+		t.Error("script without exports must fall back to all-roots")
+	}
+	if r.PrunedFuncs != 0 || !r.SinkReachable || r.CanSkipDetection() {
+		t.Errorf("fallback must keep everything: %+v", r)
+	}
+}
+
+func TestBenignSkippable(t *testing.T) {
+	r := analyzeOne(t, `
+function add(a, b) { return a + b; }
+module.exports = add;
+`)
+	if !r.CanSkipDetection() {
+		t.Errorf("pure arithmetic package must be skippable: %+v", r)
+	}
+}
+
+func TestNoSourcesSkippable(t *testing.T) {
+	r := analyzeOne(t, `
+const { exec } = require('child_process');
+function status() { exec('git status'); }
+module.exports = status;
+`)
+	if r.HasSources {
+		t.Error("parameterless API has no taint sources")
+	}
+	if !r.CanSkipDetection() {
+		t.Error("no sources -> skippable even with a sink present")
+	}
+}
+
+func TestPollutionShapesKeepDetection(t *testing.T) {
+	dyn := analyzeOne(t, `
+function set(obj, key, value) { obj[key] = value; }
+module.exports = set;
+`)
+	if !dyn.PollutionPossible || dyn.CanSkipDetection() {
+		t.Errorf("dynamic update must keep detection: %+v", dyn)
+	}
+	lit := analyzeOne(t, `
+function poison(v) {
+	var o = {};
+	o.__proto__.polluted = v;
+	return o;
+}
+module.exports = poison;
+`)
+	if !lit.PollutionPossible || lit.CanSkipDetection() {
+		t.Errorf("literal __proto__ must keep detection: %+v", lit)
+	}
+}
+
+func TestCallbackReferenceIsRoot(t *testing.T) {
+	r := analyzeOne(t, `
+const { exec } = require('child_process');
+function cb(c) { exec(c); }
+function entry(x) { dispatch(x, cb); }
+module.exports = entry;
+`)
+	if r.Reachable["index.js:cb"] != true {
+		t.Error("function passed as argument must be a root")
+	}
+	if !r.SinkReachable {
+		t.Error("callback sink must stay reachable")
+	}
+}
+
+func TestCrossFileCalls(t *testing.T) {
+	r := Analyze(progs(t, map[string]string{
+		"index.js": `
+var run = require('./runner');
+module.exports = function main(c) { return run(c); };
+`,
+		"runner.js": `
+const { exec } = require('child_process');
+function runner(c) { exec(c); }
+module.exports = runner;
+`,
+	}), queries.DefaultConfig())
+	if r.SinkReachable != true {
+		t.Errorf("cross-file exported sink must be reachable: %+v", r)
+	}
+	if r.CanSkipDetection() {
+		t.Error("must not skip")
+	}
+}
+
+func TestNilConfig(t *testing.T) {
+	r := Analyze(progs(t, map[string]string{"a.js": "module.exports = 1;"}), nil)
+	if r.TotalFuncs != 0 || !r.CanSkipDetection() {
+		t.Errorf("trivial module: %+v", r)
+	}
+}

@@ -19,12 +19,43 @@ import (
 	"repro/internal/js/normalize"
 	"repro/internal/js/parser"
 	"repro/internal/queries"
+	"repro/internal/reach"
+	"repro/internal/taint"
 )
+
+// Engine selects the detection backend.
+type Engine string
+
+// Detection backends. The query engine loads the MDG into the graph
+// database and runs the Table 2 queries; the native engine computes
+// taint facts with one dataflow fixpoint directly on the MDG;
+// differential mode runs both and fails loudly when their finding
+// sets disagree.
+const (
+	EngineQuery        Engine = "query"
+	EngineNative       Engine = "native"
+	EngineDifferential Engine = "differential"
+)
+
+// ParseEngine validates an engine name ("" means the default, query).
+func ParseEngine(s string) (Engine, error) {
+	switch Engine(s) {
+	case "", EngineQuery:
+		return EngineQuery, nil
+	case EngineNative:
+		return EngineNative, nil
+	case EngineDifferential:
+		return EngineDifferential, nil
+	}
+	return "", fmt.Errorf("scanner: unknown engine %q (want query, native, or differential)", s)
+}
 
 // Options tunes a scan.
 type Options struct {
 	// Config is the sink configuration (DefaultConfig when nil).
 	Config *queries.Config
+	// Engine selects the detection backend ("" = EngineQuery).
+	Engine Engine
 	// Analysis options forwarded to the MDG builder.
 	Analysis analysis.Options
 	// Timeout aborts the scan (0 = no timeout). Enforced via the
@@ -33,6 +64,10 @@ type Options struct {
 	// Cache, when set, memoizes the per-file front end across scans
 	// (see Cache).
 	Cache *Cache
+	// NoReachGate disables the call-graph reachability pre-pass that
+	// skips graph construction for packages whose reachable code
+	// cannot produce a finding.
+	NoReachGate bool
 }
 
 // Report is the outcome of scanning one file or package.
@@ -42,9 +77,29 @@ type Report struct {
 	TimedOut bool
 	Err      error
 
+	// Engine records the backend that produced Findings.
+	Engine Engine
+
 	// Phase timings (Table 6).
 	GraphTime time.Duration // parse + normalize + MDG build + load
-	QueryTime time.Duration // traversals
+	QueryTime time.Duration // detection with the selected backend
+	// Per-backend detection timings: NativeTime is filled when the
+	// native engine ran, QueryEngineTime when the query engine ran
+	// (differential mode fills both).
+	NativeTime      time.Duration
+	QueryEngineTime time.Duration
+
+	// Reachability pre-pass results: how many functions the package
+	// defines, how many are unreachable from its exported API, and
+	// whether detection was skipped outright because reachable code
+	// cannot produce a finding.
+	FuncsTotal     int
+	FuncsPruned    int
+	SkippedByReach bool
+
+	// TruncatedSearches counts taint searches cut short by the
+	// MaxHops bound (silent under-approximation made observable).
+	TruncatedSearches int
 
 	// Size metrics (Table 7). ASTNodes/CFGNodes are included to match
 	// the paper's accounting ("we included the AST and CFG nodes used
@@ -74,6 +129,12 @@ func ScanSource(src, name string, opts Options) *Report {
 	if cfgq == nil {
 		cfgq = queries.DefaultConfig()
 	}
+	engine, err := ParseEngine(string(opts.Engine))
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	rep.Engine = engine
 	deadline := time.Time{}
 	if opts.Timeout > 0 {
 		deadline = time.Now().Add(opts.Timeout)
@@ -95,6 +156,11 @@ func ScanSource(src, name string, opts Options) *Report {
 	cfgs := cfg.BuildAll(nprog)
 	rep.CFGNodes, rep.CFGEdges = cfg.TotalSize(cfgs)
 
+	if gateSkips(rep, []*core.Program{nprog}, cfgq, opts) {
+		rep.GraphTime = time.Since(start)
+		return rep
+	}
+
 	aopts := opts.Analysis
 	if aopts.MaxLoopIter == 0 {
 		aopts = analysis.DefaultOptions()
@@ -108,16 +174,113 @@ func ScanSource(src, name string, opts Options) *Report {
 		return rep
 	}
 
-	lg := queries.Load(res)
-	rep.GraphTime = time.Since(start)
-
-	qStart := time.Now()
-	rep.Findings = queries.Detect(lg, cfgq)
-	rep.QueryTime = time.Since(qStart)
+	runDetection(rep, res, cfgq, engine, start)
 	if expired() {
 		rep.TimedOut = true
 	}
 	return rep
+}
+
+// gateSkips runs the reachability pre-pass and reports whether the
+// whole detection pipeline can be skipped for this package.
+func gateSkips(rep *Report, progs []*core.Program, cfgq *queries.Config, opts Options) bool {
+	if opts.NoReachGate {
+		return false
+	}
+	rr := reach.Analyze(progs, cfgq)
+	rep.FuncsTotal = rr.TotalFuncs
+	rep.FuncsPruned = rr.PrunedFuncs
+	if rr.CanSkipDetection() {
+		rep.SkippedByReach = true
+		return true
+	}
+	return false
+}
+
+// runDetection executes the selected backend over an analysis result.
+// GraphTime is closed here because the query backend's database load
+// is part of graph construction.
+func runDetection(rep *Report, res *analysis.Result, cfgq *queries.Config, engine Engine, start time.Time) {
+	switch engine {
+	case EngineNative:
+		rep.GraphTime = time.Since(start)
+		qStart := time.Now()
+		eng := taint.NewEngine(res, cfgq)
+		rep.Findings = eng.Detect()
+		rep.NativeTime = time.Since(qStart)
+		rep.QueryTime = rep.NativeTime
+		rep.TruncatedSearches = eng.Truncated
+
+	case EngineDifferential:
+		lg := queries.Load(res)
+		rep.GraphTime = time.Since(start)
+		qStart := time.Now()
+		qf, err := queries.Detect(lg, cfgq)
+		rep.QueryEngineTime = time.Since(qStart)
+		if err != nil {
+			rep.Err = err
+			return
+		}
+		nStart := time.Now()
+		eng := taint.NewEngine(res, cfgq)
+		nf := eng.Detect()
+		rep.NativeTime = time.Since(nStart)
+		rep.QueryTime = rep.QueryEngineTime + rep.NativeTime
+		rep.TruncatedSearches = lg.Truncated + eng.Truncated
+		rep.Findings = qf
+		if err := DiffFindings(qf, nf); err != nil {
+			rep.Err = fmt.Errorf("scanner: differential mismatch on %s: %w", rep.Name, err)
+		}
+
+	default: // EngineQuery
+		lg := queries.Load(res)
+		rep.GraphTime = time.Since(start)
+		qStart := time.Now()
+		fs, err := queries.Detect(lg, cfgq)
+		rep.QueryEngineTime = time.Since(qStart)
+		rep.QueryTime = rep.QueryEngineTime
+		rep.TruncatedSearches = lg.Truncated
+		if err != nil {
+			rep.Err = err
+			return
+		}
+		rep.Findings = fs
+	}
+}
+
+// DiffFindings compares the finding sets of the two backends on the
+// identity (CWE, sink name, sink file, sink line, source), ignoring
+// witness paths (the backends report different but equally valid
+// witnesses). A non-nil error describes every discrepancy.
+func DiffFindings(query, native []queries.Finding) error {
+	key := func(f queries.Finding) string {
+		return fmt.Sprintf("%s %s %s:%d (source %s)", f.CWE, f.SinkName, f.SinkFile, f.SinkLine, f.Source)
+	}
+	count := func(fs []queries.Finding) map[string]int {
+		m := map[string]int{}
+		for _, f := range fs {
+			m[key(f)]++
+		}
+		return m
+	}
+	qm, nm := count(query), count(native)
+	var diffs []string
+	for k, c := range qm {
+		if nm[k] != c {
+			diffs = append(diffs, fmt.Sprintf("query=%d native=%d: %s", c, nm[k], k))
+		}
+	}
+	for k, c := range nm {
+		if _, ok := qm[k]; !ok {
+			diffs = append(diffs, fmt.Sprintf("query=0 native=%d: %s", c, k))
+		}
+	}
+	if len(diffs) == 0 {
+		return nil
+	}
+	sort.Strings(diffs)
+	return fmt.Errorf("finding sets differ (%d discrepancies):\n  %s",
+		len(diffs), strings.Join(diffs, "\n  "))
 }
 
 // ScanFile scans one JavaScript file.
@@ -162,6 +325,12 @@ func ScanPackage(dir string, opts Options) *Report {
 		cfgq = queries.DefaultConfig()
 	}
 	rep := &Report{Name: dir}
+	engine, err := ParseEngine(string(opts.Engine))
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	rep.Engine = engine
 	start := time.Now()
 
 	frontEnd := noCacheFrontEnd
@@ -199,6 +368,11 @@ func ScanPackage(dir string, opts Options) *Report {
 		return rep
 	}
 
+	if gateSkips(rep, progs, cfgq, opts) {
+		rep.GraphTime = time.Since(start)
+		return rep
+	}
+
 	aopts := opts.Analysis
 	if aopts.MaxLoopIter == 0 {
 		aopts = analysis.DefaultOptions()
@@ -211,11 +385,6 @@ func ScanPackage(dir string, opts Options) *Report {
 		rep.GraphTime = time.Since(start)
 		return rep
 	}
-	lg := queries.Load(res)
-	rep.GraphTime = time.Since(start)
-
-	qStart := time.Now()
-	rep.Findings = queries.Detect(lg, cfgq)
-	rep.QueryTime = time.Since(qStart)
+	runDetection(rep, res, cfgq, engine, start)
 	return rep
 }
