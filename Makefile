@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench tables
+.PHONY: check fmt vet build test race bench bench-all tables
 
 # check is the tier-1 gate: formatting, vet, build, and the race-enabled
 # test suite. CI and pre-commit both run this target.
@@ -24,7 +24,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the corpus-sweep benchmarks once and appends a JSON
+# snapshot to BENCH_parallel.json, so the parallel-scan perf trajectory
+# is tracked across PRs. bench-all runs every benchmark once (no
+# snapshot).
 bench:
+	$(GO) test -run xxx -bench 'ParallelSweep|Table4GraphJS' -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_parallel.json
+	@tail -n 4 BENCH_parallel.json
+
+bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
 tables:

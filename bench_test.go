@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
@@ -125,6 +126,37 @@ func BenchmarkTable4ODGen(b *testing.B) {
 		if out.Packages != len(c.Packages) {
 			b.Fatal("bad run")
 		}
+	}
+}
+
+// BenchmarkParallelSweep measures the bounded worker pool: the full
+// ground-truth Graph.js sweep at 1, 2, 4 and GOMAXPROCS workers. The
+// wall-clock ratio between workers=1 and workers=N is the tentpole
+// speedup claim (≥2× expected on a ≥4-core machine; on a single core
+// the pool degenerates to the sequential path and the ratio is ~1).
+// The cpu/wall metric reports each run's own sum-of-CPU over
+// wall-clock ratio.
+func BenchmarkParallelSweep(b *testing.B) {
+	vul, sec := dataset.GroundTruth(42)
+	c := &dataset.Corpus{Name: "combined"}
+	c.Packages = append(c.Packages, vul.Packages...)
+	c.Packages = append(c.Packages, sec.Packages...)
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				sw := metrics.SweepGraphJS(c, scanner.Options{Workers: w})
+				if len(sw.Results) != len(c.Packages) {
+					b.Fatal("bad sweep")
+				}
+				speedup = sw.Speedup()
+			}
+			b.ReportMetric(speedup, "cpu/wall")
+		})
 	}
 }
 

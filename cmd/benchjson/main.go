@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` output on stdin into
+// JSON-lines benchmark snapshots, one object per benchmark result:
+//
+//	go test -run xxx -bench ParallelSweep -benchtime 1x . | benchjson -out BENCH_parallel.json
+//
+// Each line records the benchmark name, iteration count, ns/op, any
+// extra metrics (e.g. the sweep's cpu/wall ratio), the host's
+// GOMAXPROCS, and a timestamp. With -out FILE the lines are appended
+// to FILE (the perf-trajectory log `make bench` maintains); otherwise
+// they go to stdout. Non-benchmark lines are passed through to stderr
+// so failures stay visible.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is one benchmark measurement.
+type Snapshot struct {
+	Time       string             `json:"time"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Benchmark  string             `json:"benchmark"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "append JSON lines to this file (default stdout)")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	enc := json.NewEncoder(w)
+	now := time.Now().UTC().Format(time.RFC3339)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	n := 0
+	for sc.Scan() {
+		line := sc.Text()
+		snap, ok := parseBenchLine(line)
+		if !ok {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		snap.Time = now
+		snap.GoMaxProcs = runtime.GOMAXPROCS(0)
+		if err := enc.Encode(snap); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkParallelSweep/workers=4  1  567277340 ns/op  2.036 cpu/wall
+func parseBenchLine(line string) (Snapshot, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Snapshot{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Snapshot{}, false
+	}
+	snap := Snapshot{Benchmark: fields[0], Iterations: iters}
+	// The remainder alternates value/unit pairs.
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Snapshot{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			snap.NsPerOp = v
+			seen = true
+			continue
+		}
+		if snap.Metrics == nil {
+			snap.Metrics = map[string]float64{}
+		}
+		snap.Metrics[unit] = v
+	}
+	return snap, seen
+}

@@ -8,16 +8,19 @@
 //	benchtables -figure 7     analysis-time CDF (Figure 7)
 //	benchtables -table 6      per-phase timing (Table 6)
 //	benchtables -table 7      graph sizes by LoC (Table 7)
+//	benchtables -sweep        worker-pool scaling (1/2/4/8 workers)
 //	benchtables -all          everything
 //
-// Results are printed with the paper's reference values alongside the
-// measured ones where applicable.
+// Corpus scans run on a bounded worker pool; -workers N bounds it
+// (default GOMAXPROCS). Results are printed with the paper's reference
+// values alongside the measured ones where applicable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/dataset"
@@ -34,10 +37,15 @@ func main() {
 	all := flag.Bool("all", false, "regenerate everything")
 	seed := flag.Int64("seed", 42, "corpus generation seed")
 	collectedN := flag.Int("collected", 800, "size of the Collected-style corpus")
+	workers := flag.Int("workers", 0, "worker-pool size for corpus sweeps (0 = GOMAXPROCS)")
+	sweep := flag.Bool("sweep", false, "print worker-pool scaling (1/2/4/8 workers)")
 	flag.Parse()
 
 	r := newRunner(*seed, *collectedN)
+	r.workers = *workers
 	switch {
+	case *sweep:
+		r.sweepTable()
 	case *all:
 		r.table3()
 		r.table4()
@@ -69,6 +77,7 @@ func main() {
 type runner struct {
 	seed       int64
 	collectedN int
+	workers    int
 
 	vulcan, secbench, combined *dataset.Corpus
 
@@ -91,12 +100,63 @@ func (r *runner) run() {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "scanning %d packages with Graph.js...\n", len(r.combined.Packages))
-	r.gjs = metrics.RunGraphJS(r.combined, scanner.Options{})
+	gs := metrics.SweepGraphJS(r.combined, scanner.Options{Workers: r.workers})
+	r.gjs = gs.Results
+	fmt.Fprintf(os.Stderr, "  %d workers: wall %s, cpu %s (%.2fx)\n",
+		gs.Workers, gs.Wall.Round(time.Millisecond), gs.CPU.Round(time.Millisecond), gs.Speedup())
 	fmt.Fprintf(os.Stderr, "scanning %d packages with the ODGen-style baseline...\n", len(r.combined.Packages))
-	r.odg = metrics.RunODGen(r.combined, odgen.DefaultOptions())
+	od := odgen.DefaultOptions()
+	od.Workers = r.workers
+	osw := metrics.SweepODGen(r.combined, od)
+	r.odg = osw.Results
+	fmt.Fprintf(os.Stderr, "  %d workers: wall %s, cpu %s (%.2fx)\n",
+		osw.Workers, osw.Wall.Round(time.Millisecond), osw.CPU.Round(time.Millisecond), osw.Speedup())
 	r.gOut = metrics.Evaluate("Graph.js", r.gjs, false)
 	r.oOut = metrics.Evaluate("ODGen*", r.odg, true)
 	r.ran = true
+}
+
+// sweepTable measures the ground-truth Graph.js sweep at 1/2/4/8
+// workers (the EXPERIMENTS.md scaling table) and cross-checks that
+// every worker count reports the same findings.
+func (r *runner) sweepTable() {
+	fmt.Println("== Worker-pool scaling: Graph.js over the ground-truth corpus ==")
+	var rows [][]string
+	var baseline *metrics.Sweep
+	for _, w := range []int{1, 2, 4, 8} {
+		sw := metrics.SweepGraphJS(r.combined, scanner.Options{Workers: w})
+		if baseline == nil {
+			baseline = sw
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(sw.Workers),
+			metrics.FmtDur(sw.Wall),
+			metrics.FmtDur(sw.CPU),
+			fmt.Sprintf("%.2fx", sw.Speedup()),
+			fmt.Sprintf("%.2fx", float64(baseline.Wall)/float64(sw.Wall)),
+			fmt.Sprint(sameFindings(baseline.Results, sw.Results)),
+		})
+	}
+	fmt.Print(metrics.Table(
+		[]string{"workers", "wall", "sum-of-CPU", "cpu/wall", "vs 1 worker", "findings=seq"}, rows))
+	fmt.Printf("(%d packages, GOMAXPROCS=%d)\n\n", len(r.combined.Packages), runtime.GOMAXPROCS(0))
+}
+
+// sameFindings reports whether two sweeps produced identical
+// finding-sets package by package.
+func sameFindings(a, b []metrics.PackageResult) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Package != b[i].Package {
+			return false
+		}
+		if scanner.DiffFindings(a[i].Findings, b[i].Findings) != nil {
+			return false
+		}
+	}
+	return true
 }
 
 func cweName(c queries.CWE) string {
@@ -212,8 +272,11 @@ func (r *runner) table5() {
 	exploitable := map[queries.CWE]int{}
 	fp := map[queries.CWE]int{}
 	confirmed := map[string]map[queries.CWE]bool{}
-	for _, p := range c.Packages {
-		rep := scanner.ScanSource(p.Source, p.Name, scanner.Options{Config: cfg})
+	// Scans run on the worker pool; the confirmation pass below stays
+	// sequential because it shares the memoization maps.
+	results := metrics.RunGraphJS(c, scanner.Options{Config: cfg, Workers: r.workers})
+	for i, p := range c.Packages {
+		rep := results[i]
 		for _, f := range rep.Findings {
 			reported[f.CWE]++
 			// Dynamic confirmation (the paper's expert check, §5.3):

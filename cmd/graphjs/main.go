@@ -10,6 +10,7 @@
 //
 //	-config FILE    sink configuration (JSON); default: built-in sinks
 //	-engine NAME    detection engine: query, native, or differential
+//	-workers N      scan targets on N parallel workers (0 = GOMAXPROCS)
 //	-timeout DUR    per-target analysis timeout (default 5m, as in §5.1)
 //	-require-sink   treat dynamic require() as a code-injection sink
 //	-dump-mdg       print the MDG in Graphviz DOT format and exit
@@ -27,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/analysis"
@@ -40,6 +43,7 @@ import (
 func main() {
 	configPath := flag.String("config", "", "sink configuration file (JSON)")
 	engineName := flag.String("engine", "query", "detection engine: query, native, or differential")
+	workers := flag.Int("workers", 1, "parallel workers for multi-target scans (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-target analysis timeout")
 	requireSink := flag.Bool("require-sink", false, "treat dynamic require() as a code-injection sink")
 	dumpMDG := flag.Bool("dump-mdg", false, "print the MDG in DOT format")
@@ -75,8 +79,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Scans run on a bounded worker pool (ScanSource is safe for
+	// concurrent use); reports are collected into an index-addressed
+	// slice and printed in argument order, so -workers never reorders
+	// or interleaves output. Dump modes and the confirmation/PoC
+	// passes below stay on the main goroutine.
+	targets := flag.Args()
+	reports := make([]*scanner.Report, len(targets))
+	opts := scanner.Options{Config: cfg, Timeout: *timeout, Engine: engine}
+	if !(*dumpMDG || *dumpCore || *exportDB) {
+		scanAll(targets, reports, opts, *workers)
+	}
+
 	exit := 0
-	for _, target := range flag.Args() {
+	for i, target := range targets {
 		if *dumpMDG || *dumpCore || *exportDB {
 			if err := dump(target, *dumpMDG, *dumpCore, *exportDB); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -84,7 +100,7 @@ func main() {
 			}
 			continue
 		}
-		rep := scanTarget(target, scanner.Options{Config: cfg, Timeout: *timeout, Engine: engine})
+		rep := reports[i]
 		if rep.Err != nil {
 			fmt.Fprintf(os.Stderr, "graphjs: %v\n", rep.Err)
 			exit = 1
@@ -108,6 +124,33 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// scanAll fills reports[i] with the scan of targets[i], using a
+// bounded pool of workers goroutines (0 = GOMAXPROCS).
+func scanAll(targets []string, reports []*scanner.Report, opts scanner.Options, workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				reports[i] = scanTarget(targets[i], opts)
+			}
+		}()
+	}
+	for i := range targets {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
 }
 
 // confirmFindings drives the target in the instrumented interpreter

@@ -1,0 +1,15 @@
+// Package jsinterp is a concrete interpreter for Core JavaScript used
+// to confirm findings dynamically: the paper validates reported
+// vulnerabilities by running hand-written exploits (§5.3); this
+// interpreter runs the equivalent experiment in-process. Sink built-ins
+// (exec, eval, fs.*) are instrumented to record their arguments, and
+// the object model implements real prototype-chain semantics so
+// Object.prototype pollution is observable.
+//
+// In the pipeline this package sits after detection: internal/poc
+// drives a scanned package's exported entry points with
+// class-appropriate payloads in a fresh Interp and checks the sink log
+// / Object.prototype for evidence. Each Interp owns all of its state
+// (heap, scopes, sink log), so independent confirmations may run in
+// parallel as long as each uses its own Interp.
+package jsinterp

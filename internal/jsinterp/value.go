@@ -1,10 +1,3 @@
-// Package jsinterp is a concrete interpreter for Core JavaScript used
-// to confirm findings dynamically: the paper validates reported
-// vulnerabilities by running hand-written exploits (§5.3); this
-// interpreter runs the equivalent experiment in-process. Sink built-ins
-// (exec, eval, fs.*) are instrumented to record their arguments, and
-// the object model implements real prototype-chain semantics so
-// Object.prototype pollution is observable.
 package jsinterp
 
 import (

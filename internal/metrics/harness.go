@@ -1,52 +1,162 @@
 package metrics
 
 import (
+	"runtime"
+	"sync"
+	"time"
+
 	"repro/internal/dataset"
 	"repro/internal/odgen"
 	"repro/internal/scanner"
 )
 
-// RunGraphJS scans every package of a corpus with Graph.js and collects
-// per-package results.
-func RunGraphJS(c *dataset.Corpus, opts scanner.Options) []PackageResult {
-	out := make([]PackageResult, 0, len(c.Packages))
-	for _, p := range c.Packages {
-		rep := scanner.ScanSource(p.Source, p.Name, opts)
-		out = append(out, PackageResult{
-			Package:           p,
-			Findings:          rep.Findings,
-			TimedOut:          rep.TimedOut,
-			GraphTime:         rep.GraphTime,
-			QueryTime:         rep.QueryTime,
-			TotalNodes:        rep.TotalNodes(),
-			TotalEdges:        rep.TotalEdges(),
-			LoC:               rep.LoC,
-			QueryEngineTime:   rep.QueryEngineTime,
-			NativeTime:        rep.NativeTime,
-			FuncsPruned:       rep.FuncsPruned,
-			SkippedByReach:    rep.SkippedByReach,
-			TruncatedSearches: rep.TruncatedSearches,
-		})
+// Sweep is the outcome of scanning a whole corpus with one tool:
+// per-package results in corpus order plus the aggregate timing that
+// makes the parallel speedup measurable. Wall is the elapsed time of
+// the sweep; CPU is the sum of the per-package analysis times, which
+// is (approximately) what a single worker would have spent. Their
+// ratio, Speedup, approaches the worker count when packages
+// parallelize well.
+type Sweep struct {
+	Results []PackageResult
+	Wall    time.Duration // elapsed wall-clock time for the whole sweep
+	CPU     time.Duration // sum of per-package analysis times
+	Workers int           // workers the pool actually used
+}
+
+// Speedup is the sum-of-CPU over wall-clock ratio (1.0 when sequential,
+// → Workers under perfect scaling). Returns 0 when no time was
+// recorded.
+func (s *Sweep) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 0
 	}
-	return out
+	return float64(s.CPU) / float64(s.Wall)
+}
+
+// poolWorkers resolves a Workers option: 0 (or negative) means
+// runtime.GOMAXPROCS(0), and the pool never spawns more workers than
+// there are packages.
+func poolWorkers(workers, packages int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > packages {
+		workers = packages
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runCorpus is the shared per-package runner behind every corpus
+// sweep: a bounded worker pool executing scan(i) for each package
+// index. The sequential path is simply the Workers=1 instance of the
+// same pool — there is no second code path. Results are written into
+// an index-addressed slice, so the output order is the corpus package
+// order no matter how the scheduler interleaves workers, and no two
+// goroutines ever touch the same element.
+func runCorpus(packages, workers int, scan func(i int) PackageResult) *Sweep {
+	n := poolWorkers(workers, packages)
+	sw := &Sweep{Results: make([]PackageResult, packages), Workers: n}
+	start := time.Now()
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				sw.Results[i] = scan(i)
+			}
+		}()
+	}
+	for i := 0; i < packages; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	sw.Wall = time.Since(start)
+	for i := range sw.Results {
+		r := &sw.Results[i]
+		sw.CPU += r.GraphTime + r.QueryTime
+	}
+	return sw
+}
+
+// graphjsResult assembles one Graph.js scan report into a
+// PackageResult row.
+func graphjsResult(p *dataset.Package, rep *scanner.Report) PackageResult {
+	return PackageResult{
+		Package:           p,
+		Findings:          rep.Findings,
+		TimedOut:          rep.TimedOut,
+		Err:               rep.Err,
+		GraphTime:         rep.GraphTime,
+		QueryTime:         rep.QueryTime,
+		TotalNodes:        rep.TotalNodes(),
+		TotalEdges:        rep.TotalEdges(),
+		LoC:               rep.LoC,
+		QueryEngineTime:   rep.QueryEngineTime,
+		NativeTime:        rep.NativeTime,
+		FuncsPruned:       rep.FuncsPruned,
+		SkippedByReach:    rep.SkippedByReach,
+		TruncatedSearches: rep.TruncatedSearches,
+	}
+}
+
+// odgenResult assembles one baseline scan report into a PackageResult
+// row.
+func odgenResult(p *dataset.Package, rep *odgen.Report) PackageResult {
+	return PackageResult{
+		Package:    p,
+		Findings:   rep.Findings,
+		TimedOut:   rep.TimedOut,
+		Err:        rep.Err,
+		GraphTime:  rep.GraphTime,
+		QueryTime:  rep.QueryTime,
+		TotalNodes: rep.ODGNodes,
+		TotalEdges: rep.ODGEdges,
+		LoC:        rep.LoC,
+	}
+}
+
+// SweepGraphJS scans every package of a corpus with Graph.js on a
+// bounded worker pool (opts.Workers goroutines; 0 = GOMAXPROCS) and
+// returns per-package results in corpus order plus aggregate wall-clock
+// vs CPU timing. Packages are independent and scanner.ScanSource is
+// safe for concurrent use, so results are identical to a sequential
+// sweep regardless of scheduling.
+func SweepGraphJS(c *dataset.Corpus, opts scanner.Options) *Sweep {
+	return runCorpus(len(c.Packages), opts.Workers, func(i int) PackageResult {
+		p := c.Packages[i]
+		return graphjsResult(p, scanner.ScanSource(p.Source, p.Name, opts))
+	})
+}
+
+// SweepODGen scans every package of a corpus with the ODGen-style
+// baseline on the same bounded worker pool as SweepGraphJS.
+func SweepODGen(c *dataset.Corpus, opts odgen.Options) *Sweep {
+	return runCorpus(len(c.Packages), opts.Workers, func(i int) PackageResult {
+		p := c.Packages[i]
+		return odgenResult(p, odgen.Scan(p.Source, p.Name, opts))
+	})
+}
+
+// RunGraphJS scans every package of a corpus with Graph.js and collects
+// per-package results in corpus order. Parallelism is controlled by
+// opts.Workers (0 = GOMAXPROCS); use SweepGraphJS to also get the
+// aggregate sweep timing.
+func RunGraphJS(c *dataset.Corpus, opts scanner.Options) []PackageResult {
+	return SweepGraphJS(c, opts).Results
 }
 
 // RunODGen scans every package of a corpus with the ODGen-style
-// baseline.
+// baseline. Parallelism is controlled by opts.Workers (0 = GOMAXPROCS);
+// use SweepODGen to also get the aggregate sweep timing.
 func RunODGen(c *dataset.Corpus, opts odgen.Options) []PackageResult {
-	out := make([]PackageResult, 0, len(c.Packages))
-	for _, p := range c.Packages {
-		rep := odgen.Scan(p.Source, p.Name, opts)
-		out = append(out, PackageResult{
-			Package:    p,
-			Findings:   rep.Findings,
-			TimedOut:   rep.TimedOut,
-			GraphTime:  rep.GraphTime,
-			QueryTime:  rep.QueryTime,
-			TotalNodes: rep.ODGNodes,
-			TotalEdges: rep.ODGEdges,
-			LoC:        rep.LoC,
-		})
-	}
-	return out
+	return SweepODGen(c, opts).Results
 }

@@ -84,6 +84,9 @@ type PackageResult struct {
 	Package  *dataset.Package
 	Findings []queries.Finding
 	TimedOut bool
+	// Err is the scan error, if any (differential-engine mismatches
+	// surface here rather than being silently dropped).
+	Err error
 	// Timing and size metrics for Tables 6/7 and Figure 7.
 	GraphTime  time.Duration
 	QueryTime  time.Duration

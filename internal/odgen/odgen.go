@@ -49,6 +49,10 @@ type Options struct {
 	StepBudget int
 	// Config supplies the sink lists (DefaultConfig when nil).
 	Config *queries.Config
+	// Workers bounds the worker pool for multi-package sweeps
+	// (metrics.SweepODGen). 0 means runtime.GOMAXPROCS(0); 1 forces a
+	// sequential sweep. A single Scan call ignores it.
+	Workers int
 }
 
 // DefaultOptions mirror the artifact's defaults.
@@ -160,6 +164,11 @@ func (e *env) set(x string, v objID) {
 }
 
 // Scan runs the baseline on one source text.
+//
+// Scan is safe for concurrent use by multiple goroutines: all scan
+// state (ODG, worklists, step budget) is allocated per call, the
+// package's only globals are immutable lookup tables, and the shared
+// opts.Config is never written after construction.
 func Scan(src, name string, opts Options) *Report {
 	if opts.UnrollLimit == 0 {
 		opts = DefaultOptions()

@@ -1,7 +1,3 @@
-// Package queries implements Graph.js's vulnerability detection layer
-// (paper §4): the MDG is loaded into the embedded graph database and
-// the Table 1 base traversals / Table 2 vulnerability queries are run
-// against it.
 package queries
 
 import (

@@ -68,6 +68,11 @@ type Options struct {
 	// skips graph construction for packages whose reachable code
 	// cannot produce a finding.
 	NoReachGate bool
+	// Workers bounds the worker pool for multi-package sweeps
+	// (metrics.SweepGraphJS, graphjs -workers). 0 means
+	// runtime.GOMAXPROCS(0); 1 forces a sequential sweep. A single
+	// ScanSource/ScanFile/ScanPackage call ignores it.
+	Workers int
 }
 
 // Report is the outcome of scanning one file or package.
@@ -123,6 +128,13 @@ func (r *Report) TotalEdges() int { return r.CFGEdges + r.MDGEdges }
 func (r *Report) TotalTime() time.Duration { return r.GraphTime + r.QueryTime }
 
 // ScanSource scans one JavaScript source text.
+//
+// ScanSource is safe for concurrent use by multiple goroutines, which
+// is what makes parallel corpus sweeps (metrics.SweepGraphJS) sound:
+// every pipeline stage — parser, normalizer, CFG builder, abstract
+// interpreter, reach gate, and all three detection backends —
+// allocates its state per call, the shared opts.Config is read-only
+// after construction, and opts.Cache (when set) is internally locked.
 func ScanSource(src, name string, opts Options) *Report {
 	rep := &Report{Name: name, LoC: strings.Count(src, "\n") + 1}
 	cfgq := opts.Config
