@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-all tables
+.PHONY: check fmt vet build test race bench bench-all bench-faults tables pathological fuzz-smoke
 
-# check is the tier-1 gate: formatting, vet, build, and the race-enabled
-# test suite. CI and pre-commit both run this target.
-check: fmt vet build race
+# check is the tier-1 gate: formatting, vet, build, the race-enabled
+# test suite, the crash-corpus regression, and a short fuzz smoke.
+# CI and pre-commit both run this target.
+check: fmt vet build race pathological fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -36,5 +37,26 @@ bench:
 bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
+# bench-faults snapshots the crash-corpus failure-class counts into
+# BENCH_faults.json (fault-containment trajectory across PRs).
+bench-faults:
+	$(GO) test -run xxx -bench FaultSweep -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_faults.json
+	@tail -n 4 BENCH_faults.json
+
 tables:
 	$(GO) run ./cmd/benchtables
+
+# pathological runs the fault-containment regressions: every
+# crash-corpus package must terminate under a tight budget with its
+# expected failure class, and sweeps must survive injected panics.
+pathological:
+	$(GO) test -race -run 'Pathological|Fault|Fallback|PanicIsolation|SweepSurvives' \
+		./internal/scanner ./internal/metrics
+
+# fuzz-smoke gives each fuzz target a few seconds — enough to catch
+# newly introduced panics on the seeded pathological shapes.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzScanAll -fuzztime 3s ./internal/js/lexer
+	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 3s ./internal/js/parser
+	$(GO) test -run xxx -fuzz FuzzParseQuery -fuzztime 3s ./internal/graphdb

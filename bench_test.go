@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/budget"
 	"repro/internal/dataset"
 	"repro/internal/graphdb"
 	"repro/internal/js/normalize"
@@ -157,6 +158,34 @@ func BenchmarkParallelSweep(b *testing.B) {
 			}
 			b.ReportMetric(speedup, "cpu/wall")
 		})
+	}
+}
+
+// BenchmarkFaultSweep sweeps the pathological crash corpus with both
+// tools under a tight per-package budget and reports the resulting
+// failure-class counts as metrics (snapshot: BENCH_faults.json). The
+// counts are the fault-containment contract — a change that turns an
+// "ok" or classified row into a hang or a process-killing panic shows
+// up here before it shows up in a corpus run.
+func BenchmarkFaultSweep(b *testing.B) {
+	c := dataset.Pathological()
+	for i := 0; i < b.N; i++ {
+		gs := metrics.SweepGraphJS(c, scanner.Options{Timeout: 2 * time.Second})
+		od := odgen.DefaultOptions()
+		od.StepBudget = 20000
+		od.Timeout = 2 * time.Second
+		osw := metrics.SweepODGen(c, od)
+		if len(gs.Results) != len(c.Packages) || len(osw.Results) != len(c.Packages) {
+			b.Fatal("bad sweep")
+		}
+		gc := metrics.FailureCounts(gs.Results)
+		oc := metrics.FailureCounts(osw.Results)
+		for _, cl := range budget.Classes {
+			b.ReportMetric(float64(gc[cl]), "graphjs-"+cl.String())
+			b.ReportMetric(float64(oc[cl]), "odgen-"+cl.String())
+		}
+		b.ReportMetric(float64(gc[budget.ClassNone]), "graphjs-ok")
+		b.ReportMetric(float64(oc[budget.ClassNone]), "odgen-ok")
 	}
 }
 

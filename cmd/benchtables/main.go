@@ -9,6 +9,7 @@
 //	benchtables -table 6      per-phase timing (Table 6)
 //	benchtables -table 7      graph sizes by LoC (Table 7)
 //	benchtables -sweep        worker-pool scaling (1/2/4/8 workers)
+//	benchtables -faults       failure-class counts on the crash corpus
 //	benchtables -all          everything
 //
 // Corpus scans run on a bounded worker pool; -workers N bounds it
@@ -23,6 +24,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/odgen"
@@ -39,6 +41,7 @@ func main() {
 	collectedN := flag.Int("collected", 800, "size of the Collected-style corpus")
 	workers := flag.Int("workers", 0, "worker-pool size for corpus sweeps (0 = GOMAXPROCS)")
 	sweep := flag.Bool("sweep", false, "print worker-pool scaling (1/2/4/8 workers)")
+	faults := flag.Bool("faults", false, "print failure-class counts on the crash corpus")
 	flag.Parse()
 
 	r := newRunner(*seed, *collectedN)
@@ -46,6 +49,8 @@ func main() {
 	switch {
 	case *sweep:
 		r.sweepTable()
+	case *faults:
+		r.faultsTable()
 	case *all:
 		r.table3()
 		r.table4()
@@ -140,6 +145,40 @@ func (r *runner) sweepTable() {
 	fmt.Print(metrics.Table(
 		[]string{"workers", "wall", "sum-of-CPU", "cpu/wall", "vs 1 worker", "findings=seq"}, rows))
 	fmt.Printf("(%d packages, GOMAXPROCS=%d)\n\n", len(r.combined.Packages), runtime.GOMAXPROCS(0))
+}
+
+// faultsTable sweeps the pathological crash corpus with both tools
+// under a tight per-package budget and reports how each run ended —
+// the fault-containment counterpart of the effectiveness tables.
+func (r *runner) faultsTable() {
+	c := dataset.Pathological()
+	fmt.Printf("== Failure classes: %d crash-corpus packages, 2s/package budget ==\n", len(c.Packages))
+	gs := metrics.SweepGraphJS(c, scanner.Options{Timeout: 2 * time.Second, Workers: r.workers})
+	od := odgen.DefaultOptions()
+	od.StepBudget = 20000
+	od.Timeout = 2 * time.Second
+	od.Workers = r.workers
+	osw := metrics.SweepODGen(c, od)
+
+	gc := metrics.FailureCounts(gs.Results)
+	oc := metrics.FailureCounts(osw.Results)
+	var rows [][]string
+	for _, cl := range append([]budget.Class{budget.ClassNone}, budget.Classes...) {
+		rows = append(rows, []string{cl.String(), fmt.Sprint(gc[cl]), fmt.Sprint(oc[cl])})
+	}
+	fmt.Print(metrics.Table([]string{"class", "Graph.js", "ODGen*"}, rows))
+	var rows2 [][]string
+	for i, p := range c.Packages {
+		g, o := gs.Results[i], osw.Results[i]
+		rows2 = append(rows2, []string{
+			p.Name, g.Failure.String(), fmt.Sprint(len(g.Findings)),
+			o.Failure.String(), fmt.Sprint(len(o.Findings)),
+		})
+	}
+	fmt.Print(metrics.Table([]string{"package", "G.class", "G.findings", "O.class", "O.findings"}, rows2))
+	fmt.Println("(every package terminates within its budget; budget-exceeded rows keep")
+	fmt.Println(" the findings established before the budget tripped)")
+	fmt.Println()
 }
 
 // sameFindings reports whether two sweeps produced identical

@@ -9,9 +9,12 @@
 // Flags:
 //
 //	-config FILE    sink configuration (JSON); default: built-in sinks
-//	-engine NAME    detection engine: query, native, or differential
+//	-engine NAME    detection engine: query, native, differential, or fallback
 //	-workers N      scan targets on N parallel workers (0 = GOMAXPROCS)
 //	-timeout DUR    per-target analysis timeout (default 5m, as in §5.1)
+//	-max-steps N    per-target abstract-step cap (0 = unlimited)
+//	-max-nodes N    per-target MDG node cap (0 = unlimited)
+//	-max-edges N    per-target MDG edge cap (0 = unlimited)
 //	-require-sink   treat dynamic require() as a code-injection sink
 //	-dump-mdg       print the MDG in Graphviz DOT format and exit
 //	-dump-core      print the normalized Core JavaScript and exit
@@ -42,9 +45,12 @@ import (
 
 func main() {
 	configPath := flag.String("config", "", "sink configuration file (JSON)")
-	engineName := flag.String("engine", "query", "detection engine: query, native, or differential")
+	engineName := flag.String("engine", "query", "detection engine: query, native, differential, or fallback")
 	workers := flag.Int("workers", 1, "parallel workers for multi-target scans (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-target analysis timeout")
+	maxSteps := flag.Int("max-steps", 0, "per-target abstract-step cap (0 = unlimited)")
+	maxNodes := flag.Int("max-nodes", 0, "per-target MDG node cap (0 = unlimited)")
+	maxEdges := flag.Int("max-edges", 0, "per-target MDG edge cap (0 = unlimited)")
 	requireSink := flag.Bool("require-sink", false, "treat dynamic require() as a code-injection sink")
 	dumpMDG := flag.Bool("dump-mdg", false, "print the MDG in DOT format")
 	dumpCore := flag.Bool("dump-core", false, "print the normalized Core JavaScript")
@@ -86,7 +92,10 @@ func main() {
 	// passes below stay on the main goroutine.
 	targets := flag.Args()
 	reports := make([]*scanner.Report, len(targets))
-	opts := scanner.Options{Config: cfg, Timeout: *timeout, Engine: engine}
+	opts := scanner.Options{
+		Config: cfg, Timeout: *timeout, Engine: engine,
+		MaxSteps: *maxSteps, MaxNodes: *maxNodes, MaxEdges: *maxEdges,
+	}
 	if !(*dumpMDG || *dumpCore || *exportDB) {
 		scanAll(targets, reports, opts, *workers)
 	}
@@ -196,6 +205,15 @@ func printHuman(rep *scanner.Report, stats, trace bool) {
 	if rep.TimedOut {
 		fmt.Println("  analysis timed out")
 	}
+	if rep.Failure != "" {
+		fmt.Printf("  failure class: %s\n", rep.Failure)
+	}
+	if rep.Incomplete {
+		fmt.Println("  incomplete: findings below are the subset established before the budget tripped")
+	}
+	if rep.FellBack {
+		fmt.Printf("  fell back to the query engine (native failed: %v)\n", rep.FallbackErr)
+	}
 	if len(rep.Findings) == 0 {
 		fmt.Println("  no vulnerabilities found")
 	}
@@ -231,10 +249,16 @@ type jsonFinding struct {
 
 func printJSON(rep *scanner.Report) {
 	out := struct {
-		Name     string        `json:"name"`
-		TimedOut bool          `json:"timedOut"`
-		Findings []jsonFinding `json:"findings"`
-	}{Name: rep.Name, TimedOut: rep.TimedOut, Findings: []jsonFinding{}}
+		Name       string        `json:"name"`
+		TimedOut   bool          `json:"timedOut"`
+		Failure    string        `json:"failure,omitempty"`
+		Incomplete bool          `json:"incomplete,omitempty"`
+		FellBack   bool          `json:"fellBack,omitempty"`
+		Findings   []jsonFinding `json:"findings"`
+	}{
+		Name: rep.Name, TimedOut: rep.TimedOut, Failure: string(rep.Failure),
+		Incomplete: rep.Incomplete, FellBack: rep.FellBack, Findings: []jsonFinding{},
+	}
 	for _, f := range rep.Findings {
 		out.Findings = append(out.Findings, jsonFinding{
 			CWE: string(f.CWE), Sink: f.SinkName, Line: f.SinkLine, Source: f.Source,

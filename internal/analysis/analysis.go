@@ -11,6 +11,7 @@ import (
 	"path"
 	"strings"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/mdg"
 )
@@ -26,6 +27,14 @@ type Options struct {
 	// StepBudget aborts the analysis after this many abstract steps
 	// (0 = unlimited); used to emulate analysis timeouts in benchmarks.
 	StepBudget int
+	// Budget, when set, is the scan-wide fault-containment budget:
+	// every abstract step charges it (and MDG construction charges its
+	// node/edge caps via Graph.SetBudget), so a deadline or cap hit
+	// anywhere in the pipeline aborts the analysis cooperatively with
+	// Result.TimedOut set. Unlike StepBudget — a legacy knob local to
+	// this package — the Budget records *why* it tripped, letting the
+	// scanner classify the outcome and keep the partial MDG.
+	Budget *budget.Budget
 }
 
 // DefaultOptions are the options used by the scanner.
@@ -112,6 +121,7 @@ func AnalyzeModules(progs []*core.Program, opts Options) *Result {
 		root:    mdg.NewStore(nil),
 		modules: make(map[string]moduleGlobals),
 	}
+	a.g.SetBudget(opts.Budget)
 	res := &Result{Graph: a.g, Functions: a.funcs}
 	// Pre-create every module's CommonJS globals so require() calls
 	// resolve regardless of analysis order.
@@ -213,6 +223,9 @@ func (a *analyzer) qualify(name string) string {
 func (a *analyzer) tick() {
 	a.steps++
 	if a.opts.StepBudget > 0 && a.steps > a.opts.StepBudget {
+		panic(budgetExhausted{})
+	}
+	if a.opts.Budget.Step() != nil {
 		panic(budgetExhausted{})
 	}
 }

@@ -1,0 +1,158 @@
+package budget
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestNilBudgetIsUnlimited(t *testing.T) {
+	var b *Budget
+	for i := 0; i < 1000; i++ {
+		if err := b.Step(); err != nil {
+			t.Fatalf("nil budget Step: %v", err)
+		}
+	}
+	if err := b.AddNode(); err != nil {
+		t.Fatalf("nil budget AddNode: %v", err)
+	}
+	if err := b.AddEdge(); err != nil {
+		t.Fatalf("nil budget AddEdge: %v", err)
+	}
+	if err := b.CheckDeadline(); err != nil {
+		t.Fatalf("nil budget CheckDeadline: %v", err)
+	}
+	if b.Err() != nil || b.Exceeded() {
+		t.Fatal("nil budget reports a failure")
+	}
+	if b.DeadlineOnly() != nil {
+		t.Fatal("nil budget DeadlineOnly should stay nil")
+	}
+}
+
+func TestStepCap(t *testing.T) {
+	b := New(Limits{MaxSteps: 10})
+	for i := 0; i < 10; i++ {
+		if err := b.Step(); err != nil {
+			t.Fatalf("step %d failed early: %v", i, err)
+		}
+	}
+	err := b.Step()
+	if err == nil {
+		t.Fatal("11th step should exceed the cap")
+	}
+	if ClassOf(err) != ClassBudget {
+		t.Fatalf("class = %v, want %v", ClassOf(err), ClassBudget)
+	}
+	// Sticky: every later call returns the same failure.
+	if err2 := b.Step(); !errors.Is(err2, err) {
+		t.Fatalf("failure not sticky: %v vs %v", err2, err)
+	}
+	if b.Err() == nil || !b.Exceeded() {
+		t.Fatal("Err/Exceeded disagree with Step")
+	}
+}
+
+func TestNodeAndEdgeCaps(t *testing.T) {
+	b := New(Limits{MaxNodes: 2})
+	b.AddNode()
+	b.AddNode()
+	if err := b.AddNode(); ClassOf(err) != ClassBudget {
+		t.Fatalf("node cap: got %v", err)
+	}
+	b = New(Limits{MaxEdges: 1})
+	b.AddEdge()
+	if err := b.AddEdge(); ClassOf(err) != ClassBudget {
+		t.Fatalf("edge cap: got %v", err)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	b := New(Limits{Timeout: time.Nanosecond})
+	if err := b.CheckDeadline(); ClassOf(err) != ClassTimeout {
+		t.Fatalf("expired deadline not caught: %v", err)
+	}
+	// Step notices too, within deadlineEvery steps.
+	b = New(Limits{Timeout: time.Nanosecond})
+	var err error
+	for i := 0; i < 2*deadlineEvery && err == nil; i++ {
+		err = b.Step()
+	}
+	if ClassOf(err) != ClassTimeout {
+		t.Fatalf("Step never hit the deadline: %v", err)
+	}
+}
+
+func TestErrIsUntypedNil(t *testing.T) {
+	b := New(Limits{MaxSteps: 100})
+	if err := b.Err(); err != nil {
+		t.Fatalf("fresh budget Err() = %v (%T)", err, err)
+	}
+}
+
+func TestDeadlineOnlyDropsCapsAndFailure(t *testing.T) {
+	b := New(Limits{Timeout: time.Hour, MaxSteps: 1})
+	b.Step()
+	if err := b.Step(); err == nil {
+		t.Fatal("cap should have tripped")
+	}
+	d := b.DeadlineOnly()
+	if d.Exceeded() {
+		t.Fatal("derived budget inherited the failure")
+	}
+	for i := 0; i < 1000; i++ {
+		if err := d.Step(); err != nil {
+			t.Fatalf("derived budget has a step cap: %v", err)
+		}
+	}
+	if err := d.CheckDeadline(); err != nil {
+		t.Fatalf("hour-long deadline already expired: %v", err)
+	}
+}
+
+func TestGuardConvertsPanics(t *testing.T) {
+	err := Guard("phase-x", func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v (%T), want *PanicError", err, err)
+	}
+	if pe.Phase != "phase-x" || fmt.Sprint(pe.Value) != "boom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic not captured faithfully: %+v", pe)
+	}
+	if ClassOf(err) != ClassPanic {
+		t.Fatalf("class = %v, want %v", ClassOf(err), ClassPanic)
+	}
+}
+
+func TestGuardPassesThroughBudgetPanics(t *testing.T) {
+	b := New(Limits{MaxSteps: 1})
+	b.Step()
+	berr := b.Step()
+	err := Guard("normalize", func() error { panic(berr) })
+	if ClassOf(err) != ClassBudget {
+		t.Fatalf("budget panic relabelled: %v (class %v)", err, ClassOf(err))
+	}
+}
+
+func TestGuardReturnsPlainErrors(t *testing.T) {
+	want := errors.New("plain")
+	if err := Guard("p", func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+	if err := Guard("p", func() error { return nil }); err != nil {
+		t.Fatalf("nil-error phase returned %v", err)
+	}
+}
+
+func TestClassOfDefaults(t *testing.T) {
+	if ClassOf(nil) != ClassNone {
+		t.Fatal("nil error should be ClassNone")
+	}
+	if ClassOf(errors.New("other")) != ClassNone {
+		t.Fatal("unknown errors classify as ClassNone (caller default)")
+	}
+	if ClassNone.String() != "ok" || ClassTimeout.String() != "timeout" {
+		t.Fatal("Class.String rendering changed")
+	}
+}

@@ -1,0 +1,38 @@
+package dataset
+
+import (
+	"embed"
+	"path"
+	"sort"
+	"strings"
+)
+
+//go:embed testdata/pathological/*.js
+var pathologicalFS embed.FS
+
+// Pathological returns the crash corpus: inputs engineered to stress a
+// scanner's fault containment rather than its precision. Each package
+// is a known failure mode — parser recursion depth (deep_nesting),
+// unbounded loop unrolling (unroll_bomb), graph-size blowup
+// (huge_object), and cyclic prototype chains (proto_cycle). None of
+// the packages is annotated: the corpus asserts termination and
+// failure classification, not findings.
+func Pathological() *Corpus {
+	entries, err := pathologicalFS.ReadDir("testdata/pathological")
+	if err != nil {
+		panic("dataset: embedded pathological corpus missing: " + err.Error())
+	}
+	c := &Corpus{Name: "pathological"}
+	for _, e := range entries {
+		data, rerr := pathologicalFS.ReadFile(path.Join("testdata/pathological", e.Name()))
+		if rerr != nil {
+			panic("dataset: read embedded " + e.Name() + ": " + rerr.Error())
+		}
+		c.Packages = append(c.Packages, &Package{
+			Name:   strings.TrimSuffix(e.Name(), ".js"),
+			Source: string(data),
+		})
+	}
+	sort.Slice(c.Packages, func(i, j int) bool { return c.Packages[i].Name < c.Packages[j].Name })
+	return c
+}

@@ -1,0 +1,15 @@
+// Self-referential prototype chains: naive chain-walking diverges on
+// these objects unless cycles are detected.
+function attach(obj, payload) {
+	var a = {};
+	var b = {};
+	a.next = b;
+	b.next = a;
+	a.__proto__ = b;
+	b.__proto__ = a;
+	a.self = a;
+	b.self = b;
+	obj[payload] = a;
+	return a.next.next.self;
+}
+module.exports = attach;

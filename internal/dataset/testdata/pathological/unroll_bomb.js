@@ -1,0 +1,25 @@
+const { exec } = require('child_process');
+
+// The sink fires before the explosive control flow below, so a scanner
+// that times out mid-unroll should still have recorded the finding.
+function run(cmd) {
+	exec('sh -c ' + cmd);
+	var spec = { a: { b: { c: { d: 1 } } } };
+	var acc = '';
+	function expand(s, acc) {
+		for (var a in s) {
+			for (var b in s) {
+				acc = expand(s[a], acc + b);
+			}
+		}
+		return acc;
+	}
+	while (acc.length < 100) {
+		while (acc.length < 50) {
+			acc = expand(spec, acc);
+		}
+		acc = acc + expand(spec, acc);
+	}
+	return acc;
+}
+module.exports = run;

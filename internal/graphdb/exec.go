@@ -226,6 +226,9 @@ func (db *DB) matchPattern(p *Pattern, b binding, k func(binding) error) error {
 		return err
 	}
 	for _, n := range cands {
+		if err := db.bud.Step(); err != nil {
+			return err
+		}
 		nb := b.clone()
 		if first.Var != "" {
 			nb[first.Var] = n
@@ -310,6 +313,9 @@ func (db *DB) expandRel(rp *RelPattern, cur *Node, path Path, k func(*Node, []*R
 	used := map[int64]bool{}
 	var rec func(n *Node, depth int, rels []*Rel, pth Path) error
 	rec = func(n *Node, depth int, rels []*Rel, pth Path) error {
+		if err := db.bud.Step(); err != nil {
+			return err
+		}
 		// depth 0 (zero-length) is handled by the caller below.
 		if depth > 0 && depth >= rp.MinHops {
 			if err := k(n, append([]*Rel(nil), rels...), pth); err != nil {

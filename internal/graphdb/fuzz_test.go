@@ -1,0 +1,28 @@
+package graphdb
+
+import "testing"
+
+// FuzzParseQuery asserts the Cypher-subset parser's crash-freedom
+// contract: arbitrary query text either parses or errors, without
+// panicking or recursing past the expression-depth limit.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"",
+		"MATCH (n) RETURN n",
+		"MATCH (s:TAINT_SOURCE)-[:PDG*1..]->(k:SINK) WHERE k.name = 'exec' RETURN s, k",
+		"MATCH (a)-[r:CALLS]->(b) WHERE a.line > 3 AND NOT (b.name = 'x' OR b.v) RETURN a.name, b",
+		"MATCH (n) WHERE ((((((n.v))))))" + " RETURN n",
+		"MATCH (n WHERE RETURN",
+		"MATCH (a)-[*..]->(b) RETURN count(b)",
+		"match (N:label {k: 'v', j: 1}) return N.k",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err == nil && q == nil {
+			t.Error("nil error and nil query")
+		}
+	})
+}

@@ -212,7 +212,28 @@ func lexQuery(src string) ([]qtok, error) {
 type qparser struct {
 	toks []qtok
 	pos  int
+	// depth bounds expression recursion (nested parens, NOT chains,
+	// unary minus) so adversarial query text cannot overflow the stack;
+	// recover() cannot catch a Go stack overflow, so the limit has to
+	// be explicit.
+	depth int
 }
+
+// maxExprDepth bounds qparser expression nesting. Real queries nest a
+// handful of levels; fuzzed input nests thousands.
+const maxExprDepth = 200
+
+// enter charges one recursion level; the matching leave() must run on
+// every return path (callers defer it).
+func (p *qparser) enter() error {
+	p.depth++
+	if p.depth > maxExprDepth {
+		return p.errf("expression nesting exceeds %d levels", maxExprDepth)
+	}
+	return nil
+}
+
+func (p *qparser) leave() { p.depth-- }
 
 // ParseQuery parses a query string.
 func ParseQuery(src string) (*Query, error) {
@@ -518,6 +539,10 @@ func (p *qparser) propMap() (map[string]Value, error) {
 }
 
 func (p *qparser) literal() (Value, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case t.kind == "str":
@@ -619,6 +644,10 @@ func (p *qparser) cmpExpr() (Expr, error) {
 }
 
 func (p *qparser) primary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case p.atKeyword("NOT"):

@@ -3,6 +3,8 @@ package graphdb
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/budget"
 )
 
 // Value is a property value: string, int64, float64, bool, or nil.
@@ -51,7 +53,16 @@ type DB struct {
 	byLabel map[string][]NodeID
 	nextN   NodeID
 	nextR   int64
+
+	// bud, when set, is charged one step per node visited during query
+	// execution, so runaway variable-length expansions abort with a
+	// classified budget error instead of hanging a sweep.
+	bud *budget.Budget
 }
+
+// SetBudget makes query execution on this database cooperate with a
+// fault-containment budget (nil disables the checks).
+func (db *DB) SetBudget(b *budget.Budget) { db.bud = b }
 
 // NewDB returns an empty database.
 func NewDB() *DB {

@@ -1,0 +1,31 @@
+package lexer
+
+import "testing"
+
+// FuzzScanAll asserts the lexer's crash-freedom contract: any byte
+// sequence either tokenizes or returns an error — it never panics and
+// never loops forever.
+func FuzzScanAll(f *testing.F) {
+	seeds := []string{
+		"",
+		"var x = 1;",
+		"const { exec } = require('child_process');\nexec('ls ' + x);",
+		"/* unterminated",
+		"'unterminated",
+		"`template ${a + `${nested}`} tail`",
+		"a /= /regex/g; b = a / c;",
+		"0x1f + 0b10 + 1e-9 + .5",
+		"\"\\u{110000}\"",
+		"\x00\xff\xfe",
+		"obj?.prop ?? other ** 2 ?. x",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := ScanAll(src)
+		if err == nil && len(toks) == 0 {
+			t.Error("nil error but no tokens (EOF token expected)")
+		}
+	})
+}

@@ -9,6 +9,7 @@ package normalize
 import (
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/js/ast"
 	"repro/internal/js/parser"
@@ -16,7 +17,17 @@ import (
 
 // Normalize lowers a parsed program to Core JavaScript.
 func Normalize(prog *ast.Program, fileName string) *core.Program {
-	n := &normalizer{}
+	return NormalizeBudget(prog, fileName, nil)
+}
+
+// NormalizeBudget is Normalize under a fault-containment budget: one
+// step per statement lowered. The normalizer has no error returns, so
+// a budget trip aborts by panicking with the budget's classified
+// error; budget.Guard (which wraps the scanner's front-end phase)
+// converts exactly this panic back into that error instead of
+// recording a crash.
+func NormalizeBudget(prog *ast.Program, fileName string, b *budget.Budget) *core.Program {
+	n := &normalizer{bud: b}
 	var body []core.Stmt
 	for _, s := range prog.Body {
 		n.stmt(s, &body)
@@ -38,6 +49,7 @@ type normalizer struct {
 	tmp   int // temporary counter
 	anon  int // anonymous function counter
 	names map[string]int
+	bud   *budget.Budget
 }
 
 func (n *normalizer) nextIdx() int {
@@ -81,6 +93,9 @@ func (n *normalizer) metaNoIdx(node ast.Node) core.Meta {
 // ---------------------------------------------------------------------------
 
 func (n *normalizer) stmt(s ast.Stmt, out *[]core.Stmt) {
+	if err := n.bud.Step(); err != nil {
+		panic(err) // unwound by budget.Guard, classification intact
+	}
 	switch st := s.(type) {
 	case *ast.VarDecl:
 		for _, d := range st.Decls {

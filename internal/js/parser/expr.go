@@ -40,6 +40,10 @@ func (p *parser) parseExpr() ast.Expr {
 // parseAssign parses an AssignmentExpression (arrow functions, ternary,
 // assignment operators).
 func (p *parser) parseAssign() ast.Expr {
+	if !p.enter() {
+		return &ast.Literal{Base: at(p.cur()), Kind: ast.LitUndefined, Value: "undefined"}
+	}
+	defer p.leave()
 	// Arrow-function lookahead: `ident =>` or `( ... ) =>` or `async (...) =>`.
 	if fn, ok := p.tryParseArrow(); ok {
 		return fn
@@ -172,6 +176,10 @@ func (p *parser) parseBinary(minPrec int) ast.Expr {
 }
 
 func (p *parser) parseUnary() ast.Expr {
+	if !p.enter() {
+		return &ast.Literal{Base: at(p.cur()), Kind: ast.LitUndefined, Value: "undefined"}
+	}
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case t.Kind == token.NOT || t.Kind == token.TILD || t.Kind == token.PLUS || t.Kind == token.MINUS:

@@ -1,0 +1,50 @@
+package parser_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/js/normalize"
+	"repro/internal/js/parser"
+)
+
+// FuzzParse asserts the front end's crash-freedom contract: any input
+// either parses — in which case it must also normalize — or returns an
+// error. Panics and unbounded recursion are bugs the fault-containment
+// layer cannot fully absorb (Go stack overflow is not recoverable), so
+// they must be caught here.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"var x = 1;",
+		"function f(a) { return a ? f(a - 1) : 0; }",
+		"for (var k in o) { o[k] = o; }",
+		"a = {b: [1, (2), {c: function () { with (x) {} }}]};",
+		"((((((((((1))))))))))",
+		"x => ({...y, [z]: 1})",
+		"try { throw e } catch (e) { } finally { }",
+		"class A extends B { constructor() { super() } }",
+		"a\n/b/c",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	// The committed crash corpus seeds the known-pathological shapes.
+	paths, _ := filepath.Glob("../../dataset/testdata/pathological/*.js")
+	for _, p := range paths {
+		if data, err := os.ReadFile(p); err == nil {
+			f.Add(string(data))
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			return
+		}
+		nprog := normalize.Normalize(prog, "fuzz.js")
+		if nprog == nil {
+			t.Error("normalize returned nil for a successfully parsed program")
+		}
+	})
+}

@@ -9,6 +9,7 @@ package parser
 import (
 	"fmt"
 
+	"repro/internal/budget"
 	"repro/internal/js/ast"
 	"repro/internal/js/lexer"
 	"repro/internal/js/token"
@@ -29,21 +30,65 @@ type parser struct {
 	// noIn disables the `in` binary operator while parsing the head of a
 	// for statement, so `for (x in y)` is recognized as for-in.
 	noIn bool
+
+	// depth bounds grammar recursion. A Go stack overflow cannot be
+	// recovered, so deeply nested input (thousands of parens, unary
+	// chains, nested blocks) must be rejected with an explicit limit —
+	// this is the parser's only user-input path that could otherwise
+	// kill the process.
+	depth int
+
+	// bud is the scan-wide fault-containment budget: one step is
+	// charged per statement parsed, so the parser cooperates with the
+	// scan deadline and step cap. budErr preserves the budget error's
+	// classification (p.err would flatten it into a syntax error).
+	bud    *budget.Budget
+	budErr error
 }
+
+// maxNestDepth bounds grammar recursion (statements + expressions).
+// Real code nests tens of levels; pathological input nests thousands.
+// Each level costs ~10 stack frames, so 2000 levels stay well inside
+// the runtime's stack ceiling.
+const maxNestDepth = 2000
+
+// enter charges one recursion level; callers defer p.leave().
+func (p *parser) enter() bool {
+	p.depth++
+	if p.depth > maxNestDepth {
+		// errorf jumps to EOF, so the whole recursion tower unwinds
+		// without doing further work.
+		p.errorf(p.cur().Pos, "nesting exceeds %d levels", maxNestDepth)
+		return false
+	}
+	return true
+}
+
+func (p *parser) leave() { p.depth-- }
 
 // Parse parses a whole program.
 func Parse(src string) (*ast.Program, error) {
+	return ParseBudget(src, nil)
+}
+
+// ParseBudget is Parse under a fault-containment budget: one step per
+// statement. When the budget trips, the returned error is the budget's
+// classified error (timeout or cap), not a syntax error.
+func ParseBudget(src string, b *budget.Budget) (*ast.Program, error) {
 	toks, err := lexer.ScanAll(src)
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, bud: b}
 	prog := &ast.Program{Base: ast.Base{P: token.Pos{Line: 1, Column: 1}}}
-	for !p.at(token.EOF) && p.err == nil {
+	for !p.at(token.EOF) && p.err == nil && p.budErr == nil {
 		s := p.parseStmt()
 		if s != nil {
 			prog.Body = append(prog.Body, s)
 		}
+	}
+	if p.budErr != nil {
+		return nil, p.budErr
 	}
 	if p.err != nil {
 		return nil, p.err
@@ -145,6 +190,17 @@ func at(t token.Token) ast.Base { return ast.Base{P: t.Pos} }
 // ---------------------------------------------------------------------------
 
 func (p *parser) parseStmt() ast.Stmt {
+	if p.bud != nil && p.budErr == nil {
+		if err := p.bud.Step(); err != nil {
+			p.budErr = err
+			p.pos = len(p.toks) - 1 // jump to EOF: terminate quickly
+			return nil
+		}
+	}
+	if !p.enter() {
+		return nil
+	}
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case t.Kind == token.SEMI:

@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/budget"
 )
 
 // Loc is an abstract location: the identity of an MDG node.
@@ -158,7 +160,17 @@ type Graph struct {
 	// node creation invalidates it. Detection backends iterate the
 	// frozen graph many times, so the sort must not repeat per call.
 	sorted []*Node
+
+	// bud, when set, is charged for every node and edge created, so a
+	// scan-wide MaxNodes/MaxEdges cap covers MDG construction. The
+	// graph only records the charge; the analyzer's per-statement tick
+	// notices the exceeded budget and aborts.
+	bud *budget.Budget
 }
+
+// SetBudget charges subsequent node/edge creation against b (nil
+// disables the accounting).
+func (g *Graph) SetBudget(b *budget.Budget) { g.bud = b }
 
 // SetCurrentFile sets the source-file annotation applied to nodes
 // created from now on.
@@ -233,6 +245,7 @@ func (g *Graph) In(l Loc) []Edge { return g.in[l] }
 
 // fresh creates a brand-new node.
 func (g *Graph) fresh(kind NodeKind, label string, site, line int) *Node {
+	g.bud.AddNode() // cap recorded in the budget; the analyzer's tick aborts
 	g.next++
 	n := &Node{Loc: g.next, Kind: kind, Label: label, Site: site, Line: line, File: g.curFile}
 	g.nodes[n.Loc] = n
@@ -268,8 +281,12 @@ func (g *Graph) AddEdge(e Edge) bool {
 		return false
 	}
 	if g.nodes[e.From] == nil || g.nodes[e.To] == nil {
+		// Internal invariant (callers only wire locations they
+		// allocated); a violation is an analyzer bug, recovered at the
+		// scanner's phase guard rather than killing the sweep.
 		panic(fmt.Sprintf("mdg: edge %v references unknown node", e))
 	}
+	g.bud.AddEdge()
 	g.edgeSet[e] = struct{}{}
 	g.out[e.From] = append(g.out[e.From], e)
 	g.in[e.To] = append(g.in[e.To], e)

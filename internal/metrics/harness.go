@@ -2,9 +2,11 @@ package metrics
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/dataset"
 	"repro/internal/odgen"
 	"repro/internal/scanner"
@@ -69,7 +71,7 @@ func runCorpus(packages, workers int, scan func(i int) PackageResult) *Sweep {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				sw.Results[i] = scan(i)
+				sw.Results[i] = protect(i, scan)
 			}
 		}()
 	}
@@ -87,6 +89,44 @@ func runCorpus(packages, workers int, scan func(i int) PackageResult) *Sweep {
 	return sw
 }
 
+// protect runs one package scan and converts a panic that escaped the
+// scanner's own guards into a classified failure row, so one broken
+// package cannot take down the worker — the pool keeps draining and
+// every other package still gets its result.
+func protect(i int, scan func(i int) PackageResult) (pr PackageResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			pr = PackageResult{
+				Err:     &budget.PanicError{Phase: "sweep", Value: r, Stack: debug.Stack()},
+				Failure: budget.ClassPanic,
+			}
+		}
+	}()
+	return scan(i)
+}
+
+// fillPackages restores the Package pointer on rows whose scan
+// panicked before producing one (protect can only synthesize the
+// error half of the row).
+func fillPackages(sw *Sweep, c *dataset.Corpus) *Sweep {
+	for i := range sw.Results {
+		if sw.Results[i].Package == nil {
+			sw.Results[i].Package = c.Packages[i]
+		}
+	}
+	return sw
+}
+
+// FailureCounts tallies results per failure class (budget.ClassNone
+// counts the clean runs).
+func FailureCounts(results []PackageResult) map[budget.Class]int {
+	m := map[budget.Class]int{}
+	for i := range results {
+		m[results[i].Failure]++
+	}
+	return m
+}
+
 // graphjsResult assembles one Graph.js scan report into a
 // PackageResult row.
 func graphjsResult(p *dataset.Package, rep *scanner.Report) PackageResult {
@@ -95,6 +135,8 @@ func graphjsResult(p *dataset.Package, rep *scanner.Report) PackageResult {
 		Findings:          rep.Findings,
 		TimedOut:          rep.TimedOut,
 		Err:               rep.Err,
+		Failure:           rep.Failure,
+		Incomplete:        rep.Incomplete,
 		GraphTime:         rep.GraphTime,
 		QueryTime:         rep.QueryTime,
 		TotalNodes:        rep.TotalNodes(),
@@ -116,6 +158,8 @@ func odgenResult(p *dataset.Package, rep *odgen.Report) PackageResult {
 		Findings:   rep.Findings,
 		TimedOut:   rep.TimedOut,
 		Err:        rep.Err,
+		Failure:    rep.Failure,
+		Incomplete: rep.Incomplete,
 		GraphTime:  rep.GraphTime,
 		QueryTime:  rep.QueryTime,
 		TotalNodes: rep.ODGNodes,
@@ -131,19 +175,19 @@ func odgenResult(p *dataset.Package, rep *odgen.Report) PackageResult {
 // safe for concurrent use, so results are identical to a sequential
 // sweep regardless of scheduling.
 func SweepGraphJS(c *dataset.Corpus, opts scanner.Options) *Sweep {
-	return runCorpus(len(c.Packages), opts.Workers, func(i int) PackageResult {
+	return fillPackages(runCorpus(len(c.Packages), opts.Workers, func(i int) PackageResult {
 		p := c.Packages[i]
 		return graphjsResult(p, scanner.ScanSource(p.Source, p.Name, opts))
-	})
+	}), c)
 }
 
 // SweepODGen scans every package of a corpus with the ODGen-style
 // baseline on the same bounded worker pool as SweepGraphJS.
 func SweepODGen(c *dataset.Corpus, opts odgen.Options) *Sweep {
-	return runCorpus(len(c.Packages), opts.Workers, func(i int) PackageResult {
+	return fillPackages(runCorpus(len(c.Packages), opts.Workers, func(i int) PackageResult {
 		p := c.Packages[i]
 		return odgenResult(p, odgen.Scan(p.Source, p.Name, opts))
-	})
+	}), c)
 }
 
 // RunGraphJS scans every package of a corpus with Graph.js and collects

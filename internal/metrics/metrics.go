@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/dataset"
 	"repro/internal/queries"
 )
@@ -87,6 +88,11 @@ type PackageResult struct {
 	// Err is the scan error, if any (differential-engine mismatches
 	// surface here rather than being silently dropped).
 	Err error
+	// Failure classifies why the scan ended early (budget.ClassNone on
+	// a clean run); Incomplete marks results whose Findings are the
+	// subset established before a budget tripped.
+	Failure    budget.Class
+	Incomplete bool
 	// Timing and size metrics for Tables 6/7 and Figure 7.
 	GraphTime  time.Duration
 	QueryTime  time.Duration

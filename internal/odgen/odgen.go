@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/js/ast"
 	"repro/internal/js/normalize"
@@ -47,6 +48,10 @@ type Options struct {
 	CallDepth int
 	// StepBudget models the analysis timeout (0 = default).
 	StepBudget int
+	// Timeout additionally bounds a scan by wall-clock time
+	// (0 = none); like the step budget, hitting it keeps the findings
+	// established so far.
+	Timeout time.Duration
 	// Config supplies the sink lists (DefaultConfig when nil).
 	Config *queries.Config
 	// Workers bounds the worker pool for multi-package sweeps
@@ -66,6 +71,13 @@ type Report struct {
 	Findings []queries.Finding
 	TimedOut bool
 	Err      error
+
+	// Failure classifies why the scan ended early (budget.ClassNone on
+	// a clean run): parse errors, the step budget, the wall-clock
+	// deadline, or a recovered interpreter panic. Incomplete marks
+	// budget/deadline hits whose Findings are the pre-timeout subset.
+	Failure    budget.Class
+	Incomplete bool
 
 	GraphTime time.Duration
 	QueryTime time.Duration
@@ -98,13 +110,15 @@ type object struct {
 }
 
 type interp struct {
-	opts    Options
-	objs    []*object
-	edges   int
-	steps   int
-	budget  int
-	depth   int
-	timeout bool
+	opts     Options
+	objs     []*object
+	edges    int
+	steps    int
+	budget   int
+	depth    int
+	timeout  bool
+	deadline time.Time    // zero = no wall-clock bound
+	failure  budget.Class // why the interpreter stopped early
 
 	findings []queries.Finding
 	seen     map[string]bool
@@ -124,6 +138,12 @@ func (ip *interp) tick() {
 	ip.steps++
 	if ip.steps > ip.budget {
 		ip.timeout = true
+		ip.failure = budget.ClassBudget
+		panic(timeoutSignal{})
+	}
+	if !ip.deadline.IsZero() && ip.steps%256 == 0 && !time.Now().Before(ip.deadline) {
+		ip.timeout = true
+		ip.failure = budget.ClassTimeout
 		panic(timeoutSignal{})
 	}
 }
@@ -183,6 +203,7 @@ func Scan(src, name string, opts Options) *Report {
 	prog, err := parser.Parse(src)
 	if err != nil {
 		rep.Err = fmt.Errorf("odgen: parse %s: %w", name, err)
+		rep.Failure = budget.ClassParse
 		return rep
 	}
 	rep.ASTNodes = ast.Count(prog)
@@ -201,6 +222,9 @@ func Scan(src, name string, opts Options) *Report {
 	if ip.budget == 0 {
 		ip.budget = 200000
 	}
+	if opts.Timeout > 0 {
+		ip.deadline = start.Add(opts.Timeout)
+	}
 	core.Walk(nprog.Body, func(s core.Stmt) bool {
 		if fd, ok := s.(*core.FuncDef); ok {
 			ip.globalFns[fd.Name] = fd
@@ -212,20 +236,33 @@ func Scan(src, name string, opts Options) *Report {
 	})
 	ip.findExported(nprog)
 
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(timeoutSignal); ok {
-					return
+	if perr := budget.Guard("odgen-interp", func() error {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(timeoutSignal); ok {
+						return
+					}
+					panic(r)
 				}
-				panic(r)
-			}
+			}()
+			ip.run(nprog)
 		}()
-		ip.run(nprog)
-	}()
+		return nil
+	}); perr != nil {
+		// Any panic other than the cooperative timeout signal is an
+		// engine bug; contain it and keep the findings established so
+		// far rather than killing the whole sweep.
+		rep.Err = perr
+		rep.Failure = budget.ClassPanic
+	}
 
 	rep.GraphTime = time.Since(start)
 	rep.TimedOut = ip.timeout
+	if ip.timeout {
+		rep.Failure = ip.failure
+		rep.Incomplete = true
+	}
 	rep.ODGNodes = rep.ASTNodes + len(ip.objs)
 	rep.ODGEdges = ip.edges
 	// ODGen reports the vulnerabilities found before timing out.

@@ -1,9 +1,11 @@
 package queries
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"repro/internal/budget"
 	"repro/internal/graphdb"
 	"repro/internal/mdg"
 )
@@ -27,31 +29,60 @@ func (f Finding) String() string {
 	return fmt.Sprintf("[%s] tainted call to %s at line %d (source %s)", f.CWE, f.SinkName, f.SinkLine, f.Source)
 }
 
+// isBudgetErr reports whether err is (or wraps) a classified budget
+// failure — a cooperative abort, not a query malfunction.
+func isBudgetErr(err error) bool {
+	var be *budget.Error
+	return errors.As(err, &be)
+}
+
 // Detect runs all Table 2 vulnerability queries against a loaded MDG.
 // A non-nil error means an internal query failed; partial findings are
-// not returned in that case.
+// not returned in that case. Budget exhaustion (lg.Budget) is NOT an
+// error: detection stops between query stages and the findings
+// established so far are returned — the caller reads the budget to
+// flag the result incomplete.
 func Detect(lg *LoadedGraph, cfg *Config) ([]Finding, error) {
+	if lg.LoadErr != nil {
+		return nil, lg.LoadErr
+	}
 	lg.ApplySanitizers(cfg)
 	var out []Finding
 	for _, cwe := range []CWE{CWEPathTraversal, CWECommandInjection, CWECodeInjection} {
+		if lg.Budget.Exceeded() {
+			return sortFindings(out), nil
+		}
 		fs, err := DetectTaintStyle(lg, cfg, cwe)
 		if err != nil {
+			if isBudgetErr(err) {
+				return sortFindings(out), nil
+			}
 			return nil, err
 		}
 		out = append(out, fs...)
 	}
+	if lg.Budget.Exceeded() {
+		return sortFindings(out), nil
+	}
 	fs, err := DetectPrototypePollution(lg, cfg)
 	if err != nil {
+		if isBudgetErr(err) {
+			return sortFindings(out), nil
+		}
 		return nil, err
 	}
 	out = append(out, fs...)
+	return sortFindings(out), nil
+}
+
+func sortFindings(out []Finding) []Finding {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].SinkLine != out[j].SinkLine {
 			return out[i].SinkLine < out[j].SinkLine
 		}
 		return out[i].CWE < out[j].CWE
 	})
-	return out, nil
+	return out
 }
 
 // sources returns the taint-source nodes (parameters of exported

@@ -1,7 +1,10 @@
 package queries
 
 import (
+	"fmt"
+
 	"repro/internal/analysis"
+	"repro/internal/budget"
 	"repro/internal/graphdb"
 	"repro/internal/mdg"
 )
@@ -17,6 +20,17 @@ type LoadedGraph struct {
 	// unexplored edges remained — silent under-approximation made
 	// observable. It accumulates across searches on this graph.
 	Truncated int
+
+	// Budget is the scan-wide fault-containment budget (nil =
+	// unlimited): the database load charges it per node/edge, taint
+	// traversals per visited node, and Detect stops between query
+	// stages once it trips, returning the findings established so far.
+	Budget *budget.Budget
+
+	// LoadErr records a database-load inconsistency (an edge whose
+	// endpoints could not be created); Detect surfaces it as a query
+	// error.
+	LoadErr error
 
 	// sanitized marks call nodes matching configured sanitizers; taint
 	// traversals do not pass through them (§6 extension).
@@ -55,10 +69,24 @@ const (
 // Literal); edges become typed relationships with a `prop` property
 // carrying the property name ("*" for unknown).
 func Load(res *analysis.Result) *LoadedGraph {
+	return LoadBudget(res, nil)
+}
+
+// LoadBudget is Load under a fault-containment budget: one step is
+// charged per node and edge stored, and when the budget trips the load
+// stops, leaving a prefix-complete graph whose queries yield partial
+// (sound-but-incomplete) findings. The budget is also installed on the
+// database so query execution cooperates with it.
+func LoadBudget(res *analysis.Result, b *budget.Budget) *LoadedGraph {
 	db := graphdb.NewDB()
 	byLoc := make(map[mdg.Loc]graphdb.NodeID)
+	lg := &LoadedGraph{DB: db, ByLoc: byLoc, Result: res, Budget: b}
 
 	for _, n := range res.Graph.Nodes() {
+		if b.Step() != nil {
+			db.SetBudget(b)
+			return lg
+		}
 		props := map[string]graphdb.Value{
 			"loc":   int64(n.Loc),
 			"label": n.Label,
@@ -92,6 +120,15 @@ func Load(res *analysis.Result) *LoadedGraph {
 	}
 
 	for _, e := range res.Graph.Edges() {
+		if b.Step() != nil {
+			break
+		}
+		if _, ok := byLoc[e.From]; !ok {
+			continue // endpoint beyond a budget-truncated node load
+		}
+		if _, ok := byLoc[e.To]; !ok {
+			continue
+		}
 		var typ string
 		prop := e.Prop
 		switch e.Type {
@@ -112,13 +149,16 @@ func Load(res *analysis.Result) *LoadedGraph {
 		if typ != RelDep {
 			props["prop"] = prop
 		}
-		// Endpoints always exist: they were inserted above.
-		if _, err := db.CreateRel(byLoc[e.From], byLoc[e.To], typ, props); err != nil {
-			panic("queries: " + err.Error())
+		// Endpoints exist (checked above); a CreateRel failure is a
+		// store inconsistency, recorded rather than panicking so a
+		// corpus sweep classifies it as a query error.
+		if _, err := db.CreateRel(byLoc[e.From], byLoc[e.To], typ, props); err != nil && lg.LoadErr == nil {
+			lg.LoadErr = fmt.Errorf("queries: load edge %v->%v: %w", e.From, e.To, err)
 		}
 	}
 
-	return &LoadedGraph{DB: db, ByLoc: byLoc, Result: res}
+	db.SetBudget(b)
+	return lg
 }
 
 // NodeOf returns the database node for an abstract location.

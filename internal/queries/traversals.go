@@ -68,6 +68,12 @@ func (lg *LoadedGraph) taintSearch(src graphdb.NodeID, accept func(graphdb.NodeI
 
 	var dfs func(f frame) []graphdb.NodeID
 	dfs = func(f frame) []graphdb.NodeID {
+		if lg.Budget.Step() != nil {
+			// Budget hit mid-search: abandon the search (the sticky
+			// failure makes every outer frame bail out immediately);
+			// Detect reports the findings established before the trip.
+			return nil
+		}
 		key := pathState{node: f.id, written: writtenKey(f.written)}
 		if seen[key] {
 			return nil

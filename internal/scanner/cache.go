@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"sync"
 
+	"repro/internal/budget"
 	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/js/ast"
@@ -51,8 +52,11 @@ func (c *Cache) Stats() (hits, misses int) {
 }
 
 // frontEnd parses and lowers one file, consulting the cache. rel is the
-// module-relative name used for require resolution.
-func (c *Cache) frontEnd(rel, src string) (*cacheEntry, error) {
+// module-relative name used for require resolution. The scan budget b
+// is charged for parser and normalizer work; an entry built while the
+// budget was tripping may be truncated, so it is returned but never
+// stored.
+func (c *Cache) frontEnd(rel, src string, b *budget.Budget) (*cacheEntry, error) {
 	h := sha256.Sum256([]byte(rel + "\x00" + src))
 	c.mu.Lock()
 	if e, ok := c.entries[rel]; ok && e.hash == h {
@@ -63,11 +67,11 @@ func (c *Cache) frontEnd(rel, src string) (*cacheEntry, error) {
 	c.misses++
 	c.mu.Unlock()
 
-	prog, err := parser.Parse(src)
+	prog, err := parser.ParseBudget(src, b)
 	if err != nil {
 		return nil, err
 	}
-	nprog := normalize.Normalize(prog, rel)
+	nprog := normalize.NormalizeBudget(prog, rel, b)
 	cn, ce := cfg.TotalSize(cfg.BuildAll(nprog))
 	e := &cacheEntry{
 		hash:      h,
@@ -78,6 +82,9 @@ func (c *Cache) frontEnd(rel, src string) (*cacheEntry, error) {
 		cfgEdges:  ce,
 		coreStmts: core.CountStmts(nprog.Body),
 	}
+	if b.Err() != nil {
+		return e, nil
+	}
 	c.mu.Lock()
 	c.entries[rel] = e
 	c.mu.Unlock()
@@ -85,9 +92,9 @@ func (c *Cache) frontEnd(rel, src string) (*cacheEntry, error) {
 }
 
 // noCacheFrontEnd is the uncached path.
-func noCacheFrontEnd(rel, src string) (*cacheEntry, error) {
+func noCacheFrontEnd(rel, src string, b *budget.Budget) (*cacheEntry, error) {
 	tmp := NewCache()
-	return tmp.frontEnd(rel, src)
+	return tmp.frontEnd(rel, src, b)
 }
 
 func countLines(src string) int {

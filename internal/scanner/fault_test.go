@@ -1,0 +1,164 @@
+package scanner
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/dataset"
+)
+
+// pathologicalSource fetches one crash-corpus package by name.
+func pathologicalSource(t *testing.T, name string) string {
+	t.Helper()
+	for _, p := range dataset.Pathological().Packages {
+		if p.Name == name {
+			return p.Source
+		}
+	}
+	t.Fatalf("pathological package %q not in corpus", name)
+	return ""
+}
+
+// TestPathologicalClasses is the fault-containment regression: every
+// crash-corpus package must terminate well under its budget with the
+// expected failure classification — no hangs, no process-killing
+// panics.
+func TestPathologicalClasses(t *testing.T) {
+	want := map[string]budget.Class{
+		"deep_nesting": budget.ClassParse, // parser recursion-depth limit
+		"huge_object":  budget.ClassNone,  // big but convergent
+		"proto_cycle":  budget.ClassNone,  // cyclic prototype chain
+		"unroll_bomb":  budget.ClassNone,  // MDG fixpoint summarizes it
+	}
+	c := dataset.Pathological()
+	if len(c.Packages) != len(want) {
+		t.Fatalf("corpus has %d packages, expectations cover %d", len(c.Packages), len(want))
+	}
+	for _, p := range c.Packages {
+		start := time.Now()
+		rep := ScanSource(p.Source, p.Name, Options{Timeout: 30 * time.Second})
+		elapsed := time.Since(start)
+		if elapsed > 30*time.Second {
+			t.Errorf("%s: ran %v, exceeded its budget", p.Name, elapsed)
+		}
+		if rep.Failure != want[p.Name] {
+			t.Errorf("%s: failure class %q, want %q (err=%v)", p.Name, rep.Failure, want[p.Name], rep.Err)
+		}
+		if rep.TimedOut {
+			t.Errorf("%s: timed out under a 30s budget", p.Name)
+		}
+	}
+}
+
+// TestScanStepCapIncomplete: tripping the step cap must classify the
+// run as budget-exceeded and keep it a non-error, findings-so-far
+// outcome.
+func TestScanStepCapIncomplete(t *testing.T) {
+	src := pathologicalSource(t, "huge_object")
+	rep := ScanSource(src, "huge_object", Options{MaxSteps: 50})
+	if rep.Failure != budget.ClassBudget {
+		t.Fatalf("failure class %q, want %q (err=%v)", rep.Failure, budget.ClassBudget, rep.Err)
+	}
+	if !rep.Incomplete {
+		t.Error("budget-capped scan not marked Incomplete")
+	}
+	if rep.Err != nil {
+		t.Errorf("budget exhaustion surfaced as error: %v", rep.Err)
+	}
+}
+
+// TestScanNodeCapIncomplete: same contract for the MDG node cap. The
+// huge_object package builds ~3000 MDG nodes unconstrained, so a cap
+// of 500 must trip mid-analysis while detection still runs over the
+// partial graph.
+func TestScanNodeCapIncomplete(t *testing.T) {
+	src := pathologicalSource(t, "huge_object")
+	rep := ScanSource(src, "huge_object", Options{MaxNodes: 500})
+	if rep.Failure != budget.ClassBudget {
+		t.Fatalf("failure class %q, want %q (err=%v)", rep.Failure, budget.ClassBudget, rep.Err)
+	}
+	if !rep.Incomplete {
+		t.Error("node-capped scan not marked Incomplete")
+	}
+}
+
+// TestScanTimeoutClass: wall-clock expiry is classified as a timeout
+// and keeps the legacy TimedOut flag.
+func TestScanTimeoutClass(t *testing.T) {
+	src := pathologicalSource(t, "proto_cycle")
+	rep := ScanSource(src, "proto_cycle", Options{Timeout: time.Nanosecond})
+	if rep.Failure != budget.ClassTimeout {
+		t.Fatalf("failure class %q, want %q", rep.Failure, budget.ClassTimeout)
+	}
+	if !rep.TimedOut {
+		t.Error("timeout class without TimedOut flag")
+	}
+	if rep.Err != nil {
+		t.Errorf("timeout surfaced as error: %v", rep.Err)
+	}
+}
+
+// TestEnginePanicIsolation: a panic inside a detection backend must be
+// contained as a classified, structured error — the scan returns
+// normally.
+func TestEnginePanicIsolation(t *testing.T) {
+	testHookNative = func(string) { panic("injected engine bug") }
+	defer func() { testHookNative = nil }()
+
+	src := pathologicalSource(t, "proto_cycle")
+	rep := ScanSource(src, "proto_cycle", Options{Engine: EngineNative})
+	if rep.Failure != budget.ClassPanic {
+		t.Fatalf("failure class %q, want %q", rep.Failure, budget.ClassPanic)
+	}
+	var pe *budget.PanicError
+	if !errors.As(rep.Err, &pe) {
+		t.Fatalf("err %T (%v), want *budget.PanicError", rep.Err, rep.Err)
+	}
+	if pe.Phase != "detect-native" {
+		t.Errorf("panic phase %q, want detect-native", pe.Phase)
+	}
+}
+
+// TestFallbackEngine: when the native backend dies, the fallback
+// engine must retry on the query backend and produce exactly the
+// query engine's findings.
+func TestFallbackEngine(t *testing.T) {
+	src := pathologicalSource(t, "proto_cycle")
+	want := ScanSource(src, "proto_cycle", Options{Engine: EngineQuery})
+	if want.Err != nil || len(want.Findings) == 0 {
+		t.Fatalf("query engine baseline unusable: err=%v findings=%d", want.Err, len(want.Findings))
+	}
+
+	testHookNative = func(string) { panic("injected engine bug") }
+	defer func() { testHookNative = nil }()
+
+	rep := ScanSource(src, "proto_cycle", Options{Engine: EngineFallback})
+	if !rep.FellBack {
+		t.Fatal("fallback engine did not record FellBack")
+	}
+	if rep.FallbackErr == nil {
+		t.Error("FellBack without FallbackErr")
+	}
+	if rep.Err != nil {
+		t.Fatalf("fallback scan errored: %v", rep.Err)
+	}
+	if err := DiffFindings(want.Findings, rep.Findings); err != nil {
+		t.Errorf("fallback findings differ from the surviving engine: %v", err)
+	}
+}
+
+// TestFallbackHealthyMatchesNative: with both backends healthy the
+// fallback engine is just the native engine.
+func TestFallbackHealthyMatchesNative(t *testing.T) {
+	src := pathologicalSource(t, "proto_cycle")
+	native := ScanSource(src, "proto_cycle", Options{Engine: EngineNative})
+	fb := ScanSource(src, "proto_cycle", Options{Engine: EngineFallback})
+	if fb.FellBack {
+		t.Error("healthy fallback scan reported FellBack")
+	}
+	if err := DiffFindings(native.Findings, fb.Findings); err != nil {
+		t.Errorf("fallback findings differ from native: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/budget"
 	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/js/ast"
@@ -30,11 +31,15 @@ type Engine string
 // database and runs the Table 2 queries; the native engine computes
 // taint facts with one dataflow fixpoint directly on the MDG;
 // differential mode runs both and fails loudly when their finding
-// sets disagree.
+// sets disagree; fallback mode runs the native engine and retries on
+// the query engine when the native backend fails (and vice versa is
+// unnecessary: the query engine retrying on native would re-run the
+// same MDG, so one direction suffices).
 const (
 	EngineQuery        Engine = "query"
 	EngineNative       Engine = "native"
 	EngineDifferential Engine = "differential"
+	EngineFallback     Engine = "fallback"
 )
 
 // ParseEngine validates an engine name ("" means the default, query).
@@ -46,8 +51,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineNative, nil
 	case EngineDifferential:
 		return EngineDifferential, nil
+	case EngineFallback:
+		return EngineFallback, nil
 	}
-	return "", fmt.Errorf("scanner: unknown engine %q (want query, native, or differential)", s)
+	return "", fmt.Errorf("scanner: unknown engine %q (want query, native, differential, or fallback)", s)
 }
 
 // Options tunes a scan.
@@ -58,9 +65,16 @@ type Options struct {
 	Engine Engine
 	// Analysis options forwarded to the MDG builder.
 	Analysis analysis.Options
-	// Timeout aborts the scan (0 = no timeout). Enforced via the
-	// analyzer's step budget plus wall-clock checks between phases.
+	// Timeout aborts the scan (0 = no timeout), enforced by a shared
+	// budget checked cooperatively in every pipeline phase.
 	Timeout time.Duration
+	// MaxSteps, MaxNodes and MaxEdges cap the scan's total abstract
+	// steps and MDG size (0 = unlimited). Unlike Timeout, hitting a
+	// cap still runs detection over the partial graph, so the report
+	// carries the findings established so far (marked Incomplete).
+	MaxSteps int
+	MaxNodes int
+	MaxEdges int
 	// Cache, when set, memoizes the per-file front end across scans
 	// (see Cache).
 	Cache *Cache
@@ -75,6 +89,15 @@ type Options struct {
 	Workers int
 }
 
+func (o Options) limits() budget.Limits {
+	return budget.Limits{
+		Timeout:  o.Timeout,
+		MaxSteps: o.MaxSteps,
+		MaxNodes: o.MaxNodes,
+		MaxEdges: o.MaxEdges,
+	}
+}
+
 // Report is the outcome of scanning one file or package.
 type Report struct {
 	Name     string
@@ -82,15 +105,30 @@ type Report struct {
 	TimedOut bool
 	Err      error
 
+	// Failure classifies why the scan ended early (budget.ClassNone
+	// on a clean run): parse error, wall-clock timeout, a step/size
+	// cap, a recovered engine panic, or a query-evaluation error.
+	// TimedOut is the legacy boolean view of the timeout class.
+	Failure budget.Class
+	// Incomplete marks reports whose Findings are a sound subset
+	// computed before a budget tripped.
+	Incomplete bool
+	// FellBack records that the fallback engine's primary backend
+	// failed and Findings came from the secondary; FallbackErr keeps
+	// the primary backend's error for diagnostics.
+	FellBack    bool
+	FallbackErr error
+
 	// Engine records the backend that produced Findings.
 	Engine Engine
 
 	// Phase timings (Table 6).
-	GraphTime time.Duration // parse + normalize + MDG build + load
+	GraphTime time.Duration // parse + normalize + MDG build
 	QueryTime time.Duration // detection with the selected backend
 	// Per-backend detection timings: NativeTime is filled when the
 	// native engine ran, QueryEngineTime when the query engine ran
-	// (differential mode fills both).
+	// (differential mode fills both; the query engine's time includes
+	// the database load).
 	NativeTime      time.Duration
 	QueryEngineTime time.Duration
 
@@ -127,14 +165,59 @@ func (r *Report) TotalEdges() int { return r.CFGEdges + r.MDGEdges }
 // TotalTime returns the end-to-end analysis time.
 func (r *Report) TotalTime() time.Duration { return r.GraphTime + r.QueryTime }
 
+// testHookNative, when set, runs at the start of native detection.
+// Tests use it to inject engine panics; it must only be set by
+// sequential tests.
+var testHookNative func(name string)
+
+// setFailure records a terminal phase error, classifying it with def
+// when the error carries no budget class of its own. Budget classes
+// (timeout, cap) are classified outcomes rather than errors, so they
+// leave rep.Err nil.
+func setFailure(rep *Report, err error, def budget.Class) {
+	class := budget.ClassOf(err)
+	if class == budget.ClassNone {
+		class = def
+	}
+	rep.Failure = class
+	switch class {
+	case budget.ClassTimeout:
+		rep.TimedOut = true
+	case budget.ClassBudget:
+		rep.Incomplete = true
+	default:
+		rep.Err = err
+	}
+}
+
+// frontEndFailure classifies an error out of the front-end phase.
+// Plain errors are parse errors (the parser is the only component in
+// that phase that returns them).
+func frontEndFailure(rep *Report, err error, name string) {
+	switch budget.ClassOf(err) {
+	case budget.ClassTimeout:
+		rep.Failure = budget.ClassTimeout
+		rep.TimedOut = true
+	case budget.ClassBudget:
+		rep.Failure = budget.ClassBudget
+		rep.Incomplete = true
+	case budget.ClassPanic:
+		rep.Failure = budget.ClassPanic
+		rep.Err = err
+	default:
+		rep.Failure = budget.ClassParse
+		rep.Err = fmt.Errorf("scanner: parse %s: %w", name, err)
+	}
+}
+
 // ScanSource scans one JavaScript source text.
 //
 // ScanSource is safe for concurrent use by multiple goroutines, which
 // is what makes parallel corpus sweeps (metrics.SweepGraphJS) sound:
 // every pipeline stage — parser, normalizer, CFG builder, abstract
-// interpreter, reach gate, and all three detection backends —
-// allocates its state per call, the shared opts.Config is read-only
-// after construction, and opts.Cache (when set) is internally locked.
+// interpreter, reach gate, and all detection backends — allocates its
+// state per call, the shared opts.Config is read-only after
+// construction, and opts.Cache (when set) is internally locked.
 func ScanSource(src, name string, opts Options) *Report {
 	rep := &Report{Name: name, LoC: strings.Count(src, "\n") + 1}
 	cfgq := opts.Config
@@ -147,28 +230,50 @@ func ScanSource(src, name string, opts Options) *Report {
 		return rep
 	}
 	rep.Engine = engine
-	deadline := time.Time{}
-	if opts.Timeout > 0 {
-		deadline = time.Now().Add(opts.Timeout)
-	}
-	expired := func() bool { return !deadline.IsZero() && time.Now().After(deadline) }
+	b := budget.New(opts.limits())
 
 	start := time.Now()
 
-	prog, err := parser.Parse(src)
-	if err != nil {
-		rep.Err = fmt.Errorf("scanner: parse %s: %w", name, err)
+	var nprog *core.Program
+	ferr := budget.Guard("front-end", func() error {
+		prog, perr := parser.ParseBudget(src, b)
+		if perr != nil {
+			return perr
+		}
+		rep.ASTNodes = ast.Count(prog)
+		nprog = normalize.NormalizeBudget(prog, name, b)
+		rep.CoreStmts = core.CountStmts(nprog.Body)
+		rep.CFGNodes, rep.CFGEdges = cfg.TotalSize(cfg.BuildAll(nprog))
+		b.CheckDeadline()
+		return b.Err()
+	})
+	if ferr != nil {
+		frontEndFailure(rep, ferr, name)
+		rep.GraphTime = time.Since(start)
 		return rep
 	}
-	rep.ASTNodes = ast.Count(prog)
 
-	nprog := normalize.Normalize(prog, name)
-	rep.CoreStmts = core.CountStmts(nprog.Body)
+	analyze := func(ao analysis.Options) *analysis.Result {
+		return analysis.Analyze(nprog, ao)
+	}
+	return finishScan(rep, []*core.Program{nprog}, analyze, cfgq, opts, b, start)
+}
 
-	cfgs := cfg.BuildAll(nprog)
-	rep.CFGNodes, rep.CFGEdges = cfg.TotalSize(cfgs)
+// finishScan runs the shared back half of a scan — reach gate, MDG
+// construction, and detection — over already-lowered programs.
+func finishScan(rep *Report, progs []*core.Program, analyze func(analysis.Options) *analysis.Result,
+	cfgq *queries.Config, opts Options, b *budget.Budget, start time.Time) *Report {
 
-	if gateSkips(rep, []*core.Program{nprog}, cfgq, opts) {
+	skip := false
+	if gerr := budget.Guard("reach-gate", func() error {
+		skip = gateSkips(rep, progs, cfgq, opts)
+		return nil
+	}); gerr != nil {
+		// The gate is an optimization; a panic inside it must not kill
+		// the scan. Fall through to full detection.
+		skip = false
+	}
+	if skip {
 		rep.GraphTime = time.Since(start)
 		return rep
 	}
@@ -177,18 +282,50 @@ func ScanSource(src, name string, opts Options) *Report {
 	if aopts.MaxLoopIter == 0 {
 		aopts = analysis.DefaultOptions()
 	}
-	res := analysis.Analyze(nprog, aopts)
-	rep.MDGNodes = res.Graph.NumNodes()
-	rep.MDGEdges = res.Graph.NumEdges()
-	if res.TimedOut || expired() {
-		rep.TimedOut = true
+	aopts.Budget = b
+	var res *analysis.Result
+	if aerr := budget.Guard("analysis", func() error {
+		res = analyze(aopts)
+		return nil
+	}); aerr != nil {
+		setFailure(rep, aerr, budget.ClassPanic)
 		rep.GraphTime = time.Since(start)
 		return rep
 	}
+	rep.MDGNodes = res.Graph.NumNodes()
+	rep.MDGEdges = res.Graph.NumEdges()
 
-	runDetection(rep, res, cfgq, engine, start)
-	if expired() {
+	if res.TimedOut && b.Err() == nil {
+		// Legacy analysis.Options.StepBudget exhaustion: keep the old
+		// contract (TimedOut, no findings).
 		rep.TimedOut = true
+		rep.Failure = budget.ClassBudget
+		rep.GraphTime = time.Since(start)
+		return rep
+	}
+	b.CheckDeadline()
+	if berr := b.Err(); berr != nil {
+		rep.Failure = budget.ClassOf(berr)
+		if rep.Failure == budget.ClassTimeout {
+			rep.TimedOut = true
+			rep.GraphTime = time.Since(start)
+			return rep
+		}
+		// A cap (steps/nodes/edges) tripped: still report the findings
+		// the partial graph supports, under the remaining wall clock.
+		rep.Incomplete = true
+		b = b.DeadlineOnly()
+	}
+
+	runDetection(rep, res, cfgq, rep.Engine, start, b)
+
+	b.CheckDeadline()
+	if budget.ClassOf(b.Err()) == budget.ClassTimeout {
+		rep.TimedOut = true
+		rep.Incomplete = true
+		if rep.Failure == budget.ClassNone {
+			rep.Failure = budget.ClassTimeout
+		}
 	}
 	return rep
 }
@@ -209,51 +346,117 @@ func gateSkips(rep *Report, progs []*core.Program, cfgq *queries.Config, opts Op
 	return false
 }
 
+// detectNative runs the native taint engine inside a panic guard and
+// returns its findings. Timing and truncation stats are recorded on
+// the report even when the engine fails.
+func detectNative(rep *Report, res *analysis.Result, cfgq *queries.Config, b *budget.Budget) ([]queries.Finding, error) {
+	qStart := time.Now()
+	var fs []queries.Finding
+	err := budget.Guard("detect-native", func() error {
+		if testHookNative != nil {
+			testHookNative(rep.Name)
+		}
+		eng := taint.NewEngineBudget(res, cfgq, b)
+		fs = eng.Detect()
+		rep.TruncatedSearches += eng.Truncated
+		if eng.Incomplete {
+			rep.Incomplete = true
+		}
+		return nil
+	})
+	rep.NativeTime = time.Since(qStart)
+	return fs, err
+}
+
+// detectQuery loads the MDG into the graph database and runs the
+// Table 2 queries inside a panic guard. The load is included in
+// QueryEngineTime.
+func detectQuery(rep *Report, res *analysis.Result, cfgq *queries.Config, b *budget.Budget) ([]queries.Finding, error) {
+	qStart := time.Now()
+	var fs []queries.Finding
+	err := budget.Guard("detect-query", func() error {
+		lg := queries.LoadBudget(res, b)
+		out, derr := queries.Detect(lg, cfgq)
+		if derr != nil {
+			return derr
+		}
+		fs = out
+		rep.TruncatedSearches += lg.Truncated
+		if b.Exceeded() {
+			rep.Incomplete = true
+		}
+		return nil
+	})
+	rep.QueryEngineTime = time.Since(qStart)
+	return fs, err
+}
+
 // runDetection executes the selected backend over an analysis result.
-// GraphTime is closed here because the query backend's database load
-// is part of graph construction.
-func runDetection(rep *Report, res *analysis.Result, cfgq *queries.Config, engine Engine, start time.Time) {
+// GraphTime is closed here, before detection starts.
+func runDetection(rep *Report, res *analysis.Result, cfgq *queries.Config, engine Engine, start time.Time, b *budget.Budget) {
+	rep.GraphTime = time.Since(start)
 	switch engine {
 	case EngineNative:
-		rep.GraphTime = time.Since(start)
-		qStart := time.Now()
-		eng := taint.NewEngine(res, cfgq)
-		rep.Findings = eng.Detect()
-		rep.NativeTime = time.Since(qStart)
+		fs, err := detectNative(rep, res, cfgq, b)
 		rep.QueryTime = rep.NativeTime
-		rep.TruncatedSearches = eng.Truncated
-
-	case EngineDifferential:
-		lg := queries.Load(res)
-		rep.GraphTime = time.Since(start)
-		qStart := time.Now()
-		qf, err := queries.Detect(lg, cfgq)
-		rep.QueryEngineTime = time.Since(qStart)
 		if err != nil {
-			rep.Err = err
+			setFailure(rep, err, budget.ClassQuery)
 			return
 		}
-		nStart := time.Now()
-		eng := taint.NewEngine(res, cfgq)
-		nf := eng.Detect()
-		rep.NativeTime = time.Since(nStart)
+		rep.Findings = fs
+
+	case EngineDifferential:
+		qf, qErr := detectQuery(rep, res, cfgq, b)
+		rep.QueryTime = rep.QueryEngineTime
+		if qErr != nil {
+			setFailure(rep, qErr, budget.ClassQuery)
+			return
+		}
+		nf, nErr := detectNative(rep, res, cfgq, b)
 		rep.QueryTime = rep.QueryEngineTime + rep.NativeTime
-		rep.TruncatedSearches = lg.Truncated + eng.Truncated
+		if nErr != nil {
+			setFailure(rep, nErr, budget.ClassQuery)
+			return
+		}
 		rep.Findings = qf
+		if b.Exceeded() {
+			// Both backends were cut short; their partial finding sets
+			// are not comparable.
+			return
+		}
 		if err := DiffFindings(qf, nf); err != nil {
 			rep.Err = fmt.Errorf("scanner: differential mismatch on %s: %w", rep.Name, err)
+			rep.Failure = budget.ClassQuery
 		}
 
+	case EngineFallback:
+		fs, err := detectNative(rep, res, cfgq, b)
+		rep.QueryTime = rep.NativeTime
+		if err == nil {
+			rep.Findings = fs
+			return
+		}
+		switch budget.ClassOf(err) {
+		case budget.ClassTimeout, budget.ClassBudget:
+			// The budget is spent; a retry would trip it again.
+			setFailure(rep, err, budget.ClassQuery)
+			return
+		}
+		rep.FellBack = true
+		rep.FallbackErr = err
+		qf, qErr := detectQuery(rep, res, cfgq, b)
+		rep.QueryTime = rep.NativeTime + rep.QueryEngineTime
+		if qErr != nil {
+			setFailure(rep, qErr, budget.ClassQuery)
+			return
+		}
+		rep.Findings = qf
+
 	default: // EngineQuery
-		lg := queries.Load(res)
-		rep.GraphTime = time.Since(start)
-		qStart := time.Now()
-		fs, err := queries.Detect(lg, cfgq)
-		rep.QueryEngineTime = time.Since(qStart)
+		fs, err := detectQuery(rep, res, cfgq, b)
 		rep.QueryTime = rep.QueryEngineTime
-		rep.TruncatedSearches = lg.Truncated
 		if err != nil {
-			rep.Err = err
+			setFailure(rep, err, budget.ClassQuery)
 			return
 		}
 		rep.Findings = fs
@@ -343,6 +546,7 @@ func ScanPackage(dir string, opts Options) *Report {
 		return rep
 	}
 	rep.Engine = engine
+	b := budget.New(opts.limits())
 	start := time.Now()
 
 	frontEnd := noCacheFrontEnd
@@ -350,53 +554,54 @@ func ScanPackage(dir string, opts Options) *Report {
 		frontEnd = opts.Cache.frontEnd
 	}
 	var progs []*core.Program
-	for _, f := range files {
-		data, err := os.ReadFile(f)
-		if err != nil {
-			if rep.Err == nil {
-				rep.Err = fmt.Errorf("scanner: %w", err)
+	ferr := budget.Guard("front-end", func() error {
+		for _, f := range files {
+			data, rdErr := os.ReadFile(f)
+			if rdErr != nil {
+				if rep.Err == nil {
+					rep.Err = fmt.Errorf("scanner: %w", rdErr)
+				}
+				continue
 			}
-			continue
-		}
-		rel, relErr := filepath.Rel(dir, f)
-		if relErr != nil {
-			rel = f
-		}
-		entry, err := frontEnd(rel, string(data))
-		if err != nil {
-			if rep.Err == nil {
-				rep.Err = fmt.Errorf("scanner: parse %s: %w", rel, err)
+			rel, relErr := filepath.Rel(dir, f)
+			if relErr != nil {
+				rel = f
 			}
-			continue
+			entry, feErr := frontEnd(rel, string(data), b)
+			if feErr != nil {
+				switch budget.ClassOf(feErr) {
+				case budget.ClassTimeout, budget.ClassBudget:
+					return feErr // the whole package's budget is gone
+				}
+				// A parse error in one file does not doom the package;
+				// record the first one and keep going.
+				if rep.Err == nil {
+					rep.Err = fmt.Errorf("scanner: parse %s: %w", rel, feErr)
+					rep.Failure = budget.ClassParse
+				}
+				continue
+			}
+			rep.LoC += entry.loc
+			rep.ASTNodes += entry.astNodes
+			rep.CoreStmts += entry.coreStmts
+			rep.CFGNodes += entry.cfgNodes
+			rep.CFGEdges += entry.cfgEdges
+			progs = append(progs, entry.prog)
 		}
-		rep.LoC += entry.loc
-		rep.ASTNodes += entry.astNodes
-		rep.CoreStmts += entry.coreStmts
-		rep.CFGNodes += entry.cfgNodes
-		rep.CFGEdges += entry.cfgEdges
-		progs = append(progs, entry.prog)
+		b.CheckDeadline()
+		return b.Err()
+	})
+	if ferr != nil {
+		frontEndFailure(rep, ferr, dir)
+		rep.GraphTime = time.Since(start)
+		return rep
 	}
 	if len(progs) == 0 {
 		return rep
 	}
 
-	if gateSkips(rep, progs, cfgq, opts) {
-		rep.GraphTime = time.Since(start)
-		return rep
+	analyze := func(ao analysis.Options) *analysis.Result {
+		return analysis.AnalyzeModules(progs, ao)
 	}
-
-	aopts := opts.Analysis
-	if aopts.MaxLoopIter == 0 {
-		aopts = analysis.DefaultOptions()
-	}
-	res := analysis.AnalyzeModules(progs, aopts)
-	rep.MDGNodes = res.Graph.NumNodes()
-	rep.MDGEdges = res.Graph.NumEdges()
-	if res.TimedOut {
-		rep.TimedOut = true
-		rep.GraphTime = time.Since(start)
-		return rep
-	}
-	runDetection(rep, res, cfgq, engine, start)
-	return rep
+	return finishScan(rep, progs, analyze, cfgq, opts, b, start)
 }

@@ -24,6 +24,7 @@ import (
 	"math/bits"
 
 	"repro/internal/analysis"
+	"repro/internal/budget"
 	"repro/internal/mdg"
 	"repro/internal/queries"
 )
@@ -84,11 +85,25 @@ type Engine struct {
 	// under-approximation the hop bound introduces.
 	Truncated int
 	truncated map[state]bool
+
+	// bud is the scan-wide fault-containment budget (nil = unlimited);
+	// the fixpoint charges one step per state popped. Incomplete
+	// reports that the fixpoint stopped early on a budget hit, so the
+	// detected findings are a sound-but-partial subset.
+	bud        *budget.Budget
+	Incomplete bool
 }
 
 // NewEngine builds the dataflow engine for one analysis result and
 // runs the taint fixpoint. cfg may be nil (DefaultConfig is used).
 func NewEngine(res *analysis.Result, cfg *queries.Config) *Engine {
+	return NewEngineBudget(res, cfg, nil)
+}
+
+// NewEngineBudget is NewEngine under a fault-containment budget: the
+// worklist fixpoint checks b per popped state and stops early —
+// marking the engine Incomplete — when the deadline or step cap trips.
+func NewEngineBudget(res *analysis.Result, cfg *queries.Config, b *budget.Budget) *Engine {
 	if cfg == nil {
 		cfg = queries.DefaultConfig()
 	}
@@ -111,6 +126,7 @@ func NewEngine(res *analysis.Result, cfg *queries.Config) *Engine {
 		wsIntern:    map[string]wsID{"": 0},
 		wsProps:     [][]string{nil},
 		truncated:   map[state]bool{},
+		bud:         b,
 	}
 	e.collectSanitizers()
 	e.collectRoots()
@@ -224,6 +240,13 @@ func (e *Engine) run() {
 		}
 	}
 	for len(e.queue) > 0 {
+		if e.bud.Step() != nil {
+			// Budget hit mid-fixpoint: keep the facts computed so far
+			// (monotone, hence sound-but-partial) and let Detect report
+			// the findings they support.
+			e.Incomplete = true
+			return
+		}
 		st := e.queue[0]
 		e.queue = e.queue[1:]
 		e.inQueue[st] = false
