@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-all bench-faults tables pathological fuzz-smoke
+.PHONY: check fmt vet build test race bench bench-all bench-faults bench-incremental tables pathological mutate-check fuzz-smoke
 
 # check is the tier-1 gate: formatting, vet, build, the race-enabled
-# test suite, the crash-corpus regression, and a short fuzz smoke.
+# test suite, the crash-corpus regression, the incremental-scan
+# mutation-equivalence harness, and a short fuzz smoke.
 # CI and pre-commit both run this target.
-check: fmt vet build race pathological fuzz-smoke
+check: fmt vet build race pathological mutate-check fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -44,6 +45,14 @@ bench-faults:
 		| $(GO) run ./cmd/benchjson -out BENCH_faults.json
 	@tail -n 4 BENCH_faults.json
 
+# bench-incremental snapshots the cold-vs-warm re-scan timings and the
+# fragment-cache counters into BENCH_incremental.json (the ≥2× warm
+# single-file-edit speedup is the acceptance bar).
+bench-incremental:
+	$(GO) test -run xxx -bench 'IncrementalRescan|IncrementalSweep' -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_incremental.json
+	@tail -n 2 BENCH_incremental.json
+
 tables:
 	$(GO) run ./cmd/benchtables
 
@@ -54,9 +63,18 @@ pathological:
 	$(GO) test -race -run 'Pathological|Fault|Fallback|PanicIsolation|SweepSurvives' \
 		./internal/scanner ./internal/metrics
 
+# mutate-check replays the single-file edit script (touch, benign edit,
+# source-introducing edit, sink-removing edit, file add/delete) over
+# every dataset template and asserts incremental findings ≡ cold-scan
+# findings after every step, under the race detector at Workers=4.
+mutate-check:
+	$(GO) test -race -run 'Mutation|Incremental|CachedScanEqualsUncached|CacheEvicts' \
+		./internal/scanner ./internal/metrics
+
 # fuzz-smoke gives each fuzz target a few seconds — enough to catch
 # newly introduced panics on the seeded pathological shapes.
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzScanAll -fuzztime 3s ./internal/js/lexer
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 3s ./internal/js/parser
 	$(GO) test -run xxx -fuzz FuzzParseQuery -fuzztime 3s ./internal/graphdb
+	$(GO) test -run xxx -fuzz FuzzIncrementalEquivalence -fuzztime 3s -fuzzminimizetime 5s ./internal/metrics

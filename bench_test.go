@@ -603,3 +603,85 @@ func BenchmarkScanPackageCached(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkIncrementalRescan measures the incremental tentpole on one
+// multi-file package: after editing a single independent file, a warm
+// re-scan rebuilds only that file's MDG fragment while the
+// require-linked pair (index+runner) is served whole from the fragment
+// and detection caches. Reported metrics: cold-ms and warm-ms per
+// re-scan plus their ratio (snapshot: BENCH_incremental.json).
+func BenchmarkIncrementalRescan(b *testing.B) {
+	base := []scanner.SourceFile{
+		{Rel: "index.js", Src: "var run = require('./runner');\nfunction entry(x) { run('git ' + x); }\nmodule.exports = entry;\n"},
+		{Rel: "runner.js", Src: "const { exec } = require('child_process');\nfunction r(c) { exec(c); }\nmodule.exports = r;\n"},
+		{Rel: "util.js", Src: "function id(v) { return v; }\nmodule.exports = id;\n"},
+	}
+	edit := func(i int) []scanner.SourceFile {
+		files := append([]scanner.SourceFile(nil), base...)
+		files[2].Src = fmt.Sprintf("function id(v) { return v; }\nvar rev = %d;\nmodule.exports = id;\n", i)
+		return files
+	}
+	st := scanner.NewIncrementalState()
+	scanner.ScanFiles(base, "pkg", scanner.Options{Incremental: st}) // seed
+	var coldNs, warmNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		files := edit(i)
+		t0 := time.Now()
+		cold := scanner.ScanFiles(files, "pkg", scanner.Options{})
+		coldNs += time.Since(t0).Nanoseconds()
+		t1 := time.Now()
+		warm := scanner.ScanFiles(files, "pkg", scanner.Options{Incremental: st})
+		warmNs += time.Since(t1).Nanoseconds()
+		if len(cold.Findings) == 0 || len(warm.Findings) != len(cold.Findings) {
+			b.Fatalf("finding mismatch: cold %d, warm %d", len(cold.Findings), len(warm.Findings))
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(coldNs)/n/1e6, "cold-ms")
+	b.ReportMetric(float64(warmNs)/n/1e6, "warm-ms")
+	if warmNs > 0 {
+		b.ReportMetric(float64(coldNs)/float64(warmNs), "speedup")
+	}
+}
+
+// BenchmarkIncrementalSweep measures the corpus-level re-analysis win
+// (the acceptance criterion): a ground-truth sample is swept once to
+// seed the per-package state pool, then each iteration edits ONE
+// package and re-sweeps. The cold sweep re-analyzes all packages; the
+// warm sweep re-analyzes only the edited one. The speedup metric is
+// the cold/warm wall-clock ratio (expected well above the 2× bar).
+func BenchmarkIncrementalSweep(b *testing.B) {
+	c := sampleCorpus(60)
+	pool := scanner.NewStatePool()
+	opts := scanner.Options{Workers: 1}
+	metrics.SweepGraphJSIncremental(c, opts, pool) // seed
+	var coldNs, warmNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Single-file edit: one package's source changes per iteration.
+		edited := &dataset.Corpus{Name: c.Name, Packages: append([]*dataset.Package(nil), c.Packages...)}
+		p := *edited.Packages[i%len(edited.Packages)]
+		p.Source += fmt.Sprintf("\nvar rev = %d;\n", i)
+		edited.Packages[i%len(edited.Packages)] = &p
+
+		t0 := time.Now()
+		cold := metrics.SweepGraphJS(edited, opts)
+		coldNs += time.Since(t0).Nanoseconds()
+		t1 := time.Now()
+		warm := metrics.SweepGraphJSIncremental(edited, opts, pool)
+		warmNs += time.Since(t1).Nanoseconds()
+		if len(cold.Results) != len(warm.Results) {
+			b.Fatal("bad sweep")
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(coldNs)/n/1e6, "cold-ms")
+	b.ReportMetric(float64(warmNs)/n/1e6, "warm-ms")
+	if warmNs > 0 {
+		b.ReportMetric(float64(coldNs)/float64(warmNs), "speedup")
+	}
+	stats := pool.Stats()
+	b.ReportMetric(float64(stats.FragmentHits), "frag-hits")
+	b.ReportMetric(float64(stats.FragmentMisses), "frag-rebuilds")
+}

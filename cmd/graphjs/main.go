@@ -16,6 +16,7 @@
 //	-max-nodes N    per-target MDG node cap (0 = unlimited)
 //	-max-edges N    per-target MDG edge cap (0 = unlimited)
 //	-require-sink   treat dynamic require() as a code-injection sink
+//	-incremental    reuse MDG fragments across scans of repeated targets
 //	-dump-mdg       print the MDG in Graphviz DOT format and exit
 //	-dump-core      print the normalized Core JavaScript and exit
 //	-export-db      write the loaded property graph as JSON and exit
@@ -52,6 +53,7 @@ func main() {
 	maxNodes := flag.Int("max-nodes", 0, "per-target MDG node cap (0 = unlimited)")
 	maxEdges := flag.Int("max-edges", 0, "per-target MDG edge cap (0 = unlimited)")
 	requireSink := flag.Bool("require-sink", false, "treat dynamic require() as a code-injection sink")
+	incremental := flag.Bool("incremental", false, "reuse MDG fragments and detection results across scans of repeated targets; -stats prints hit/miss/rebuild counters")
 	dumpMDG := flag.Bool("dump-mdg", false, "print the MDG in DOT format")
 	dumpCore := flag.Bool("dump-core", false, "print the normalized Core JavaScript")
 	exportDB := flag.Bool("export-db", false, "write the loaded property graph as JSON")
@@ -96,8 +98,15 @@ func main() {
 		Config: cfg, Timeout: *timeout, Engine: engine,
 		MaxSteps: *maxSteps, MaxNodes: *maxNodes, MaxEdges: *maxEdges,
 	}
+	var pool *scanner.StatePool
+	if *incremental {
+		// One incremental state per distinct target: a target repeated
+		// on the command line (or re-scanned by an embedding caller) is
+		// re-analyzed only where its files changed.
+		pool = scanner.NewStatePool()
+	}
 	if !(*dumpMDG || *dumpCore || *exportDB) {
-		scanAll(targets, reports, opts, *workers)
+		scanAll(targets, reports, opts, *workers, pool)
 	}
 
 	exit := 0
@@ -136,8 +145,9 @@ func main() {
 }
 
 // scanAll fills reports[i] with the scan of targets[i], using a
-// bounded pool of workers goroutines (0 = GOMAXPROCS).
-func scanAll(targets []string, reports []*scanner.Report, opts scanner.Options, workers int) {
+// bounded pool of workers goroutines (0 = GOMAXPROCS). When pool is
+// non-nil, each distinct target gets a persistent incremental state.
+func scanAll(targets []string, reports []*scanner.Report, opts scanner.Options, workers int, pool *scanner.StatePool) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -151,7 +161,11 @@ func scanAll(targets []string, reports []*scanner.Report, opts scanner.Options, 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				reports[i] = scanTarget(targets[i], opts)
+				o := opts
+				if pool != nil {
+					o.Incremental = pool.Get(targets[i])
+				}
+				reports[i] = scanTarget(targets[i], o)
 			}
 		}()
 	}
@@ -236,6 +250,11 @@ func printHuman(rep *scanner.Report, stats, trace bool) {
 		}
 		if rep.TruncatedSearches > 0 {
 			fmt.Printf("  truncated searches: %d (hop bound hit)\n", rep.TruncatedSearches)
+		}
+		if s := rep.IncrStats; s != nil {
+			fmt.Printf("  incremental: front-end %d hit/%d miss, fragments %d hit/%d rebuilt, detection %d hit/%d miss, evicted %d files/%d fragments\n",
+				s.FrontEndHits, s.FrontEndMisses, s.FragmentHits, s.Rebuilds(),
+				s.DetectHits, s.DetectMisses, s.EvictedFiles, s.EvictedFragments)
 		}
 	}
 }

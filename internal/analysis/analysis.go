@@ -9,6 +9,7 @@ package analysis
 import (
 	"fmt"
 	"path"
+	"sort"
 	"strings"
 
 	"repro/internal/budget"
@@ -27,6 +28,22 @@ type Options struct {
 	// StepBudget aborts the analysis after this many abstract steps
 	// (0 = unlimited); used to emulate analysis timeouts in benchmarks.
 	StepBudget int
+	// NoExportFallback suppresses the script attack model (when no
+	// function anywhere is exported, treat every top-level function as
+	// reachable). The scanner's incremental mode analyzes a package one
+	// require-component at a time, so the "is anything exported?"
+	// question is only answerable across components: each fragment is
+	// built with the fallback off and HasRealExports recorded, and the
+	// package-wide fallback decision is applied afterwards with
+	// ApplyExportFallback / RemoveExportFallback.
+	NoExportFallback bool
+	// ForceMultiPass runs the cross-module fixpoint (up to three
+	// passes) even for a single program. A single-file component of a
+	// multi-file package must behave exactly like that file inside the
+	// combined multi-pass analysis — e.g. a call before the callee's
+	// definition links on the second pass — so the pass count depends
+	// on the package, not the fragment.
+	ForceMultiPass bool
 	// Budget, when set, is the scan-wide fault-containment budget:
 	// every abstract step charges it (and MDG construction charges its
 	// node/edge caps via Graph.SetBudget), so a deadline or cap hit
@@ -58,6 +75,16 @@ type Result struct {
 	TimedOut bool
 	// Steps is the number of abstract steps executed.
 	Steps int
+	// HasRealExports reports that export marking found at least one
+	// function genuinely reachable from module.exports/exports —
+	// i.e. the script-mode fallback (everything exported) did not or
+	// would not apply. The incremental scanner combines this bit
+	// across fragments to make the package-wide fallback decision.
+	HasRealExports bool
+	// FallbackApplied reports that the script-mode fallback is
+	// currently in effect on this result (every function marked
+	// exported because none was really exported).
+	FallbackApplied bool
 }
 
 // FuncSummary is the per-function summary used for call linking.
@@ -144,7 +171,7 @@ func AnalyzeModules(progs []*core.Program, opts Options) *Result {
 		// appear (allocation is deterministic, the graph monotone — a
 		// second pass only adds newly resolvable cross-module edges).
 		maxPasses := 3
-		if len(progs) == 1 {
+		if len(progs) == 1 && !opts.ForceMultiPass {
 			maxPasses = 1
 		}
 		for pass := 0; pass < maxPasses; pass++ {
@@ -171,20 +198,78 @@ func AnalyzeModules(progs []*core.Program, opts Options) *Result {
 	if res.Root == nil {
 		res.Root = a.root
 	}
-	a.markExported()
+	res.HasRealExports = a.markExported()
+	if !res.HasRealExports && !opts.NoExportFallback {
+		applyFallback(res)
+	}
 	res.Calls = a.calls
 	res.Steps = a.steps
-	for _, fn := range a.funcs {
-		if fn.Exported || opts.TreatAllFunctionsAsExported {
+	recomputeSources(res, opts.TreatAllFunctionsAsExported)
+	return res
+}
+
+// applyFallback marks every function exported — the script attack
+// model used when nothing in the package is really exported.
+func applyFallback(res *Result) {
+	for _, fn := range res.Functions {
+		fn.Exported = true
+		if n := res.Graph.Node(fn.Loc); n != nil {
+			n.Exported = true
+		}
+	}
+	res.FallbackApplied = true
+}
+
+// recomputeSources rebuilds Result.Sources (and the Source flag on
+// parameter nodes) from the current export marks, in deterministic
+// location order.
+func recomputeSources(res *Result, allExported bool) {
+	for _, n := range res.Graph.NodesOfKind(mdg.KindParam) {
+		n.Source = false
+	}
+	res.Sources = res.Sources[:0]
+	for _, fn := range res.Functions {
+		if fn.Exported || allExported {
 			res.Sources = append(res.Sources, fn.Params...)
 		}
 	}
+	sort.Slice(res.Sources, func(i, j int) bool { return res.Sources[i] < res.Sources[j] })
 	for _, l := range res.Sources {
-		if n := a.g.Node(l); n != nil {
+		if n := res.Graph.Node(l); n != nil {
 			n.Source = true
 		}
 	}
-	return res
+}
+
+// ApplyExportFallback puts a fragment built with NoExportFallback into
+// the script attack model: every function becomes exported and the
+// source set is rebuilt. No-op if the fallback is already in effect.
+// It must only be called on results without real exports — exactly the
+// case where the combined package-wide analysis would have fallen back.
+func ApplyExportFallback(res *Result) {
+	if res.FallbackApplied {
+		return
+	}
+	applyFallback(res)
+	recomputeSources(res, false)
+}
+
+// RemoveExportFallback undoes ApplyExportFallback (exact because when
+// the fallback applied, no function was really exported: unmarking
+// everything restores the pre-fallback state). No-op when the fallback
+// is not in effect.
+func RemoveExportFallback(res *Result) {
+	if !res.FallbackApplied {
+		return
+	}
+	for _, fn := range res.Functions {
+		fn.Exported = false
+		if n := res.Graph.Node(fn.Loc); n != nil {
+			n.Exported = false
+		}
+	}
+	res.FallbackApplied = false
+	recomputeSources(res, false)
 }
 
 // setupModule creates (or returns) the CommonJS globals of one module.
@@ -607,9 +692,11 @@ func (a *analyzer) summaryAt(l mdg.Loc) *FuncSummary {
 	return a.funcs[n.FuncName]
 }
 
-// markExported finds functions reachable from module.exports/exports and
-// marks them (their parameters become taint sources).
-func (a *analyzer) markExported() {
+// markExported finds functions reachable from module.exports/exports
+// and marks them (their parameters become taint sources). It reports
+// whether any function is genuinely exported; the script-mode fallback
+// for the negative case is the caller's decision.
+func (a *analyzer) markExported() bool {
 	// Roots: every version of the module object's `exports` property,
 	// plus the original exports object and all its versions.
 	roots := map[mdg.Loc]bool{}
@@ -667,16 +754,7 @@ func (a *analyzer) markExported() {
 		}
 	}
 
-	// Fallback attack model: a file without exports is a script whose
-	// top-level functions are all reachable.
-	if !anyExported {
-		for _, fn := range a.funcs {
-			fn.Exported = true
-			if n := a.g.Node(fn.Loc); n != nil {
-				n.Exported = true
-			}
-		}
-	}
+	return anyExported
 }
 
 // allVersions returns l and every version successor transitively.

@@ -181,6 +181,20 @@ func SweepGraphJS(c *dataset.Corpus, opts scanner.Options) *Sweep {
 	}), c)
 }
 
+// SweepGraphJSIncremental is SweepGraphJS with per-package incremental
+// states drawn from pool (each package name gets a dedicated
+// scanner.IncrementalState). A first sweep over a corpus is all misses;
+// re-sweeping after editing a few packages re-analyzes only those —
+// pool.Stats() exposes the hit/miss/rebuild counters.
+func SweepGraphJSIncremental(c *dataset.Corpus, opts scanner.Options, pool *scanner.StatePool) *Sweep {
+	return fillPackages(runCorpus(len(c.Packages), opts.Workers, func(i int) PackageResult {
+		p := c.Packages[i]
+		o := opts
+		o.Incremental = pool.Get(p.Name)
+		return graphjsResult(p, scanner.ScanSource(p.Source, p.Name, o))
+	}), c)
+}
+
 // SweepODGen scans every package of a corpus with the ODGen-style
 // baseline on the same bounded worker pool as SweepGraphJS.
 func SweepODGen(c *dataset.Corpus, opts odgen.Options) *Sweep {

@@ -76,14 +76,34 @@ func Detect(lg *LoadedGraph, cfg *Config) ([]Finding, error) {
 }
 
 func sortFindings(out []Finding) []Finding {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].SinkLine != out[j].SinkLine {
-			return out[i].SinkLine < out[j].SinkLine
-		}
-		return out[i].CWE < out[j].CWE
-	})
+	sort.Slice(out, func(i, j int) bool { return findingLess(out[i], out[j]) })
 	return out
 }
+
+// findingLess is the total report order over findings: primarily by
+// sink line, then CWE, then file/name/source so ties order identically
+// however the findings were produced (one combined scan or a stitched
+// union of per-component scans).
+func findingLess(a, b Finding) bool {
+	if a.SinkLine != b.SinkLine {
+		return a.SinkLine < b.SinkLine
+	}
+	if a.CWE != b.CWE {
+		return a.CWE < b.CWE
+	}
+	if a.SinkFile != b.SinkFile {
+		return a.SinkFile < b.SinkFile
+	}
+	if a.SinkName != b.SinkName {
+		return a.SinkName < b.SinkName
+	}
+	return a.Source < b.Source
+}
+
+// SortFindings orders a finding slice in the canonical report order.
+// The scanner's incremental path uses it to merge per-component
+// finding sets into the same order a combined scan produces.
+func SortFindings(out []Finding) []Finding { return sortFindings(out) }
 
 // sources returns the taint-source nodes (parameters of exported
 // functions), found via the query engine.
@@ -151,13 +171,13 @@ func DetectTaintStyle(lg *LoadedGraph, cfg *Config, cwe CWE) ([]Finding, error) 
 					if !reach[i][argID] {
 						continue
 					}
-					key := fmt.Sprintf("%s/%d/%s", cwe, call.Props["line"], name)
+					file, _ := call.Props["file"].(string)
+					key := fmt.Sprintf("%s/%s/%d/%s", cwe, file, call.Props["line"], name)
 					if seen[key] {
 						continue
 					}
 					seen[key] = true
 					srcName, _ := src.Props["name"].(string)
-					file, _ := call.Props["file"].(string)
 					out = append(out, Finding{
 						CWE:      cwe,
 						SinkName: name,
@@ -236,13 +256,13 @@ func DetectPrototypePollution(lg *LoadedGraph, cfg *Config) ([]Finding, error) {
 				continue // assigned value not controlled
 			}
 			line := int(ver.Props["line"].(int64))
-			key := fmt.Sprintf("pp/%d", line)
+			file, _ := ver.Props["file"].(string)
+			key := fmt.Sprintf("pp/%s/%d", file, line)
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
 			srcName, _ := srcs[si].Props["name"].(string)
-			file, _ := ver.Props["file"].(string)
 			out = append(out, Finding{
 				CWE:      CWEPrototypePollution,
 				SinkName: "prototype pollution",
@@ -293,8 +313,17 @@ RETURN DISTINCT sub`)
 		subs[sub.ID] = sub
 	}
 
+	// Deterministic sub order (database ids follow MDG location order);
+	// map iteration order must not leak into dedup or witness choice.
+	ids := make([]graphdb.NodeID, 0, len(subs))
+	for id := range subs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
 	var out []Finding
-	for _, sub := range subs {
+	for _, id := range ids {
+		sub := subs[id]
 		// Any write on (a version of) the prototype object whose value
 		// is attacker-controlled.
 		vq := `
@@ -313,13 +342,13 @@ RETURN DISTINCT ver, val`
 				continue
 			}
 			line := int(ver.Props["line"].(int64))
-			key := fmt.Sprintf("pp/%d", line)
+			file, _ := ver.Props["file"].(string)
+			key := fmt.Sprintf("pp/%s/%d", file, line)
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
 			srcName, _ := srcs[si].Props["name"].(string)
-			file, _ := ver.Props["file"].(string)
 			out = append(out, Finding{
 				CWE:      CWEPrototypePollution,
 				SinkName: "prototype pollution",

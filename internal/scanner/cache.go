@@ -51,6 +51,32 @@ func (c *Cache) Stats() (hits, misses int) {
 	return c.hits, c.misses
 }
 
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// EvictExcept removes every entry whose path is not in keep, returning
+// the number evicted. Package scans call it on completion so files
+// deleted from the package cannot leave stale programs behind (the
+// stale-cache hazard: an entry keyed by a removed rel would otherwise
+// live forever and, worse, be served again if a file with the same
+// path and content reappeared after incompatible sibling changes).
+func (c *Cache) EvictExcept(keep map[string]bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	evicted := 0
+	for rel := range c.entries {
+		if !keep[rel] {
+			delete(c.entries, rel)
+			evicted++
+		}
+	}
+	return evicted
+}
+
 // frontEnd parses and lowers one file, consulting the cache. rel is the
 // module-relative name used for require resolution. The scan budget b
 // is charged for parser and normalizer work; an entry built while the

@@ -1,0 +1,411 @@
+package scanner
+
+import (
+	"path"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// This file computes the conservative file-dependency facts the
+// incremental scanner partitions packages with. Two files must land in
+// the same analysis fragment whenever the combined (cold) analysis
+// could create a cross-file flow between them. There are exactly two
+// kinds of channel in the analyzer:
+//
+//  1. require('./sibling') resolving to another package file — the
+//     callee file's exports flow into the caller.
+//  2. Shared global state. The analyzer lazily allocates one shared
+//     node per *free* variable name (a name read where no scope binds
+//     it) and one per external require specifier, in a root store that
+//     persists across files. A file that assigns such a name rebinds
+//     the root entry, and a file that updates (or dynamically looks
+//     up) an object derived from such a node mutates structure every
+//     other file sees.
+//
+// The extraction is deliberately conservative: over-approximating a
+// channel merges two components that could have been analyzed apart —
+// correct, just less incremental. Under-approximating would let an
+// incremental scan diverge from a cold scan, which the
+// mutation-equivalence harness (internal/metrics) exists to catch.
+type fileFacts struct {
+	// requires lists every literal require specifier in the file.
+	requires []string
+	// freeReads holds names possibly read while unbound — each one
+	// makes the analyzer allocate a shared root node.
+	freeReads map[string]bool
+	// assigned holds every name the file assigns anywhere (top-level
+	// or function body): if any other file free-reads the name, the
+	// root binding exists by the second analysis pass and the
+	// assignment rebinds it for everyone.
+	assigned map[string]bool
+	// mutated holds shared-root keys ("g:"+name / "m:"+spec) whose
+	// object structure this file may mutate: a property update or a
+	// dynamic lookup on a value derived from the shared node.
+	mutated map[string]bool
+	// readRoots holds every shared-root key the file references at
+	// all.
+	readRoots map[string]bool
+}
+
+// factsWalker tracks, per variable name, the set of shared-root keys
+// the variable's value may derive from (flow-insensitive across the
+// file, built to a fixpoint by extractFacts).
+type factsWalker struct {
+	f       *fileFacts
+	derived map[string]map[string]bool
+}
+
+// extractFacts computes the dependency facts of one lowered file.
+func extractFacts(prog *core.Program) *fileFacts {
+	f := &fileFacts{
+		freeReads: map[string]bool{},
+		assigned:  map[string]bool{},
+		mutated:   map[string]bool{},
+		readRoots: map[string]bool{},
+	}
+	w := &factsWalker{f: f, derived: map[string]map[string]bool{}}
+	// Derivation chains (x := shared; y := x.p; y.q := v) need a
+	// fixpoint over the flow-insensitive derived sets; the chains are
+	// short in practice, so a few passes converge. The free/assigned
+	// sets are order-aware and identical every pass.
+	for pass := 0; pass < 3; pass++ {
+		before := w.derivedSize()
+		bound := map[string]bool{"module": true, "exports": true}
+		w.stmts(prog.Body, bound)
+		if w.derivedSize() == before && pass > 0 {
+			break
+		}
+	}
+	return f
+}
+
+func (w *factsWalker) derivedSize() int {
+	n := 0
+	for _, s := range w.derived {
+		n += len(s)
+	}
+	return n
+}
+
+// read records a read of e under bound and returns the shared-root
+// keys the value may derive from.
+func (w *factsWalker) read(e core.Expr, bound map[string]bool) map[string]bool {
+	v, ok := e.(core.Var)
+	if !ok {
+		return nil
+	}
+	roots := map[string]bool{}
+	if !bound[v.Name] {
+		key := "g:" + v.Name
+		w.f.freeReads[v.Name] = true
+		w.f.readRoots[key] = true
+		roots[key] = true
+	}
+	for k := range w.derived[v.Name] {
+		roots[k] = true
+	}
+	return roots
+}
+
+// derive unions roots into the derivation set of name.
+func (w *factsWalker) derive(name string, roots map[string]bool) {
+	if len(roots) == 0 {
+		return
+	}
+	d := w.derived[name]
+	if d == nil {
+		d = map[string]bool{}
+		w.derived[name] = d
+	}
+	for k := range roots {
+		d[k] = true
+	}
+}
+
+// mutate marks every shared root in roots as structurally mutated.
+func (w *factsWalker) mutate(roots map[string]bool) {
+	for k := range roots {
+		w.f.mutated[k] = true
+	}
+}
+
+// assign records an assignment target: the name becomes bound from
+// here on, and is a potential root rebinding if any sibling file
+// free-reads it.
+func (w *factsWalker) assign(name string, bound map[string]bool) {
+	w.f.assigned[name] = true
+	bound[name] = true
+}
+
+func copyBound(bound map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(bound))
+	for k, v := range bound {
+		c[k] = v
+	}
+	return c
+}
+
+// stmts walks a statement list in order, mirroring the analyzer's
+// evaluation order (function bodies are analyzed inline at their
+// definition). It mutates bound as bindings are introduced.
+func (w *factsWalker) stmts(ss []core.Stmt, bound map[string]bool) {
+	for _, s := range ss {
+		w.stmt(s, bound)
+	}
+}
+
+func (w *factsWalker) stmt(s core.Stmt, bound map[string]bool) {
+	switch x := s.(type) {
+	case *core.Assign:
+		roots := w.read(x.E, bound)
+		w.assign(x.X, bound)
+		w.derive(x.X, roots)
+
+	case *core.BinOp:
+		w.read(x.L, bound)
+		w.read(x.R, bound)
+		w.assign(x.X, bound) // result is a fresh node, no derivation
+
+	case *core.UnOp:
+		w.read(x.E, bound)
+		w.assign(x.X, bound)
+
+	case *core.NewObj:
+		w.assign(x.X, bound)
+
+	case *core.Lookup:
+		roots := w.read(x.Obj, bound)
+		w.assign(x.X, bound)
+		w.derive(x.X, roots) // property values of a shared object are shared
+
+	case *core.DynLookup:
+		roots := w.read(x.Obj, bound)
+		w.read(x.Prop, bound)
+		// APStar attaches the dynamic-property dependency to a star
+		// node other files may share — a graph mutation the pollution
+		// query observes.
+		w.mutate(roots)
+		w.assign(x.X, bound)
+		w.derive(x.X, roots)
+
+	case *core.Update:
+		roots := w.read(x.Obj, bound)
+		w.read(x.Val, bound)
+		w.mutate(roots)
+
+	case *core.DynUpdate:
+		roots := w.read(x.Obj, bound)
+		w.read(x.Prop, bound)
+		w.read(x.Val, bound)
+		w.mutate(roots)
+
+	case *core.If:
+		w.read(x.Cond, bound)
+		thenB := copyBound(bound)
+		w.stmts(x.Then, thenB)
+		elseB := copyBound(bound)
+		w.stmts(x.Else, elseB)
+		// A name bound in only one branch may still be unbound after
+		// the If: keep only bindings both branches (or the prefix)
+		// established.
+		for k := range thenB {
+			if !bound[k] && elseB[k] {
+				bound[k] = true
+			}
+		}
+
+	case *core.While:
+		w.read(x.Cond, bound)
+		w.stmts(x.Body, copyBound(bound))
+
+	case *core.ForIn:
+		roots := w.read(x.Obj, bound)
+		body := copyBound(bound)
+		w.f.assigned[x.Key] = true
+		body[x.Key] = true
+		w.derive(x.Key, roots) // for-of values come from the object
+		w.stmts(x.Body, body)
+
+	case *core.Call:
+		w.read(x.Callee, bound)
+		if x.This != nil {
+			w.read(x.This, bound)
+		}
+		for _, a := range x.Args {
+			w.read(a, bound)
+		}
+		if x.CalleeName == "require" && len(x.Args) == 1 {
+			if lit, ok := x.Args[0].(core.Lit); ok {
+				key := "m:" + lit.Value
+				w.f.requires = append(w.f.requires, lit.Value)
+				w.f.readRoots[key] = true
+				w.assign(x.X, bound)
+				w.derive(x.X, map[string]bool{key: true})
+				return
+			}
+		}
+		w.assign(x.X, bound) // plain call results are fresh call nodes
+
+	case *core.Return:
+		if x.E != nil {
+			w.read(x.E, bound)
+		}
+
+	case *core.FuncDef:
+		// The analyzer binds the name before analyzing the body (so
+		// recursion resolves), and analyzes the body inline.
+		w.assign(x.Name, bound)
+		body := copyBound(bound)
+		for _, p := range x.Params {
+			body[p] = true
+		}
+		body["this"] = true
+		body["arguments"] = true
+		w.stmts(x.Body, body)
+	}
+}
+
+// resolveRequire mirrors analysis.resolveModule against a file
+// universe: the files a relative specifier from curFile can resolve
+// to. Ambiguous basename fallbacks return every candidate (the
+// analyzer picks one nondeterministically, so the partition must
+// conservatively merge them all).
+func resolveRequire(universe map[string]bool, curFile, spec string) []string {
+	if !strings.HasPrefix(spec, "./") && !strings.HasPrefix(spec, "../") {
+		return nil
+	}
+	baseDir := path.Dir(curFile)
+	target := path.Clean(path.Join(baseDir, spec))
+	for _, c := range []string{target, target + ".js", path.Join(target, "index.js")} {
+		if universe[c] {
+			return []string{c}
+		}
+	}
+	base := path.Base(target)
+	var out []string
+	for file := range universe {
+		fb := strings.TrimSuffix(path.Base(file), ".js")
+		if fb == base || fb == strings.TrimSuffix(base, ".js") {
+			out = append(out, file)
+		}
+	}
+	return out
+}
+
+// unionFind is a plain weighted union-find over file indices.
+type unionFind struct{ parent, size []int }
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
+}
+
+func (u *unionFind) find(i int) int {
+	for u.parent[i] != i {
+		u.parent[i] = u.parent[u.parent[i]]
+		i = u.parent[i]
+	}
+	return i
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}
+
+// partitionComponents groups package files into the fragments the
+// incremental scanner analyzes independently: connected components of
+// the require graph, further merged along every shared-global channel
+// the facts expose. Components are returned ordered by their first
+// file, files inside a component in package order.
+func partitionComponents(rels []string, facts []*fileFacts) [][]int {
+	n := len(rels)
+	u := newUnionFind(n)
+	idx := make(map[string]int, n)
+	universe := make(map[string]bool, n)
+	for i, r := range rels {
+		idx[r] = i
+		universe[r] = true
+	}
+
+	// Channel 1: resolved require edges.
+	for i, f := range facts {
+		for _, spec := range f.requires {
+			for _, target := range resolveRequire(universe, rels[i], spec) {
+				u.union(i, idx[target])
+			}
+		}
+	}
+
+	// Channel 2: shared-name channels. For a plain name, the shared
+	// root node exists iff somebody free-reads it; writers (assigners
+	// and mutators) then act on it for everyone. For an external
+	// module, every requirer shares the node; only mutation couples
+	// them.
+	type group struct{ readers, writers []int }
+	names := map[string]*group{}
+	get := func(key string) *group {
+		g := names[key]
+		if g == nil {
+			g = &group{}
+			names[key] = g
+		}
+		return g
+	}
+	for i, f := range facts {
+		for name := range f.freeReads {
+			get("g:" + name).readers = append(get("g:"+name).readers, i)
+		}
+		for name := range f.assigned {
+			get("g:" + name).writers = append(get("g:"+name).writers, i)
+		}
+		for key := range f.readRoots {
+			if strings.HasPrefix(key, "m:") {
+				get(key).readers = append(get(key).readers, i)
+			}
+		}
+		for key := range f.mutated {
+			get(key).writers = append(get(key).writers, i)
+		}
+	}
+	for _, g := range names {
+		if len(g.readers) == 0 || len(g.writers) == 0 {
+			continue
+		}
+		first := g.readers[0]
+		for _, i := range g.readers[1:] {
+			u.union(first, i)
+		}
+		for _, i := range g.writers {
+			u.union(first, i)
+		}
+	}
+
+	// Deterministic component order: by first member index.
+	byRoot := map[int][]int{}
+	var order []int
+	for i := 0; i < n; i++ {
+		r := u.find(i)
+		if _, ok := byRoot[r]; !ok {
+			order = append(order, r)
+		}
+		byRoot[r] = append(byRoot[r], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, r := range order {
+		out = append(out, byRoot[r])
+	}
+	return out
+}

@@ -1,0 +1,569 @@
+package scanner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/budget"
+	"repro/internal/core"
+	"repro/internal/mdg"
+	"repro/internal/queries"
+)
+
+// IncrementalStats counts what the incremental state reused and
+// rebuilt, cumulatively over its lifetime.
+type IncrementalStats struct {
+	// Front-end (parse/normalize/CFG) cache traffic.
+	FrontEndHits, FrontEndMisses int
+	// Fragment (per require-component MDG) cache traffic. A fragment
+	// miss is a rebuild: the component's files changed (or were never
+	// seen), so its graph was re-analyzed from the lowered programs.
+	FragmentHits, FragmentMisses int
+	// Detection-result cache traffic (per fragment × engine ×
+	// export-fallback bit).
+	DetectHits, DetectMisses int
+	// Entries dropped because their files disappeared from the
+	// package (EvictedFiles) or their component key went stale
+	// (EvictedFragments).
+	EvictedFiles, EvictedFragments int
+}
+
+// Rebuilds returns the number of fragment rebuilds (the miss count).
+func (s IncrementalStats) Rebuilds() int { return s.FragmentMisses }
+
+// Add accumulates other into s (used by StatePool aggregation and
+// metrics sweeps).
+func (s *IncrementalStats) Add(o IncrementalStats) {
+	s.FrontEndHits += o.FrontEndHits
+	s.FrontEndMisses += o.FrontEndMisses
+	s.FragmentHits += o.FragmentHits
+	s.FragmentMisses += o.FragmentMisses
+	s.DetectHits += o.DetectHits
+	s.DetectMisses += o.DetectMisses
+	s.EvictedFiles += o.EvictedFiles
+	s.EvictedFragments += o.EvictedFragments
+}
+
+// IncrementalState carries everything a package's re-scans can reuse:
+// the per-file front end, per-file dependency facts, per-component MDG
+// fragments (immutable mdg.Fragment snapshots keyed by the component
+// files' content hashes), and per-fragment detection results. One
+// state serves one logical package; all methods are safe for
+// concurrent use (a scan holds the state's lock end to end, so
+// concurrent scans of the same state serialize).
+type IncrementalState struct {
+	mu    sync.Mutex
+	cache *Cache
+	facts map[string]*factsEntry
+	frags map[string]*fragEntry
+	stats IncrementalStats
+}
+
+// NewIncrementalState returns an empty per-package incremental state.
+func NewIncrementalState() *IncrementalState {
+	return &IncrementalState{
+		cache: NewCache(),
+		facts: make(map[string]*factsEntry),
+		frags: make(map[string]*fragEntry),
+	}
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (st *IncrementalState) Stats() IncrementalStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.snapshotStats()
+}
+
+func (st *IncrementalState) snapshotStats() IncrementalStats {
+	s := st.stats
+	s.FrontEndHits, s.FrontEndMisses = st.cache.Stats()
+	return s
+}
+
+// Fragments returns the number of cached MDG fragments (test hook).
+func (st *IncrementalState) Fragments() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.frags)
+}
+
+// FrontEnd exposes the state's front-end cache (test hook).
+func (st *IncrementalState) FrontEnd() *Cache { return st.cache }
+
+type factsEntry struct {
+	hash  [sha256.Size]byte
+	facts *fileFacts
+}
+
+// fragEntry is one cached require-component: an immutable graph
+// snapshot plus the function summaries and export facts needed to
+// rehydrate an analysis result for detection.
+type fragEntry struct {
+	key  string
+	rels []string
+	frag *mdg.Fragment
+	// functions are shared mutable summaries (their Exported bit is
+	// flipped when the package-wide export fallback toggles);
+	// realExported records the build-time truth they are reset from.
+	functions    map[string]*analysis.FuncSummary
+	realExported map[string]bool
+	hasReal      bool
+	detect       map[detectKey]*detectResult
+}
+
+type detectKey struct {
+	engine   Engine
+	fallback bool
+	cfg      *queries.Config
+}
+
+// detectResult is a cached detection outcome for one fragment. Only
+// complete runs (no budget interference) are cached.
+type detectResult struct {
+	findings    []queries.Finding
+	truncated   int
+	fellBack    bool
+	fallbackErr error
+	err         error
+	failure     budget.Class
+}
+
+// StatePool hands out one IncrementalState per package name — the
+// shape corpus sweeps need (metrics.SweepGraphJS with
+// Options.IncrementalPool, graphjs -incremental).
+type StatePool struct {
+	mu     sync.Mutex
+	states map[string]*IncrementalState
+}
+
+// NewStatePool returns an empty pool.
+func NewStatePool() *StatePool {
+	return &StatePool{states: make(map[string]*IncrementalState)}
+}
+
+// Get returns the state for name, creating it on first use.
+func (p *StatePool) Get(name string) *IncrementalState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.states[name]
+	if st == nil {
+		st = NewIncrementalState()
+		p.states[name] = st
+	}
+	return st
+}
+
+// Len returns the number of package states in the pool.
+func (p *StatePool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.states)
+}
+
+// Stats aggregates the counters of every state in the pool.
+func (p *StatePool) Stats() IncrementalStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out IncrementalStats
+	for _, st := range p.states {
+		out.Add(st.Stats())
+	}
+	return out
+}
+
+// scan is the incremental counterpart of scanFiles: same inputs, same
+// report contract, but re-analysis is limited to the require-
+// components whose files changed since the previous scan of this
+// state. Equivalence with a cold scan (same findings, same failure
+// classification) is enforced by the mutation harness in
+// internal/metrics; the known report-level difference is that
+// MDGNodes/MDGEdges sum per-fragment sizes.
+func (st *IncrementalState) scan(files []SourceFile, name string, opts Options, preErr error) *Report {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	cfgq := opts.Config
+	if cfgq == nil {
+		cfgq = queries.DefaultConfig()
+	}
+	rep := &Report{Name: name, Err: preErr}
+	engine, err := ParseEngine(string(opts.Engine))
+	if err != nil {
+		rep.Err = err
+		return rep
+	}
+	rep.Engine = engine
+	b := budget.New(opts.limits())
+	start := time.Now()
+
+	// Front end, through the state's cache.
+	type feItem struct {
+		rel   string
+		entry *cacheEntry
+	}
+	var items []feItem
+	keep := make(map[string]bool, len(files))
+	ferr := budget.Guard("front-end", func() error {
+		for _, f := range files {
+			keep[f.Rel] = true
+			entry, feErr := st.cache.frontEnd(f.Rel, f.Src, b)
+			if feErr != nil {
+				switch budget.ClassOf(feErr) {
+				case budget.ClassTimeout, budget.ClassBudget:
+					return feErr
+				}
+				if rep.Err == nil {
+					rep.Err = fmt.Errorf("scanner: parse %s: %w", f.Rel, feErr)
+					rep.Failure = budget.ClassParse
+				}
+				continue
+			}
+			rep.LoC += entry.loc
+			rep.ASTNodes += entry.astNodes
+			rep.CoreStmts += entry.coreStmts
+			rep.CFGNodes += entry.cfgNodes
+			rep.CFGEdges += entry.cfgEdges
+			items = append(items, feItem{f.Rel, entry})
+		}
+		b.CheckDeadline()
+		return b.Err()
+	})
+	// Deleted files are observable now: their front-end entries and
+	// facts must go, so nothing stale can join a later partition.
+	st.stats.EvictedFiles += st.cache.EvictExcept(keep)
+	for rel := range st.facts {
+		if !keep[rel] {
+			delete(st.facts, rel)
+		}
+	}
+	if ferr != nil {
+		frontEndFailure(rep, ferr, name)
+		rep.GraphTime = time.Since(start)
+		rep.IncrStats = st.statsPtr()
+		return rep
+	}
+	if len(items) == 0 {
+		rep.IncrStats = st.statsPtr()
+		return rep
+	}
+
+	progs := make([]*core.Program, len(items))
+	for i, it := range items {
+		progs[i] = it.entry.prog
+	}
+
+	// Whole-package reach closure: cheap and cross-file, so it is
+	// recomputed from the (cached) lowered programs on every scan
+	// rather than stitched from per-file summaries.
+	skip := false
+	if gerr := budget.Guard("reach-gate", func() error {
+		skip = gateSkips(rep, progs, cfgq, opts)
+		return nil
+	}); gerr != nil {
+		skip = false
+	}
+	if skip {
+		rep.GraphTime = time.Since(start)
+		rep.IncrStats = st.statsPtr()
+		return rep
+	}
+
+	// Per-file dependency facts (cached by content hash) and the
+	// component partition.
+	rels := make([]string, len(items))
+	hashes := make([][sha256.Size]byte, len(items))
+	factsList := make([]*fileFacts, len(items))
+	for i, it := range items {
+		rels[i] = it.rel
+		hashes[i] = it.entry.hash
+		fe := st.facts[it.rel]
+		if fe == nil || fe.hash != it.entry.hash {
+			fe = &factsEntry{hash: it.entry.hash, facts: extractFacts(it.entry.prog)}
+			st.facts[it.rel] = fe
+		}
+		factsList[i] = fe.facts
+	}
+	comps := partitionComponents(rels, factsList)
+
+	aopts := opts.Analysis
+	if aopts.MaxLoopIter == 0 {
+		aopts = analysis.DefaultOptions()
+	}
+	callerNoFallback := aopts.NoExportFallback
+	aopts.NoExportFallback = true
+	multiPass := aopts.ForceMultiPass || len(items) > 1
+	aopts.ForceMultiPass = multiPass
+	aoptsKey := fmt.Sprintf("v1|%d|%d|%t|%t", aopts.MaxLoopIter, aopts.StepBudget,
+		aopts.TreatAllFunctionsAsExported, multiPass)
+	aopts.Budget = b
+
+	// Build or fetch each component's fragment. A budget cap mid-build
+	// keeps the partial fragment for this scan's detection (mirroring
+	// the cold scan's partial-graph detection) but never caches it.
+	type liveFrag struct {
+		fe     *fragEntry
+		res    *analysis.Result // non-nil when built (possibly partially) this scan
+		stored bool             // fe lives in st.frags (cacheable detection)
+	}
+	var lives []liveFrag
+	currentKeys := make(map[string]bool, len(comps))
+	aborted := false
+	for _, comp := range comps {
+		ckey := componentKey(comp, hashes, aoptsKey)
+		currentKeys[ckey] = true
+		if fe, ok := st.frags[ckey]; ok {
+			st.stats.FragmentHits++
+			lives = append(lives, liveFrag{fe: fe, stored: true})
+			continue
+		}
+		if aborted {
+			continue // cap already tripped; only cached components join
+		}
+		st.stats.FragmentMisses++
+		comprogs := make([]*core.Program, len(comp))
+		crels := make([]string, len(comp))
+		for j, i := range comp {
+			comprogs[j] = progs[i]
+			crels[j] = rels[i]
+		}
+		var res *analysis.Result
+		if aerr := budget.Guard("analysis", func() error {
+			res = analysis.AnalyzeModules(comprogs, aopts)
+			return nil
+		}); aerr != nil {
+			setFailure(rep, aerr, budget.ClassPanic)
+			rep.GraphTime = time.Since(start)
+			rep.IncrStats = st.statsPtr()
+			return rep
+		}
+		if res.TimedOut && b.Err() == nil {
+			rep.TimedOut = true
+			rep.Failure = budget.ClassBudget
+			rep.GraphTime = time.Since(start)
+			rep.IncrStats = st.statsPtr()
+			return rep
+		}
+		b.CheckDeadline()
+		if berr := b.Err(); berr != nil {
+			if budget.ClassOf(berr) == budget.ClassTimeout {
+				rep.Failure = budget.ClassTimeout
+				rep.TimedOut = true
+				rep.GraphTime = time.Since(start)
+				rep.IncrStats = st.statsPtr()
+				return rep
+			}
+			// A step/node/edge cap: the fragment is incomplete. Use it
+			// for this scan's best-effort detection but do NOT cache
+			// it — a later uncapped scan must rebuild it in full.
+			rep.Incomplete = true
+			rep.Failure = budget.ClassOf(berr)
+			aborted = true
+			lives = append(lives, liveFrag{fe: partialFragEntry(ckey, crels, res), res: res})
+			continue
+		}
+		fe := newFragEntry(ckey, crels, res)
+		st.frags[ckey] = fe
+		lives = append(lives, liveFrag{fe: fe, res: res, stored: true})
+	}
+
+	// Package-wide export decision: the script fallback applies only
+	// when no fragment has a real export (exactly the cold rule).
+	anyReal := false
+	for _, lv := range lives {
+		if lv.fe.hasReal {
+			anyReal = true
+		}
+	}
+	fb := !anyReal && !aopts.TreatAllFunctionsAsExported && !callerNoFallback
+
+	for _, lv := range lives {
+		if lv.res != nil {
+			rep.MDGNodes += lv.res.Graph.NumNodes()
+			rep.MDGEdges += lv.res.Graph.NumEdges()
+		} else {
+			rep.MDGNodes += lv.fe.frag.NumNodes()
+			rep.MDGEdges += lv.fe.frag.NumEdges()
+		}
+	}
+	rep.GraphTime = time.Since(start)
+
+	detb := b
+	if aborted {
+		detb = b.DeadlineOnly()
+	}
+	// Detection results are keyed by the caller's config pointer; a nil
+	// Config means the canonical default (DefaultConfig allocates per
+	// call, so keying on cfgq would never hit).
+	for _, lv := range lives {
+		dkey := detectKey{engine: engine, fallback: fb, cfg: opts.Config}
+		if lv.stored {
+			if dr, ok := lv.fe.detect[dkey]; ok {
+				st.stats.DetectHits++
+				mergeCachedDetect(rep, dr)
+				continue
+			}
+		}
+		st.stats.DetectMisses++
+		res := lv.res
+		if res != nil {
+			if fb {
+				analysis.ApplyExportFallback(res)
+			}
+		} else {
+			res = rehydrate(lv.fe, fb)
+		}
+		scratch := &Report{Name: rep.Name, Engine: engine}
+		detectInto(scratch, res, cfgq, engine, detb)
+		mergeScratch(rep, scratch)
+		if lv.stored && detb.Err() == nil && !scratch.Incomplete && !scratch.TimedOut {
+			lv.fe.detect[dkey] = &detectResult{
+				findings:    scratch.Findings,
+				truncated:   scratch.TruncatedSearches,
+				fellBack:    scratch.FellBack,
+				fallbackErr: scratch.FallbackErr,
+				err:         scratch.Err,
+				failure:     scratch.Failure,
+			}
+		}
+	}
+	rep.Findings = queries.SortFindings(rep.Findings)
+
+	b.CheckDeadline()
+	if budget.ClassOf(b.Err()) == budget.ClassTimeout {
+		rep.TimedOut = true
+		rep.Incomplete = true
+		if rep.Failure == budget.ClassNone {
+			rep.Failure = budget.ClassTimeout
+		}
+	}
+
+	// Fragment invalidation: after a complete scan, any component key
+	// not part of the package anymore (changed or deleted files) is
+	// stale for good — a changed file can never produce the old key
+	// again without also reproducing the old content.
+	if !aborted {
+		for k := range st.frags {
+			if !currentKeys[k] {
+				delete(st.frags, k)
+				st.stats.EvictedFragments++
+			}
+		}
+	}
+	rep.IncrStats = st.statsPtr()
+	return rep
+}
+
+// statsPtr snapshots the counters for a report.
+func (st *IncrementalState) statsPtr() *IncrementalStats {
+	s := st.snapshotStats()
+	return &s
+}
+
+// componentKey identifies a component by its files' content hashes
+// (which cover both path and source) plus the analysis options that
+// shape the fragment.
+func componentKey(comp []int, hashes [][sha256.Size]byte, aoptsKey string) string {
+	h := sha256.New()
+	h.Write([]byte(aoptsKey))
+	for _, i := range comp {
+		h.Write([]byte{0})
+		h.Write(hashes[i][:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// newFragEntry snapshots a freshly built component into a cacheable
+// fragment. Called only on clean builds.
+func newFragEntry(key string, rels []string, res *analysis.Result) *fragEntry {
+	fe := partialFragEntry(key, rels, res)
+	fe.frag = mdg.SnapshotFragment(res.Graph)
+	return fe
+}
+
+// partialFragEntry wraps a (possibly budget-truncated) build without a
+// graph snapshot; it is used for this scan only and never cached.
+func partialFragEntry(key string, rels []string, res *analysis.Result) *fragEntry {
+	fe := &fragEntry{
+		key:          key,
+		rels:         rels,
+		functions:    res.Functions,
+		realExported: make(map[string]bool, len(res.Functions)),
+		hasReal:      res.HasRealExports,
+		detect:       make(map[detectKey]*detectResult),
+	}
+	for name, fn := range res.Functions {
+		fe.realExported[name] = fn.Exported
+	}
+	return fe
+}
+
+// rehydrate rebuilds a detection-ready analysis result from a cached
+// fragment: a fresh graph via the stitching API (a single-fragment
+// stitch preserves locations, so the stored summaries stay valid), the
+// export marks reset to the build-time truth, and the package-wide
+// fallback applied if requested.
+func rehydrate(fe *fragEntry, fallback bool) *analysis.Result {
+	g, _ := mdg.Stitch(fe.frag)
+	res := &analysis.Result{Graph: g, Functions: fe.functions, HasRealExports: fe.hasReal}
+	for name, fn := range fe.functions {
+		fn.Exported = fe.realExported[name]
+		if n := g.Node(fn.Loc); n != nil {
+			n.Exported = fn.Exported
+		}
+	}
+	if fallback {
+		analysis.ApplyExportFallback(res)
+	}
+	return res
+}
+
+// mergeCachedDetect folds a cached detection result into the report.
+func mergeCachedDetect(rep *Report, dr *detectResult) {
+	rep.Findings = append(rep.Findings, dr.findings...)
+	rep.TruncatedSearches += dr.truncated
+	if dr.fellBack {
+		rep.FellBack = true
+		if rep.FallbackErr == nil {
+			rep.FallbackErr = dr.fallbackErr
+		}
+	}
+	if dr.err != nil && rep.Err == nil {
+		rep.Err = dr.err
+	}
+	if dr.failure != budget.ClassNone && rep.Failure == budget.ClassNone {
+		rep.Failure = dr.failure
+	}
+}
+
+// mergeScratch folds a live per-fragment detection report into the
+// package report.
+func mergeScratch(rep, scratch *Report) {
+	rep.Findings = append(rep.Findings, scratch.Findings...)
+	rep.TruncatedSearches += scratch.TruncatedSearches
+	rep.NativeTime += scratch.NativeTime
+	rep.QueryEngineTime += scratch.QueryEngineTime
+	rep.QueryTime += scratch.QueryTime
+	if scratch.Incomplete {
+		rep.Incomplete = true
+	}
+	if scratch.TimedOut {
+		rep.TimedOut = true
+	}
+	if scratch.FellBack {
+		rep.FellBack = true
+		if rep.FallbackErr == nil {
+			rep.FallbackErr = scratch.FallbackErr
+		}
+	}
+	if scratch.Err != nil && rep.Err == nil {
+		rep.Err = scratch.Err
+	}
+	if scratch.Failure != budget.ClassNone && rep.Failure == budget.ClassNone {
+		rep.Failure = scratch.Failure
+	}
+}

@@ -76,8 +76,15 @@ type Options struct {
 	MaxNodes int
 	MaxEdges int
 	// Cache, when set, memoizes the per-file front end across scans
-	// (see Cache).
+	// (see Cache). Ignored when Incremental is set — the incremental
+	// state owns its own front-end cache.
 	Cache *Cache
+	// Incremental, when set, reuses MDG fragments and detection
+	// results across scans of the same package: only the
+	// require-components touched by changed files are re-analyzed
+	// (see IncrementalState). The state must be dedicated to one
+	// logical package; use a StatePool for corpus sweeps.
+	Incremental *IncrementalState
 	// NoReachGate disables the call-graph reachability pre-pass that
 	// skips graph construction for packages whose reachable code
 	// cannot produce a finding.
@@ -146,7 +153,10 @@ type Report struct {
 
 	// Size metrics (Table 7). ASTNodes/CFGNodes are included to match
 	// the paper's accounting ("we included the AST and CFG nodes used
-	// to generate the final MDG").
+	// to generate the final MDG"). On an incremental scan MDGNodes and
+	// MDGEdges are summed over the package's fragments, which can
+	// slightly exceed a cold combined graph when several components
+	// share lazily created global nodes.
 	LoC       int
 	ASTNodes  int
 	CFGNodes  int
@@ -154,6 +164,11 @@ type Report struct {
 	MDGNodes  int
 	MDGEdges  int
 	CoreStmts int
+
+	// IncrStats snapshots the incremental state's cumulative
+	// hit/miss/rebuild counters after an incremental scan (nil on cold
+	// scans).
+	IncrStats *IncrementalStats
 }
 
 // TotalNodes returns the node count as Table 7 reports it.
@@ -219,6 +234,9 @@ func frontEndFailure(rep *Report, err error, name string) {
 // state per call, the shared opts.Config is read-only after
 // construction, and opts.Cache (when set) is internally locked.
 func ScanSource(src, name string, opts Options) *Report {
+	if opts.Incremental != nil {
+		return opts.Incremental.scan([]SourceFile{{Rel: name, Src: src}}, name, opts, nil)
+	}
 	rep := &Report{Name: name, LoC: strings.Count(src, "\n") + 1}
 	cfgq := opts.Config
 	if cfgq == nil {
@@ -395,6 +413,13 @@ func detectQuery(rep *Report, res *analysis.Result, cfgq *queries.Config, b *bud
 // GraphTime is closed here, before detection starts.
 func runDetection(rep *Report, res *analysis.Result, cfgq *queries.Config, engine Engine, start time.Time, b *budget.Budget) {
 	rep.GraphTime = time.Since(start)
+	detectInto(rep, res, cfgq, engine, b)
+}
+
+// detectInto runs the selected backend and records findings, timings
+// and failure state on rep, leaving GraphTime alone — the incremental
+// path calls it once per fragment with a scratch report.
+func detectInto(rep *Report, res *analysis.Result, cfgq *queries.Config, engine Engine, b *budget.Budget) {
 	switch engine {
 	case EngineNative:
 		fs, err := detectNative(rep, res, cfgq, b)
@@ -507,13 +532,21 @@ func ScanFile(path string, opts Options) *Report {
 	return ScanSource(string(data), path, opts)
 }
 
+// SourceFile is one file of an in-memory package: Rel is the
+// package-relative path used for require resolution, Src the source
+// text.
+type SourceFile struct {
+	Rel string
+	Src string
+}
+
 // ScanPackage scans every .js file under dir (skipping node_modules and
 // test directories, like the artifact does) as one multi-module
 // package: a single combined MDG is built so that require('./sibling')
 // flows connect across files, then the vulnerability queries run once
 // over the whole graph.
 func ScanPackage(dir string, opts Options) *Report {
-	var files []string
+	var paths []string
 	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
 		if err != nil {
 			return err
@@ -526,20 +559,55 @@ func ScanPackage(dir string, opts Options) *Report {
 			return nil
 		}
 		if strings.HasSuffix(path, ".js") && !strings.HasSuffix(path, ".min.js") {
-			files = append(files, path)
+			paths = append(paths, path)
 		}
 		return nil
 	})
 	if err != nil {
 		return &Report{Name: dir, Err: fmt.Errorf("scanner: %w", err)}
 	}
-	sort.Strings(files)
+	sort.Strings(paths)
+
+	var files []SourceFile
+	var readErr error
+	for _, f := range paths {
+		data, rdErr := os.ReadFile(f)
+		if rdErr != nil {
+			if readErr == nil {
+				readErr = fmt.Errorf("scanner: %w", rdErr)
+			}
+			continue
+		}
+		rel, relErr := filepath.Rel(dir, f)
+		if relErr != nil {
+			rel = f
+		}
+		files = append(files, SourceFile{Rel: rel, Src: string(data)})
+	}
+	return scanFiles(files, dir, opts, readErr)
+}
+
+// ScanFiles scans an in-memory file set as one multi-module package,
+// exactly like ScanPackage does for a directory: files are assumed to
+// be in sorted Rel order (require resolution and site allocation
+// depend on file order). The mutation-equivalence harness uses it to
+// scan synthetic packages without touching the filesystem.
+func ScanFiles(files []SourceFile, name string, opts Options) *Report {
+	return scanFiles(files, name, opts, nil)
+}
+
+// scanFiles is the shared package-scan body. preErr is a pre-existing
+// non-fatal error (e.g. an unreadable file) recorded on the report.
+func scanFiles(files []SourceFile, name string, opts Options, preErr error) *Report {
+	if opts.Incremental != nil {
+		return opts.Incremental.scan(files, name, opts, preErr)
+	}
 
 	cfgq := opts.Config
 	if cfgq == nil {
 		cfgq = queries.DefaultConfig()
 	}
-	rep := &Report{Name: dir}
+	rep := &Report{Name: name, Err: preErr}
 	engine, err := ParseEngine(string(opts.Engine))
 	if err != nil {
 		rep.Err = err
@@ -554,20 +622,11 @@ func ScanPackage(dir string, opts Options) *Report {
 		frontEnd = opts.Cache.frontEnd
 	}
 	var progs []*core.Program
+	keep := make(map[string]bool, len(files))
 	ferr := budget.Guard("front-end", func() error {
 		for _, f := range files {
-			data, rdErr := os.ReadFile(f)
-			if rdErr != nil {
-				if rep.Err == nil {
-					rep.Err = fmt.Errorf("scanner: %w", rdErr)
-				}
-				continue
-			}
-			rel, relErr := filepath.Rel(dir, f)
-			if relErr != nil {
-				rel = f
-			}
-			entry, feErr := frontEnd(rel, string(data), b)
+			keep[f.Rel] = true
+			entry, feErr := frontEnd(f.Rel, f.Src, b)
 			if feErr != nil {
 				switch budget.ClassOf(feErr) {
 				case budget.ClassTimeout, budget.ClassBudget:
@@ -576,7 +635,7 @@ func ScanPackage(dir string, opts Options) *Report {
 				// A parse error in one file does not doom the package;
 				// record the first one and keep going.
 				if rep.Err == nil {
-					rep.Err = fmt.Errorf("scanner: parse %s: %w", rel, feErr)
+					rep.Err = fmt.Errorf("scanner: parse %s: %w", f.Rel, feErr)
 					rep.Failure = budget.ClassParse
 				}
 				continue
@@ -591,8 +650,14 @@ func ScanPackage(dir string, opts Options) *Report {
 		b.CheckDeadline()
 		return b.Err()
 	})
+	// Scan completion is when deleted files become observable: drop
+	// cache entries for paths no longer in the package so stale
+	// programs can never resurface in a later scan.
+	if opts.Cache != nil {
+		opts.Cache.EvictExcept(keep)
+	}
 	if ferr != nil {
-		frontEndFailure(rep, ferr, dir)
+		frontEndFailure(rep, ferr, name)
 		rep.GraphTime = time.Since(start)
 		return rep
 	}

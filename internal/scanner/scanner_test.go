@@ -3,10 +3,12 @@ package scanner
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/dataset"
 	"repro/internal/queries"
 )
 
@@ -282,15 +284,73 @@ func TestCacheCompositionality(t *testing.T) {
 	}
 }
 
-// TestCachedScanEqualsUncached: the cache must be observationally
-// transparent.
+// zeroTimings clears the wall-clock fields so reports can be compared
+// byte for byte.
+func zeroTimings(rep *Report) {
+	rep.GraphTime = 0
+	rep.QueryTime = 0
+	rep.NativeTime = 0
+	rep.QueryEngineTime = 0
+}
+
+// TestCachedScanEqualsUncached: the front-end cache must be
+// observationally transparent. Table-driven over every dataset
+// template (all CWEs crossed with every behavioural class) plus the
+// pathological crash corpus under deterministic step caps: the cached
+// report must be byte-identical to the uncached one (timings aside),
+// and the cache's hit/miss counters must grow monotonically.
 func TestCachedScanEqualsUncached(t *testing.T) {
-	dir := t.TempDir()
-	mustWrite(t, filepath.Join(dir, "index.js"), gitResetSrc)
-	plain := ScanPackage(dir, Options{})
-	cached := ScanPackage(dir, Options{Cache: NewCache()})
-	if plain.MDGNodes != cached.MDGNodes || plain.MDGEdges != cached.MDGEdges ||
-		plain.ASTNodes != cached.ASTNodes || len(plain.Findings) != len(cached.Findings) {
-		t.Fatalf("cache changed results: %+v vs %+v", plain, cached)
+	type testCase struct {
+		name string
+		src  string
+		opts Options
+	}
+	var cases []testCase
+	g := dataset.NewGenForTest(9)
+	for _, cwe := range queries.AllCWEs {
+		for _, class := range differentialClasses {
+			p := dataset.RenderForTest(g, cwe, class)
+			cases = append(cases, testCase{p.Name, p.Source, Options{}})
+		}
+	}
+	for _, p := range dataset.Pathological().Packages {
+		// Deterministic caps, not wall clock: both runs trip (or not)
+		// at exactly the same abstract step.
+		cases = append(cases, testCase{p.Name, p.Source, Options{MaxSteps: 100000}})
+	}
+
+	cache := NewCache()
+	prevHits, prevMisses := 0, 0
+	for _, tc := range cases {
+		files := []SourceFile{{Rel: "index.js", Src: tc.src}}
+		plain := ScanFiles(files, tc.name, tc.opts)
+		copts := tc.opts
+		copts.Cache = cache
+		cached := ScanFiles(files, tc.name, copts)
+		zeroTimings(plain)
+		zeroTimings(cached)
+		if !reflect.DeepEqual(plain, cached) {
+			t.Errorf("%s: cached report differs from uncached:\n%+v\nvs\n%+v", tc.name, cached, plain)
+		}
+		hits, misses := cache.Stats()
+		if hits < prevHits || misses < prevMisses {
+			t.Fatalf("%s: cache stats not monotone: %d/%d after %d/%d", tc.name, hits, misses, prevHits, prevMisses)
+		}
+		prevHits, prevMisses = hits, misses
+
+		// A warm re-scan must hit and, when no budget is involved,
+		// still produce the identical report.
+		if tc.opts.MaxSteps == 0 {
+			warm := ScanFiles(files, tc.name, copts)
+			zeroTimings(warm)
+			if !reflect.DeepEqual(plain, warm) {
+				t.Errorf("%s: warm cached report differs:\n%+v\nvs\n%+v", tc.name, warm, plain)
+			}
+			hits2, _ := cache.Stats()
+			if hits2 <= hits {
+				t.Errorf("%s: warm re-scan did not hit the cache", tc.name)
+			}
+			prevHits = hits2
+		}
 	}
 }

@@ -2,7 +2,6 @@ package taint
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/graphdb"
 	"repro/internal/mdg"
@@ -19,13 +18,7 @@ func (e *Engine) Detect() []queries.Finding {
 	out = append(out, e.detectTaintStyle(queries.CWECommandInjection)...)
 	out = append(out, e.detectTaintStyle(queries.CWECodeInjection)...)
 	out = append(out, e.detectPrototypePollution()...)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].SinkLine != out[j].SinkLine {
-			return out[i].SinkLine < out[j].SinkLine
-		}
-		return out[i].CWE < out[j].CWE
-	})
-	return out
+	return queries.SortFindings(out)
 }
 
 // locPath converts an MDG-location witness into the Finding.Path node
@@ -73,7 +66,7 @@ func (e *Engine) detectTaintStyle(cwe queries.CWE) []queries.Finding {
 					if !e.taintedBy(argLoc, i) {
 						continue
 					}
-					key := fmt.Sprintf("%s/%d/%s", cwe, n.Line, n.CallName)
+					key := fmt.Sprintf("%s/%s/%d/%s", cwe, n.File, n.Line, n.CallName)
 					if seen[key] {
 						continue
 					}
@@ -162,7 +155,7 @@ func (e *Engine) detectPrototypePollution() []queries.Finding {
 			if _, ok := tainted(av.val.Loc); !ok {
 				continue // assigned value not controlled
 			}
-			key := fmt.Sprintf("pp/%d", av.ver.Line)
+			key := fmt.Sprintf("pp/%s/%d", av.ver.File, av.ver.Line)
 			if seen[key] {
 				continue
 			}
@@ -233,7 +226,7 @@ func (e *Engine) detectLiteralProtoPollution(tainted func(mdg.Loc) (int, bool),
 			if !ok {
 				continue
 			}
-			key := fmt.Sprintf("pp/%d", w.ver.Line)
+			key := fmt.Sprintf("pp/%s/%d", w.ver.File, w.ver.Line)
 			if seen[key] {
 				continue
 			}
