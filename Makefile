@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-all bench-faults bench-incremental tables pathological mutate-check fuzz-smoke
+.PHONY: check fmt vet build test race bench bench-all bench-faults bench-incremental bench-resume tables pathological mutate-check chaos fuzz-smoke
 
 # check is the tier-1 gate: formatting, vet, build, the race-enabled
 # test suite, the crash-corpus regression, the incremental-scan
-# mutation-equivalence harness, and a short fuzz smoke.
-# CI and pre-commit both run this target.
-check: fmt vet build race pathological mutate-check fuzz-smoke
+# mutation-equivalence harness, the chaos harness, and a short fuzz
+# smoke. CI and pre-commit both run this target.
+check: fmt vet build race pathological mutate-check chaos fuzz-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -45,6 +45,13 @@ bench-faults:
 		| $(GO) run ./cmd/benchjson -out BENCH_faults.json
 	@tail -n 4 BENCH_faults.json
 
+# bench-resume snapshots the journal-resume timings (cold supervised
+# sweep vs journal-satisfied resume) into BENCH_resume.json.
+bench-resume:
+	$(GO) test -run xxx -bench ResumeSweep -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_resume.json
+	@tail -n 2 BENCH_resume.json
+
 # bench-incremental snapshots the cold-vs-warm re-scan timings and the
 # fragment-cache counters into BENCH_incremental.json (the ≥2× warm
 # single-file-edit speedup is the acceptance bar).
@@ -70,6 +77,14 @@ pathological:
 mutate-check:
 	$(GO) test -race -run 'Mutation|Incremental|CachedScanEqualsUncached|CacheEvicts' \
 		./internal/scanner ./internal/metrics
+
+# chaos runs the supervised-sweep chaos harness under the race
+# detector: Workers=4 sweeps with deterministic injected panics and
+# timeouts, a simulated SIGKILL (journal truncated mid-line), and a
+# resume that must reproduce the uninterrupted run exactly.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaosKillResume|TestCreateRepairsTornTail|TestConcurrentWriters' \
+		./internal/metrics ./internal/sweepjournal
 
 # fuzz-smoke gives each fuzz target a few seconds — enough to catch
 # newly introduced panics on the seeded pathological shapes.

@@ -645,6 +645,44 @@ func BenchmarkIncrementalRescan(b *testing.B) {
 	}
 }
 
+// BenchmarkResumeSweep measures the journal-resume win (snapshot:
+// BENCH_resume.json): a supervised sweep is run cold (writing its
+// journal), then re-run with -resume against the same journal. The
+// resumed sweep satisfies every package from the journal, so its cost
+// is hashing plus replay — the resume-ms/cold-ms gap is what a crashed
+// sweep avoids paying again.
+func BenchmarkResumeSweep(b *testing.B) {
+	c := sampleCorpus(60)
+	opts := scanner.Options{Workers: 4}
+	dir := b.TempDir()
+	var coldNs, resumeNs int64
+	for i := 0; i < b.N; i++ {
+		journal := filepath.Join(dir, fmt.Sprintf("sweep-%d.jsonl", i))
+		t0 := time.Now()
+		_, _, err := metrics.SuperviseGraphJS(c, opts, metrics.SuperviseOptions{JournalPath: journal})
+		coldNs += time.Since(t0).Nanoseconds()
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		_, stats, err := metrics.SuperviseGraphJS(c, opts,
+			metrics.SuperviseOptions{JournalPath: journal, Resume: true})
+		resumeNs += time.Since(t1).Nanoseconds()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Resumed != len(c.Packages) {
+			b.Fatalf("resumed %d of %d packages", stats.Resumed, len(c.Packages))
+		}
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(coldNs)/n/1e6, "cold-ms")
+	b.ReportMetric(float64(resumeNs)/n/1e6, "resume-ms")
+	if resumeNs > 0 {
+		b.ReportMetric(float64(coldNs)/float64(resumeNs), "speedup")
+	}
+}
+
 // BenchmarkIncrementalSweep measures the corpus-level re-analysis win
 // (the acceptance criterion): a ground-truth sample is swept once to
 // seed the per-package state pool, then each iteration edits ONE

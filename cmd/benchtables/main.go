@@ -15,6 +15,14 @@
 // Corpus scans run on a bounded worker pool; -workers N bounds it
 // (default GOMAXPROCS). Results are printed with the paper's reference
 // values alongside the measured ones where applicable.
+//
+// With -journal FILE the ground-truth sweeps run supervised: each
+// worker appends its package's terminal outcome (after the
+// retry/degradation ladder) to FILE-graphjs.jsonl / FILE-odgen.jsonl
+// as it finishes, and -resume skips packages already journaled under
+// the same content hash and options. Resumed rows carry findings and
+// classification but no timings, so timing tables reflect only the
+// packages actually re-scanned.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/budget"
@@ -42,10 +51,16 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size for corpus sweeps (0 = GOMAXPROCS)")
 	sweep := flag.Bool("sweep", false, "print worker-pool scaling (1/2/4/8 workers)")
 	faults := flag.Bool("faults", false, "print failure-class counts on the crash corpus")
+	journal := flag.String("journal", "", "supervise the ground-truth sweeps and journal outcomes to FILE-graphjs.jsonl / FILE-odgen.jsonl")
+	resume := flag.Bool("resume", false, "with -journal: skip packages whose journal entry matches")
+	requarantine := flag.Bool("requarantine", false, "with -resume: re-scan quarantined packages")
 	flag.Parse()
 
 	r := newRunner(*seed, *collectedN)
 	r.workers = *workers
+	r.journal = *journal
+	r.resume = *resume
+	r.requarantine = *requarantine
 	switch {
 	case *sweep:
 		r.sweepTable()
@@ -84,6 +99,10 @@ type runner struct {
 	collectedN int
 	workers    int
 
+	journal      string // journal path prefix ("" = unsupervised sweeps)
+	resume       bool
+	requarantine bool
+
 	vulcan, secbench, combined *dataset.Corpus
 
 	gjs, odg   []metrics.PackageResult
@@ -99,20 +118,59 @@ func newRunner(seed int64, collectedN int) *runner {
 	return &runner{seed: seed, collectedN: collectedN, vulcan: vul, secbench: sec, combined: combined}
 }
 
-// run executes both tools over the ground truth once (memoized).
+// superviseOpts derives the supervised-sweep options for one tool's
+// journal (distinct files per tool: the journal keys entries by
+// package name, and both tools sweep the same corpus).
+func (r *runner) superviseOpts(tool string) metrics.SuperviseOptions {
+	return metrics.SuperviseOptions{
+		JournalPath:  strings.TrimSuffix(r.journal, ".jsonl") + "-" + tool + ".jsonl",
+		Resume:       r.resume,
+		Requarantine: r.requarantine,
+	}
+}
+
+func reportSupervised(tool string, stats *metrics.SuperviseStats, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtables: %s journal: %v\n", tool, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "  supervised: %d complete, %d degraded, %d quarantined, %d resumed\n",
+		stats.Completed, stats.Degraded, stats.Quarantined, stats.Resumed)
+}
+
+// run executes both tools over the ground truth once (memoized). With
+// -journal the sweeps run supervised: each worker appends its
+// package's terminal outcome to the tool's journal as it finishes, and
+// -resume skips the packages already journaled.
 func (r *runner) run() {
 	if r.ran {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "scanning %d packages with Graph.js...\n", len(r.combined.Packages))
-	gs := metrics.SweepGraphJS(r.combined, scanner.Options{Workers: r.workers})
+	var gs *metrics.Sweep
+	if r.journal != "" {
+		var stats *metrics.SuperviseStats
+		var err error
+		gs, stats, err = metrics.SuperviseGraphJS(r.combined, scanner.Options{Workers: r.workers}, r.superviseOpts("graphjs"))
+		reportSupervised("Graph.js", stats, err)
+	} else {
+		gs = metrics.SweepGraphJS(r.combined, scanner.Options{Workers: r.workers})
+	}
 	r.gjs = gs.Results
 	fmt.Fprintf(os.Stderr, "  %d workers: wall %s, cpu %s (%.2fx)\n",
 		gs.Workers, gs.Wall.Round(time.Millisecond), gs.CPU.Round(time.Millisecond), gs.Speedup())
 	fmt.Fprintf(os.Stderr, "scanning %d packages with the ODGen-style baseline...\n", len(r.combined.Packages))
 	od := odgen.DefaultOptions()
 	od.Workers = r.workers
-	osw := metrics.SweepODGen(r.combined, od)
+	var osw *metrics.Sweep
+	if r.journal != "" {
+		var stats *metrics.SuperviseStats
+		var err error
+		osw, stats, err = metrics.SuperviseODGen(r.combined, od, r.superviseOpts("odgen"))
+		reportSupervised("ODGen*", stats, err)
+	} else {
+		osw = metrics.SweepODGen(r.combined, od)
+	}
 	r.odg = osw.Results
 	fmt.Fprintf(os.Stderr, "  %d workers: wall %s, cpu %s (%.2fx)\n",
 		osw.Workers, osw.Wall.Round(time.Millisecond), osw.CPU.Round(time.Millisecond), osw.Speedup())

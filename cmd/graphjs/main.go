@@ -17,6 +17,10 @@
 //	-max-edges N    per-target MDG edge cap (0 = unlimited)
 //	-require-sink   treat dynamic require() as a code-injection sink
 //	-incremental    reuse MDG fragments across scans of repeated targets
+//	-sweep          supervised sweep: retry/degradation ladder per target
+//	-journal FILE   with -sweep: append per-target outcomes to a JSONL journal
+//	-resume         with -sweep -journal: skip targets whose entry matches
+//	-requarantine   with -resume: re-scan quarantined targets
 //	-dump-mdg       print the MDG in Graphviz DOT format and exit
 //	-dump-core      print the normalized Core JavaScript and exit
 //	-export-db      write the loaded property graph as JSON and exit
@@ -32,16 +36,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/js/normalize"
+	"repro/internal/metrics"
 	"repro/internal/poc"
 	"repro/internal/queries"
 	"repro/internal/scanner"
+	"repro/internal/sweepjournal"
 )
 
 func main() {
@@ -54,6 +62,10 @@ func main() {
 	maxEdges := flag.Int("max-edges", 0, "per-target MDG edge cap (0 = unlimited)")
 	requireSink := flag.Bool("require-sink", false, "treat dynamic require() as a code-injection sink")
 	incremental := flag.Bool("incremental", false, "reuse MDG fragments and detection results across scans of repeated targets; -stats prints hit/miss/rebuild counters")
+	sweepMode := flag.Bool("sweep", false, "supervised sweep: retry failures down a degradation ladder until every target reaches a terminal state")
+	journalPath := flag.String("journal", "", "with -sweep: append per-target outcomes to this JSONL journal as workers finish")
+	resume := flag.Bool("resume", false, "with -sweep -journal: skip targets whose journal entry matches the current content and options")
+	requarantine := flag.Bool("requarantine", false, "with -resume: re-scan quarantined targets instead of skipping them")
 	dumpMDG := flag.Bool("dump-mdg", false, "print the MDG in DOT format")
 	dumpCore := flag.Bool("dump-core", false, "print the normalized Core JavaScript")
 	exportDB := flag.Bool("export-db", false, "write the loaded property graph as JSON")
@@ -104,6 +116,18 @@ func main() {
 		// on the command line (or re-scanned by an embedding caller) is
 		// re-analyzed only where its files changed.
 		pool = scanner.NewStatePool()
+	}
+	if *sweepMode {
+		if *dumpMDG || *dumpCore || *exportDB {
+			fmt.Fprintln(os.Stderr, "graphjs: -sweep cannot be combined with dump modes")
+			os.Exit(2)
+		}
+		opts.Workers = *workers
+		os.Exit(runSweep(targets, opts, pool, metrics.SuperviseOptions{
+			JournalPath:  *journalPath,
+			Resume:       *resume,
+			Requarantine: *requarantine,
+		}, *asJSON))
 	}
 	if !(*dumpMDG || *dumpCore || *exportDB) {
 		scanAll(targets, reports, opts, *workers, pool)
@@ -214,6 +238,121 @@ func scanTarget(target string, opts scanner.Options) *scanner.Report {
 	return scanner.ScanFile(target, opts)
 }
 
+// runSweep is the -sweep mode: a supervised sweep over the CLI targets
+// with the retry/degradation ladder, optionally journaled for -resume.
+// Returns the process exit code.
+func runSweep(targets []string, opts scanner.Options, pool *scanner.StatePool,
+	sup metrics.SuperviseOptions, asJSON bool) int {
+
+	// The journal keys entries by target name, so a target repeated on
+	// the command line is swept once.
+	seen := map[string]bool{}
+	units := make([]metrics.Target, 0, len(targets))
+	for _, target := range targets {
+		if seen[target] {
+			fmt.Fprintf(os.Stderr, "graphjs: duplicate target %s swept once\n", target)
+			continue
+		}
+		seen[target] = true
+		target := target
+		units = append(units, metrics.Target{
+			Name: target,
+			Hash: func() string { return hashTarget(target) },
+			Scan: func(o scanner.Options) *scanner.Report {
+				if pool != nil {
+					o.Incremental = pool.Get(target)
+				}
+				return scanTarget(target, o)
+			},
+		})
+	}
+
+	sw, stats, err := metrics.SuperviseGraphJSTargets(units, opts, sup)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphjs: sweep: %v\n", err)
+		return 1
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(stats.Entries)
+	} else {
+		for i := range stats.Entries {
+			printEntry(&stats.Entries[i])
+		}
+		fmt.Printf("sweep: %d targets — %d complete, %d degraded, %d quarantined, %d resumed\n",
+			len(units), stats.Completed, stats.Degraded, stats.Quarantined, stats.Resumed)
+		if stats.Torn {
+			fmt.Println("(the resumed journal ended in a torn line — kill artifact, repaired)")
+		}
+	}
+	for i := range sw.Results {
+		if len(sw.Results[i].Findings) > 0 {
+			return 3 // findings present
+		}
+	}
+	return 0
+}
+
+// printEntry renders one terminal journal entry for human output.
+func printEntry(e *sweepjournal.Entry) {
+	fmt.Printf("%s: %s @%s", e.Package, e.State, e.Rung)
+	if e.Class != "" {
+		fmt.Printf(" [%s]", e.Class)
+	}
+	if e.Incomplete {
+		fmt.Print(" (incomplete)")
+	}
+	fmt.Printf(" — %d findings, %d attempts\n", len(e.Findings), len(e.Attempts))
+	for _, f := range e.Findings {
+		fmt.Printf("  [%s] sink %s (%s:%d) from %s\n", f.CWE, f.SinkName, f.SinkFile, f.SinkLine, f.Source)
+	}
+}
+
+// hashTarget fingerprints a target's on-disk content for the resume
+// check; the directory walk mirrors ScanPackage's file selection. An
+// unreadable target hashes its error text — still deterministic, so a
+// resume skips it until the problem (or the file) changes.
+func hashTarget(target string) string {
+	errHash := func(err error) string { return sweepjournal.ContentHash("error: " + err.Error()) }
+	info, err := os.Stat(target)
+	if err != nil {
+		return errHash(err)
+	}
+	if !info.IsDir() {
+		data, err := os.ReadFile(target)
+		if err != nil {
+			return errHash(err)
+		}
+		return sweepjournal.ContentHash(string(data))
+	}
+	files := map[string]string{}
+	err = filepath.Walk(target, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			base := filepath.Base(path)
+			if base == "node_modules" || base == "test" || base == "tests" || base == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".js") && !strings.HasSuffix(path, ".min.js") {
+			data, rerr := os.ReadFile(path)
+			if rerr != nil {
+				return rerr
+			}
+			files[path] = string(data)
+		}
+		return nil
+	})
+	if err != nil {
+		return errHash(err)
+	}
+	return sweepjournal.ContentHashFiles(files)
+}
+
 func printHuman(rep *scanner.Report, stats, trace bool) {
 	fmt.Printf("%s:\n", rep.Name)
 	if rep.TimedOut {
@@ -241,6 +380,13 @@ func printHuman(rep *scanner.Report, stats, trace bool) {
 		fmt.Printf("  stats: %d LoC, %d AST nodes, %d CFG nodes, %d MDG nodes, %d MDG edges\n",
 			rep.LoC, rep.ASTNodes, rep.CFGNodes, rep.MDGNodes, rep.MDGEdges)
 		fmt.Printf("  time: graph %s, traversals %s (engine %s)\n", rep.GraphTime, rep.QueryTime, rep.Engine)
+		for _, ph := range rep.Phases {
+			fmt.Printf("  phase %s: %d steps, %d nodes, %d edges, %s\n",
+				ph.Phase, ph.Steps, ph.Nodes, ph.Edges, ph.Dur.Round(time.Microsecond))
+		}
+		if rep.ExhaustedPhase != "" {
+			fmt.Printf("  budget exhausted in phase: %s\n", rep.ExhaustedPhase)
+		}
 		if rep.Engine == scanner.EngineDifferential {
 			fmt.Printf("  engines: query %s, native %s\n", rep.QueryEngineTime, rep.NativeTime)
 		}

@@ -77,6 +77,20 @@ type Budget struct {
 
 	steps, nodes, edges int
 	failure             *Error
+
+	// label identifies the scan (package name, plus an attempt suffix
+	// under a sweep supervisor); the fault-injection plan keys its
+	// deterministic decisions on it.
+	label string
+	// checks counts injection decision points consumed so far, so an
+	// injection decision depends only on (plan seed, label, ordinal) —
+	// never on goroutine interleaving. inj is the resolved decision.
+	checks int
+	inj    injection
+	// plog accumulates per-phase consumption; shared with budgets
+	// derived via DeadlineOnly/Derive so grace and retry phases land in
+	// the same report.
+	plog *phaseLog
 }
 
 // New starts a budget: the deadline clock begins now.
@@ -88,6 +102,14 @@ func New(l Limits) *Budget {
 	return b
 }
 
+// SetLabel names the scan this budget belongs to (used to seed
+// deterministic fault injection and to phase-stamp errors).
+func (b *Budget) SetLabel(label string) {
+	if b != nil {
+		b.label = label
+	}
+}
+
 // DeadlineOnly derives a budget that keeps this one's wall-clock
 // deadline but drops the step/node/edge caps and the recorded failure.
 // The scanner uses it to compute findings-so-far on a partial MDG
@@ -97,7 +119,24 @@ func (b *Budget) DeadlineOnly() *Budget {
 	if b == nil {
 		return nil
 	}
-	return &Budget{deadline: b.deadline, limits: Limits{Timeout: b.limits.Timeout}}
+	return &Budget{deadline: b.deadline, limits: Limits{Timeout: b.limits.Timeout},
+		label: b.label, plog: b.plog}
+}
+
+// Derive starts a fresh budget with new caps but this budget's
+// wall-clock deadline, label and phase log: counters and any recorded
+// failure are reset. Retry paths use it so a second attempt gets its
+// own, typically smaller, allowance instead of inheriting an already
+// exhausted one.
+func (b *Budget) Derive(l Limits) *Budget {
+	if b == nil {
+		return New(l)
+	}
+	nb := &Budget{limits: l, deadline: b.deadline, label: b.label, plog: b.plog}
+	if b.deadline.IsZero() && l.Timeout > 0 {
+		nb.deadline = time.Now().Add(l.Timeout)
+	}
+	return nb
 }
 
 // Step consumes one cooperative step. It returns the recorded failure
@@ -114,8 +153,13 @@ func (b *Budget) Step() error {
 	if b.limits.MaxSteps > 0 && b.steps > b.limits.MaxSteps {
 		return b.fail(ClassBudget, "steps", b.limits.MaxSteps)
 	}
-	if !b.deadline.IsZero() && b.steps%deadlineEvery == 0 {
-		return b.checkDeadline()
+	if b.steps%deadlineEvery == 0 {
+		if err := b.maybeInject(); err != nil {
+			return err
+		}
+		if !b.deadline.IsZero() {
+			return b.checkDeadline()
+		}
 	}
 	return nil
 }
@@ -160,6 +204,9 @@ func (b *Budget) CheckDeadline() error {
 	if b.failure != nil {
 		return b.failure
 	}
+	if err := b.maybeInject(); err != nil {
+		return err
+	}
 	if b.deadline.IsZero() {
 		return nil
 	}
@@ -175,7 +222,7 @@ func (b *Budget) checkDeadline() error {
 
 func (b *Budget) fail(c Class, resource string, limit int) error {
 	if b.failure == nil {
-		b.failure = &Error{Class: c, Resource: resource, Limit: limit}
+		b.failure = &Error{Class: c, Resource: resource, Limit: limit, Phase: b.plog.current()}
 	}
 	return b.failure
 }
@@ -192,6 +239,14 @@ func (b *Budget) Err() error {
 
 // Exceeded reports whether any limit has been hit.
 func (b *Budget) Exceeded() bool { return b != nil && b.failure != nil }
+
+// Limits returns the budget's configured limits (zero for nil).
+func (b *Budget) Limits() Limits {
+	if b == nil {
+		return Limits{}
+	}
+	return b.limits
+}
 
 // Steps returns the cooperative steps consumed so far.
 func (b *Budget) Steps() int {
@@ -217,20 +272,26 @@ func (b *Budget) Edges() int {
 	return b.edges
 }
 
-// Error is a classified limit failure: which resource ran out and what
-// its cap was. Its Class is ClassTimeout for the wall clock and
-// ClassBudget for every counted cap.
+// Error is a classified limit failure: which resource ran out, what
+// its cap was, and which pipeline phase was running when it tripped
+// ("" when the owner never declared phases). Its Class is ClassTimeout
+// for the wall clock and ClassBudget for every counted cap.
 type Error struct {
 	Class    Class
 	Resource string
 	Limit    int
+	Phase    string
 }
 
 func (e *Error) Error() string {
-	if e.Class == ClassTimeout {
-		return fmt.Sprintf("budget: wall-clock deadline exceeded (%dms)", e.Limit)
+	in := ""
+	if e.Phase != "" {
+		in = " in " + e.Phase
 	}
-	return fmt.Sprintf("budget: %s limit exceeded (%d)", e.Resource, e.Limit)
+	if e.Class == ClassTimeout {
+		return fmt.Sprintf("budget: wall-clock deadline exceeded%s (%dms)", in, e.Limit)
+	}
+	return fmt.Sprintf("budget: %s limit exceeded%s (%d)", e.Resource, in, e.Limit)
 }
 
 // PanicError is a recovered engine crash: the phase it happened in,

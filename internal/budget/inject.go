@@ -1,0 +1,120 @@
+package budget
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+)
+
+// Deterministic fault injection
+//
+// The chaos harness needs to drive the scanner through its failure
+// paths — engine panics, timeouts — at realistic places (the budget
+// checkpoints inside every Guard'd pipeline phase) without patching
+// each engine. A FaultPlan arms those checkpoints: when one fires, it
+// either panics (recovered by the surrounding Guard into a classified
+// ClassPanic failure) or records a ClassTimeout failure, exactly the
+// two transient/budget shapes a retry ladder must handle.
+//
+// Decisions are a pure function of (plan seed, budget label, checkpoint
+// ordinal): each Budget counts its own checkpoints, so a scan faults at
+// the same point on every run regardless of how a parallel sweep's
+// goroutines interleave — the property that lets a chaos test assert
+// exact outcome equivalence. Injection is a test hook: nothing in the
+// production path sets a plan, and a nil plan costs one atomic load
+// per checkpoint.
+
+// FaultPlan configures deterministic fault injection at budget
+// checkpoints. Probabilities are per *scan*, not per checkpoint: each
+// armed scan draws one fault mode and one target checkpoint from the
+// seeded hash.
+type FaultPlan struct {
+	// Seed drives every decision; two runs with equal seeds and labels
+	// inject identically.
+	Seed int64
+	// PanicProb is the probability an armed scan panics at its target
+	// checkpoint; TimeoutProb the probability it trips a simulated
+	// wall-clock timeout instead. Their sum must be <= 1.
+	PanicProb   float64
+	TimeoutProb float64
+	// Spread is the checkpoint window the target is drawn from
+	// (default 50): a scan that performs fewer checkpoints than its
+	// target simply never faults.
+	Spread int
+	// Arm filters eligible scans by budget label (nil = every scan).
+	// Supervisors label attempts "name#attempt", so a plan can restrict
+	// faults to first attempts and keep retries clean.
+	Arm func(label string) bool
+}
+
+var faultPlan atomic.Pointer[FaultPlan]
+
+// SetFaultPlan installs (or, with nil, clears) the process-wide fault
+// plan. Test-only: callers must clear the plan before returning.
+func SetFaultPlan(p *FaultPlan) { faultPlan.Store(p) }
+
+// InjectedFault is the panic value of a plan-injected engine crash.
+// Guard does not treat it as a cooperative abort, so it surfaces as a
+// *PanicError with ClassPanic — indistinguishable from a real engine
+// bug, which is the point.
+type InjectedFault struct {
+	Label string
+	Check int
+}
+
+func (e *InjectedFault) Error() string {
+	return fmt.Sprintf("budget: injected fault (label %q, checkpoint %d)", e.Label, e.Check)
+}
+
+// hash01 maps (seed, label, salt) to [0,1) deterministically.
+func hash01(seed int64, label string, salt string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s", seed, label, salt)
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// injection is a Budget's resolved fault decision.
+type injection struct {
+	planned bool
+	mode    int // 0 = none, 1 = panic, 2 = timeout
+	target  int // checkpoint ordinal the fault fires at
+}
+
+// maybeInject runs one fault-injection checkpoint. It must only be
+// reached from inside a Guard'd phase (every budget checkpoint is), so
+// an injected panic is always recovered into a classified failure.
+func (b *Budget) maybeInject() error {
+	p := faultPlan.Load()
+	if p == nil {
+		return nil
+	}
+	b.checks++
+	if !b.inj.planned {
+		b.inj.planned = true
+		if p.Arm == nil || p.Arm(b.label) {
+			u := hash01(p.Seed, b.label, "mode")
+			spread := p.Spread
+			if spread <= 0 {
+				spread = 50
+			}
+			b.inj.target = 1 + int(hash01(p.Seed, b.label, "check")*float64(spread))
+			switch {
+			case u < p.PanicProb:
+				b.inj.mode = 1
+			case u < p.PanicProb+p.TimeoutProb:
+				b.inj.mode = 2
+			}
+		}
+	}
+	if b.inj.mode == 0 || b.checks != b.inj.target {
+		return nil
+	}
+	switch b.inj.mode {
+	case 1:
+		b.inj.mode = 0
+		panic(&InjectedFault{Label: b.label, Check: b.checks})
+	default:
+		b.inj.mode = 0
+		return b.fail(ClassTimeout, "injected fault", 0)
+	}
+}

@@ -13,10 +13,12 @@ var pathologicalFS embed.FS
 // Pathological returns the crash corpus: inputs engineered to stress a
 // scanner's fault containment rather than its precision. Each package
 // is a known failure mode — parser recursion depth (deep_nesting),
-// unbounded loop unrolling (unroll_bomb), graph-size blowup
-// (huge_object), and cyclic prototype chains (proto_cycle). None of
-// the packages is annotated: the corpus asserts termination and
-// failure classification, not findings.
+// lexer-level front-end failure (unterminated_template), unbounded
+// loop unrolling (unroll_bomb), graph-size blowup (huge_object),
+// cyclic prototype chains (proto_cycle), deep property chains
+// (member_chain), long call chains (call_chain), and alias explosions
+// (alias_storm). None of the packages is annotated: the corpus asserts
+// termination and failure classification, not findings.
 func Pathological() *Corpus {
 	entries, err := pathologicalFS.ReadDir("testdata/pathological")
 	if err != nil {

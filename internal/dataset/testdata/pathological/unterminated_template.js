@@ -1,0 +1,3 @@
+var cp = require('child_process');
+function run(cmd) { cp.exec(cmd); }
+var s = `interpolation never closes ${run(

@@ -63,8 +63,8 @@ func TestPathologicalSweepIsolation(t *testing.T) {
 	sw := SweepGraphJS(mixed, opts)
 
 	counts := FailureCounts(sw.Results)
-	if counts[budget.ClassParse] != 1 {
-		t.Errorf("parse-error count %d, want 1 (deep_nesting)", counts[budget.ClassParse])
+	if counts[budget.ClassParse] != 2 {
+		t.Errorf("parse-error count %d, want 2 (deep_nesting, unterminated_template)", counts[budget.ClassParse])
 	}
 	if counts[budget.ClassPanic] != 0 {
 		t.Errorf("panic count %d, want 0", counts[budget.ClassPanic])

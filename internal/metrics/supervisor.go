@@ -1,0 +1,516 @@
+package metrics
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/dataset"
+	"repro/internal/odgen"
+	"repro/internal/queries"
+	"repro/internal/scanner"
+	"repro/internal/sweepjournal"
+)
+
+// Sweep supervisor: resumable corpus sweeps with a retry/degradation
+// ladder.
+//
+// A plain sweep (SweepGraphJS) runs every package once at full
+// fidelity and reports whatever happened. The supervisor wraps the
+// same worker pool with two robustness layers:
+//
+//   - A crash-safe journal: each worker appends the package's terminal
+//     outcome to an append-only JSONL file as it finishes, so a sweep
+//     killed mid-corpus loses at most the packages in flight, and a
+//     resume skips every package whose journal entry still matches its
+//     content hash and options fingerprint.
+//
+//   - A degradation ladder: failures are retried according to their
+//     class. Transient classes (engine-panic, query-error) get one
+//     retry on the fallback engine after a deterministically jittered
+//     backoff; budget classes (timeout, budget-exceeded) descend to
+//     progressively cheaper configurations — reduced caps, and finally
+//     a reach-gate-only triage floor — each attempt on a fresh budget.
+//     Every package therefore terminates in exactly one of three
+//     states: complete, degraded (with the rung that produced the
+//     result), or quarantined (later resumed sweeps skip it unless
+//     told to requarantine).
+//
+// Journals carry no timestamps and attempt labels are deterministic
+// ("name#attempt"), so with a fixed fault plan a supervised sweep is a
+// pure function of (corpus, options) — the property the chaos harness
+// leans on to assert that kill-and-resume reproduces an uninterrupted
+// sweep exactly.
+
+// SuperviseOptions configures a supervised sweep.
+type SuperviseOptions struct {
+	// JournalPath, when non-empty, appends one terminal Entry per
+	// package to this JSONL file as workers finish.
+	JournalPath string
+	// Resume loads JournalPath first and skips packages whose entry
+	// matches the current content hash and options fingerprint.
+	Resume bool
+	// Requarantine re-scans quarantined packages on resume instead of
+	// skipping them.
+	Requarantine bool
+	// Backoff is the base delay before a transient retry (0 = retry
+	// immediately). The actual delay is jittered deterministically from
+	// the package name so parallel retries do not stampede in lockstep.
+	Backoff time.Duration
+}
+
+// SuperviseStats summarizes how a supervised sweep terminated.
+type SuperviseStats struct {
+	Resumed     int  // packages satisfied from the journal
+	Completed   int  // full-fidelity terminal results
+	Degraded    int  // results produced by a lower ladder rung
+	Quarantined int  // packages that failed every rung
+	Torn        bool // the loaded journal ended in a torn line
+	// Entries holds each package's terminal journal entry in corpus
+	// order (resumed packages keep their prior entry), so callers can
+	// report per-package states without re-loading the journal.
+	Entries []sweepjournal.Entry
+}
+
+func (s *SuperviseStats) tally(state string) {
+	switch state {
+	case sweepjournal.StateComplete:
+		s.Completed++
+	case sweepjournal.StateDegraded:
+		s.Degraded++
+	case sweepjournal.StateQuarantined:
+		s.Quarantined++
+	}
+}
+
+// rung is one step of the degradation ladder.
+type rung struct {
+	Name string
+	// Factor scales the step/node/edge caps (1 = the caller's own).
+	Factor float64
+	// Floor marks the reach-gate-only triage rung.
+	Floor bool
+}
+
+// defaultLadder returns the Graph.js ladder: full fidelity, two
+// cap-halving rungs, then the reach-gate triage floor.
+func defaultLadder() []rung {
+	return []rung{
+		{Name: "full", Factor: 1},
+		{Name: "half", Factor: 0.5},
+		{Name: "quarter", Factor: 0.25},
+		{Name: "reach-gate", Floor: true},
+	}
+}
+
+func ladderNames(ladder []rung) []string {
+	names := make([]string, len(ladder))
+	for i, r := range ladder {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// Degraded-rung default caps, used when the caller's base options are
+// unlimited: an unlimited budget cannot be halved, so the half rung
+// lands on these and the quarter rung on half of them.
+const (
+	degradedSteps = 400000
+	degradedNodes = 100000
+	degradedEdges = 200000
+)
+
+// scaleCap sizes one cap for a degraded rung.
+func scaleCap(base, unlimitedDefault int, factor float64) int {
+	src := base
+	if src <= 0 {
+		src = 2 * unlimitedDefault
+	}
+	n := int(float64(src) * factor)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// jitterDelay derives the deterministic backoff before a transient
+// retry: base plus a [0,base) fraction keyed on the package name, so
+// two supervised runs back off identically but different packages
+// spread out.
+func jitterDelay(base time.Duration, pkg string, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", pkg, attempt)
+	frac := float64(h.Sum64()>>11) / float64(1<<53)
+	return base + time.Duration(frac*float64(base))
+}
+
+// journalFindings flattens detection findings for persistence (witness
+// paths are run-local graph-node IDs and are dropped).
+func journalFindings(fs []queries.Finding) []sweepjournal.Finding {
+	out := make([]sweepjournal.Finding, len(fs))
+	for i, f := range fs {
+		out[i] = sweepjournal.Finding{
+			CWE:      string(f.CWE),
+			SinkName: f.SinkName,
+			SinkLine: f.SinkLine,
+			SinkFile: f.SinkFile,
+			Source:   f.Source,
+		}
+	}
+	return out
+}
+
+// findingsFromJournal restores persisted findings (without witness
+// paths) for a resumed package's result row.
+func findingsFromJournal(fs []sweepjournal.Finding) []queries.Finding {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]queries.Finding, len(fs))
+	for i, f := range fs {
+		out[i] = queries.Finding{
+			CWE:      queries.CWE(f.CWE),
+			SinkName: f.SinkName,
+			SinkLine: f.SinkLine,
+			SinkFile: f.SinkFile,
+			Source:   f.Source,
+		}
+	}
+	return out
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// resultFromEntry synthesizes the sweep row for a package satisfied
+// from the journal. Witness paths and timings are not persisted, so
+// the row carries findings, classification and flags only.
+func resultFromEntry(p *dataset.Package, e sweepjournal.Entry) PackageResult {
+	class := budget.Class(e.Class)
+	return PackageResult{
+		Package:    p,
+		Findings:   findingsFromJournal(e.Findings),
+		TimedOut:   class == budget.ClassTimeout,
+		Failure:    class,
+		Incomplete: e.Incomplete,
+	}
+}
+
+// runLadder drives one package through the degradation ladder. run
+// executes a single attempt (transientRetries > 0 means an earlier
+// attempt died transiently, so engines with a fallback should use it)
+// and returns the row plus the engine label for the attempt history.
+func runLadder(pkg, hash, fp string, ladder []rung, backoff time.Duration,
+	run func(r rung, attempt, transientRetries int) (PackageResult, string)) (PackageResult, sweepjournal.Entry) {
+
+	entry := sweepjournal.Entry{Package: pkg, Hash: hash, Opts: fp}
+	attempt, transientRetries, ri := 0, 0, 0
+	for {
+		r := ladder[ri]
+		res, engine := runAttempt(run, r, attempt, transientRetries)
+		attempt++
+		entry.Attempts = append(entry.Attempts, sweepjournal.Attempt{
+			Rung:     r.Name,
+			Engine:   engine,
+			Class:    string(res.Failure),
+			Err:      errString(res.Err),
+			Findings: len(res.Findings),
+		})
+
+		terminal := func(state string) (PackageResult, sweepjournal.Entry) {
+			entry.State = state
+			entry.Rung = r.Name
+			entry.Class = string(res.Failure)
+			entry.Incomplete = res.Incomplete
+			entry.Findings = journalFindings(res.Findings)
+			return res, entry
+		}
+
+		switch res.Failure {
+		case budget.ClassNone, budget.ClassParse:
+			// A clean result — or a deterministic content error no rung
+			// can fix. Full fidelity at the top rung is complete;
+			// anything lower is a degraded (but terminal) answer.
+			if ri == 0 {
+				return terminal(sweepjournal.StateComplete)
+			}
+			return terminal(sweepjournal.StateDegraded)
+
+		case budget.ClassPanic, budget.ClassQuery:
+			// Transient: one retry (engines with a fallback switch to it),
+			// after a deterministic jittered backoff. A second transient
+			// death is a real bug, not bad luck — quarantine.
+			if transientRetries == 0 {
+				transientRetries++
+				time.Sleep(jitterDelay(backoff, pkg, attempt))
+				continue
+			}
+			return terminal(sweepjournal.StateQuarantined)
+
+		default: // ClassTimeout, ClassBudget
+			// The package outgrew this rung's allowance; descend. Each
+			// rung gets a fresh budget (fresh wall clock, smaller caps).
+			if ri+1 < len(ladder) {
+				ri++
+				continue
+			}
+			return terminal(sweepjournal.StateQuarantined)
+		}
+	}
+}
+
+// runAttempt executes one ladder attempt with its own panic fence: a
+// crash that escapes the scanner's per-phase guards (or the scan
+// harness itself) still comes back as a classified transient row, so
+// the ladder keeps control and the package still reaches a terminal
+// journal state.
+func runAttempt(run func(r rung, attempt, transientRetries int) (PackageResult, string),
+	r rung, attempt, transientRetries int) (pr PackageResult, engine string) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			pr = PackageResult{
+				Err:     &budget.PanicError{Phase: "supervisor", Value: rec, Stack: debug.Stack()},
+				Failure: budget.ClassPanic,
+			}
+		}
+	}()
+	return run(r, attempt, transientRetries)
+}
+
+// graphjsFingerprint is the resume-relevant slice of scanner.Options:
+// anything that changes what a scan computes must be in here, so a
+// journal written under different options never satisfies a resume.
+type graphjsFingerprint struct {
+	Engine      string
+	Timeout     time.Duration
+	MaxSteps    int
+	MaxNodes    int
+	MaxEdges    int
+	NoReachGate bool
+	Ladder      []string
+}
+
+// rungScanOptions derives the scanner options for one ladder rung.
+func rungScanOptions(base scanner.Options, r rung) scanner.Options {
+	o := base
+	if r.Floor {
+		o.ReachGateOnly = true
+		return o
+	}
+	if r.Factor < 1 {
+		o.MaxSteps = scaleCap(base.MaxSteps, degradedSteps, r.Factor)
+		o.MaxNodes = scaleCap(base.MaxNodes, degradedNodes, r.Factor)
+		o.MaxEdges = scaleCap(base.MaxEdges, degradedEdges, r.Factor)
+	}
+	return o
+}
+
+// SuperviseGraphJS runs a supervised Graph.js sweep: SweepGraphJS's
+// worker pool, plus the journal and the degradation ladder. The
+// returned Sweep has one row per corpus package in corpus order
+// (resumed packages included); stats counts how packages terminated.
+func SuperviseGraphJS(c *dataset.Corpus, opts scanner.Options, sup SuperviseOptions) (*Sweep, *SuperviseStats, error) {
+	ladder := defaultLadder()
+	fp := sweepjournal.Fingerprint(graphjsFingerprint{
+		Engine:      string(opts.Engine),
+		Timeout:     opts.Timeout,
+		MaxSteps:    opts.MaxSteps,
+		MaxNodes:    opts.MaxNodes,
+		MaxEdges:    opts.MaxEdges,
+		NoReachGate: opts.NoReachGate,
+		Ladder:      ladderNames(ladder),
+	})
+	run := func(p *dataset.Package, r rung, attempt, transientRetries int) (PackageResult, string) {
+		o := rungScanOptions(opts, r)
+		if transientRetries > 0 {
+			o.Engine = scanner.EngineFallback
+		}
+		o.FaultLabel = fmt.Sprintf("%s#%d", p.Name, attempt)
+		engine := o.Engine
+		if engine == "" {
+			engine = scanner.EngineQuery
+		}
+		return graphjsResult(p, scanner.ScanSource(p.Source, p.Name, o)), string(engine)
+	}
+	return supervise(c, opts.Workers, fp, ladder, sup, nil, run)
+}
+
+// Target is one named scan unit of a supervised CLI sweep: a file or
+// package directory, with its own content-hash and scan functions
+// (the supervisor never touches the filesystem itself).
+type Target struct {
+	Name string
+	// Hash fingerprints the target's current content; resume compares
+	// it against the journaled hash.
+	Hash func() string
+	// Scan runs one attempt under the given (possibly rung-degraded)
+	// options.
+	Scan func(opts scanner.Options) *scanner.Report
+}
+
+// SuperviseGraphJSTargets is SuperviseGraphJS for filesystem targets
+// instead of an in-memory corpus: the graphjs CLI's -sweep mode. The
+// ladder, fingerprint and journal semantics are identical, so a CLI
+// journal and a corpus journal are interchangeable formats.
+func SuperviseGraphJSTargets(targets []Target, opts scanner.Options, sup SuperviseOptions) (*Sweep, *SuperviseStats, error) {
+	ladder := defaultLadder()
+	fp := sweepjournal.Fingerprint(graphjsFingerprint{
+		Engine:      string(opts.Engine),
+		Timeout:     opts.Timeout,
+		MaxSteps:    opts.MaxSteps,
+		MaxNodes:    opts.MaxNodes,
+		MaxEdges:    opts.MaxEdges,
+		NoReachGate: opts.NoReachGate,
+		Ladder:      ladderNames(ladder),
+	})
+	c := &dataset.Corpus{Name: "targets"}
+	byName := make(map[string]Target, len(targets))
+	for _, t := range targets {
+		c.Packages = append(c.Packages, &dataset.Package{Name: t.Name})
+		byName[t.Name] = t
+	}
+	hash := func(p *dataset.Package) string { return byName[p.Name].Hash() }
+	run := func(p *dataset.Package, r rung, attempt, transientRetries int) (PackageResult, string) {
+		o := rungScanOptions(opts, r)
+		if transientRetries > 0 {
+			o.Engine = scanner.EngineFallback
+		}
+		o.FaultLabel = fmt.Sprintf("%s#%d", p.Name, attempt)
+		engine := o.Engine
+		if engine == "" {
+			engine = scanner.EngineQuery
+		}
+		return graphjsResult(p, byName[p.Name].Scan(o)), string(engine)
+	}
+	return supervise(c, opts.Workers, fp, ladder, sup, hash, run)
+}
+
+// odgenFingerprint is the resume-relevant slice of odgen.Options.
+type odgenFingerprint struct {
+	UnrollLimit int
+	CallDepth   int
+	StepBudget  int
+	Timeout     time.Duration
+	Ladder      []string
+}
+
+// odgenLadder degrades the baseline's unroll bound and step budget;
+// ODGen has no reach gate, so its floor is the cheapest config that
+// still runs (single unrolling, minimal step budget).
+func odgenLadder() []rung {
+	return []rung{
+		{Name: "full", Factor: 1},
+		{Name: "half", Factor: 0.5},
+		{Name: "minimal", Factor: 0.1},
+	}
+}
+
+// rungODGenOptions derives the baseline options for one ladder rung:
+// both the unroll bound and the step budget shrink with the rung.
+func rungODGenOptions(base odgen.Options, r rung) odgen.Options {
+	o := base
+	if o.StepBudget <= 0 {
+		o.StepBudget = odgen.DefaultOptions().StepBudget
+	}
+	if o.UnrollLimit <= 0 {
+		o.UnrollLimit = odgen.DefaultOptions().UnrollLimit
+	}
+	if r.Factor < 1 {
+		o.StepBudget = scaleCap(o.StepBudget, 0, r.Factor)
+		o.UnrollLimit = scaleCap(o.UnrollLimit, 0, r.Factor)
+	}
+	return o
+}
+
+// SuperviseODGen is SuperviseGraphJS for the ODGen-style baseline.
+func SuperviseODGen(c *dataset.Corpus, opts odgen.Options, sup SuperviseOptions) (*Sweep, *SuperviseStats, error) {
+	ladder := odgenLadder()
+	fp := sweepjournal.Fingerprint(odgenFingerprint{
+		UnrollLimit: opts.UnrollLimit,
+		CallDepth:   opts.CallDepth,
+		StepBudget:  opts.StepBudget,
+		Timeout:     opts.Timeout,
+		Ladder:      ladderNames(ladder),
+	})
+	run := func(p *dataset.Package, r rung, attempt, transientRetries int) (PackageResult, string) {
+		o := rungODGenOptions(opts, r)
+		return odgenResult(p, odgen.Scan(p.Source, p.Name, o)), "odgen"
+	}
+	return supervise(c, opts.Workers, fp, ladder, sup, nil, run)
+}
+
+// supervise is the shared supervised-sweep body: resume filter, worker
+// pool, ladder, journal appends, terminal-state accounting. hash
+// fingerprints a package's content (nil = hash p.Source).
+func supervise(c *dataset.Corpus, workers int, fp string, ladder []rung, sup SuperviseOptions,
+	hash func(p *dataset.Package) string,
+	run func(p *dataset.Package, r rung, attempt, transientRetries int) (PackageResult, string)) (*Sweep, *SuperviseStats, error) {
+
+	if hash == nil {
+		hash = func(p *dataset.Package) string { return sweepjournal.ContentHash(p.Source) }
+	}
+	stats := &SuperviseStats{Entries: make([]sweepjournal.Entry, len(c.Packages))}
+	prior := map[string]sweepjournal.Entry{}
+	if sup.Resume && sup.JournalPath != "" {
+		loaded, torn, err := sweepjournal.Load(sup.JournalPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		prior, stats.Torn = loaded, torn
+	}
+	var w *sweepjournal.Writer
+	if sup.JournalPath != "" {
+		var err error
+		if w, err = sweepjournal.Create(sup.JournalPath); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var mu sync.Mutex // stats counters + first journal error
+	var journalErr error
+	sw := fillPackages(runCorpus(len(c.Packages), workers, func(i int) PackageResult {
+		p := c.Packages[i]
+		h := hash(p)
+		if e, ok := prior[p.Name]; ok && e.Matches(h, fp) {
+			quarantined := e.State == sweepjournal.StateQuarantined
+			if !quarantined || !sup.Requarantine {
+				stats.Entries[i] = e
+				mu.Lock()
+				stats.Resumed++
+				stats.tally(e.State)
+				mu.Unlock()
+				return resultFromEntry(p, e)
+			}
+		}
+		res, entry := runLadder(p.Name, h, fp, ladder, sup.Backoff,
+			func(r rung, attempt, transientRetries int) (PackageResult, string) {
+				return run(p, r, attempt, transientRetries)
+			})
+		aerr := w.Append(entry)
+		stats.Entries[i] = entry
+		mu.Lock()
+		stats.tally(entry.State)
+		if aerr != nil && journalErr == nil {
+			journalErr = aerr
+		}
+		mu.Unlock()
+		return res
+	}), c)
+
+	if w != nil {
+		if cerr := w.Close(); cerr != nil && journalErr == nil {
+			journalErr = cerr
+		}
+	}
+	return sw, stats, journalErr
+}

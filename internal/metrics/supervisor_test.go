@@ -1,0 +1,349 @@
+package metrics
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/dataset"
+	"repro/internal/odgen"
+	"repro/internal/queries"
+	"repro/internal/scanner"
+	"repro/internal/sweepjournal"
+)
+
+// superviseCorpus builds a small mixed corpus: real ground-truth
+// packages (vulnerable and secure) plus the pathological crash corpus.
+func superviseCorpus() *dataset.Corpus {
+	vul, sec := dataset.GroundTruth(42)
+	c := &dataset.Corpus{Name: "supervise"}
+	c.Packages = append(c.Packages, vul.Packages[:4]...)
+	c.Packages = append(c.Packages, sec.Packages[:2]...)
+	c.Packages = append(c.Packages, dataset.Pathological().Packages...)
+	return c
+}
+
+// findingKeys projects findings onto their identity (ignoring witness
+// paths, which are not persisted in journals).
+func findingKeys(fs []queries.Finding) []string {
+	keys := make([]string, len(fs))
+	for i, f := range fs {
+		keys[i] = f.String()
+	}
+	return keys
+}
+
+func sameFindings(a, b []queries.Finding) bool {
+	ka, kb := findingKeys(a), findingKeys(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSupervisedMatchesPlainSweep: with no faults and no binding caps,
+// a supervised sweep is just a sweep — every package completes at the
+// full rung with the plain sweep's findings, and the journal holds one
+// terminal entry with attempt history per package.
+func TestSupervisedMatchesPlainSweep(t *testing.T) {
+	c := superviseCorpus()
+	opts := scanner.Options{Workers: 4, Timeout: 30 * time.Second}
+	plain := SweepGraphJS(c, opts)
+
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	sw, stats, err := SuperviseGraphJS(c, opts, SuperviseOptions{JournalPath: journal})
+	if err != nil {
+		t.Fatalf("supervised sweep: %v", err)
+	}
+	if stats.Resumed != 0 || stats.Quarantined != 0 || stats.Degraded != 0 {
+		t.Errorf("clean corpus stats %+v, want all complete", stats)
+	}
+	if stats.Completed != len(c.Packages) {
+		t.Errorf("completed %d of %d", stats.Completed, len(c.Packages))
+	}
+	for i := range sw.Results {
+		got, want := &sw.Results[i], &plain.Results[i]
+		if got.Failure != want.Failure || !sameFindings(got.Findings, want.Findings) {
+			t.Errorf("%s: supervised (%q, %d findings) differs from plain (%q, %d findings)",
+				c.Packages[i].Name, got.Failure, len(got.Findings), want.Failure, len(want.Findings))
+		}
+	}
+
+	entries, torn, err := sweepjournal.Load(journal)
+	if err != nil || torn {
+		t.Fatalf("journal load: torn=%v err=%v", torn, err)
+	}
+	if len(entries) != len(c.Packages) {
+		t.Fatalf("journal has %d entries, corpus has %d packages", len(entries), len(c.Packages))
+	}
+	for _, p := range c.Packages {
+		e, ok := entries[p.Name]
+		if !ok {
+			t.Errorf("%s: no journal entry", p.Name)
+			continue
+		}
+		if e.State != sweepjournal.StateComplete {
+			t.Errorf("%s: state %q, want complete", p.Name, e.State)
+		}
+		if len(e.Attempts) == 0 {
+			t.Errorf("%s: entry has no attempt history", p.Name)
+		}
+	}
+}
+
+// TestLadderDegradesToFloor: a package whose budget class persists at
+// every capped rung must slide all the way to the reach-gate floor and
+// terminate degraded there — never quarantined, never looping.
+func TestLadderDegradesToFloor(t *testing.T) {
+	c := &dataset.Corpus{Name: "tiny", Packages: []*dataset.Package{}}
+	for _, p := range dataset.Pathological().Packages {
+		if p.Name == "huge_object" {
+			c.Packages = append(c.Packages, p)
+		}
+	}
+	if len(c.Packages) != 1 {
+		t.Fatal("huge_object missing from the pathological corpus")
+	}
+
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	// 50 steps is far under what huge_object needs at any capped rung,
+	// so full, half and quarter all trip ClassBudget.
+	opts := scanner.Options{Workers: 1, MaxSteps: 50}
+	_, stats, err := SuperviseGraphJS(c, opts, SuperviseOptions{JournalPath: journal})
+	if err != nil {
+		t.Fatalf("supervised sweep: %v", err)
+	}
+	if stats.Degraded != 1 {
+		t.Fatalf("stats %+v, want exactly one degraded package", stats)
+	}
+	entries, _, err := sweepjournal.Load(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entries["huge_object"]
+	if e.State != sweepjournal.StateDegraded || e.Rung != "reach-gate" {
+		t.Errorf("state %q rung %q, want degraded at reach-gate", e.State, e.Rung)
+	}
+	if !e.Incomplete {
+		t.Error("floor triage of a non-provable package not marked incomplete")
+	}
+	if len(e.Attempts) != 4 {
+		t.Errorf("attempt history %+v, want all 4 rungs", e.Attempts)
+	}
+	for i, rung := range []string{"full", "half", "quarter"} {
+		if e.Attempts[i].Rung != rung || e.Attempts[i].Class != string(budget.ClassBudget) {
+			t.Errorf("attempt %d = %+v, want budget-exceeded at %s", i, e.Attempts[i], rung)
+		}
+	}
+}
+
+// TestTransientRetryRecovers: a deterministic injected panic on the
+// first attempt must be retried once on the fallback engine and
+// recover the plain sweep's findings, with both attempts on record.
+func TestTransientRetryRecovers(t *testing.T) {
+	vul, _ := dataset.GroundTruth(7)
+	c := &dataset.Corpus{Name: "one", Packages: vul.Packages[:1]}
+	name := c.Packages[0].Name
+	plain := SweepGraphJS(c, scanner.Options{Workers: 1})
+	if plain.Results[0].Failure != budget.ClassNone || len(plain.Results[0].Findings) == 0 {
+		t.Fatalf("baseline unusable: %+v", plain.Results[0])
+	}
+
+	// Arm only first attempts: the retry runs clean.
+	budget.SetFaultPlan(&budget.FaultPlan{Seed: 11, PanicProb: 1, Spread: 2,
+		Arm: func(label string) bool { return strings.HasSuffix(label, "#0") }})
+	defer budget.SetFaultPlan(nil)
+
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	sw, stats, err := SuperviseGraphJS(c, scanner.Options{Workers: 1}, SuperviseOptions{JournalPath: journal})
+	if err != nil {
+		t.Fatalf("supervised sweep: %v", err)
+	}
+	if stats.Completed != 1 {
+		t.Fatalf("stats %+v, want the package completed", stats)
+	}
+	if !sameFindings(sw.Results[0].Findings, plain.Results[0].Findings) {
+		t.Errorf("recovered findings differ from baseline")
+	}
+	entries, _, err := sweepjournal.Load(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entries[name]
+	if len(e.Attempts) != 2 {
+		t.Fatalf("attempts %+v, want fault + retry", e.Attempts)
+	}
+	if e.Attempts[0].Class != string(budget.ClassPanic) {
+		t.Errorf("first attempt class %q, want engine-panic", e.Attempts[0].Class)
+	}
+	if e.Attempts[1].Engine != string(scanner.EngineFallback) {
+		t.Errorf("retry ran on %q, want the fallback engine", e.Attempts[1].Engine)
+	}
+}
+
+// TestPersistentTransientQuarantines: a package that dies transiently
+// on the retry as well is a real bug — it must be quarantined, and a
+// resumed sweep must skip it unless told to requarantine.
+func TestPersistentTransientQuarantines(t *testing.T) {
+	vul, _ := dataset.GroundTruth(7)
+	c := &dataset.Corpus{Name: "one", Packages: vul.Packages[:1]}
+	name := c.Packages[0].Name
+
+	// Every attempt faults, but keep the fault early (Spread 2) so it
+	// lands before detection — a detection-phase panic on the fallback
+	// engine would be absorbed by its internal query retry.
+	budget.SetFaultPlan(&budget.FaultPlan{Seed: 13, PanicProb: 1, Spread: 2})
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	sup := SuperviseOptions{JournalPath: journal}
+	_, stats, err := SuperviseGraphJS(c, scanner.Options{Workers: 1}, sup)
+	if err != nil {
+		t.Fatalf("supervised sweep: %v", err)
+	}
+	if stats.Quarantined != 1 {
+		t.Fatalf("stats %+v, want the package quarantined", stats)
+	}
+	entries, _, err := sweepjournal.Load(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := entries[name]
+	if e.State != sweepjournal.StateQuarantined || len(e.Attempts) != 2 {
+		t.Fatalf("entry %+v, want quarantined after 2 attempts", e)
+	}
+	if e.Class != string(budget.ClassPanic) {
+		t.Errorf("final class %q, want engine-panic", e.Class)
+	}
+
+	// Clear the faults. A resumed sweep skips the quarantined package by
+	// default (it stays quarantined without being re-scanned)...
+	budget.SetFaultPlan(nil)
+	sup.Resume = true
+	_, stats, err = SuperviseGraphJS(c, scanner.Options{Workers: 1}, sup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != 1 || stats.Quarantined != 1 {
+		t.Errorf("resume stats %+v, want the quarantined package skipped", stats)
+	}
+
+	// ...and -requarantine forces the re-scan, which now completes and
+	// supersedes the quarantine row (last entry wins).
+	sup.Requarantine = true
+	sw, stats, err := SuperviseGraphJS(c, scanner.Options{Workers: 1}, sup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != 0 || stats.Completed != 1 {
+		t.Errorf("requarantine stats %+v, want a fresh completed scan", stats)
+	}
+	if len(sw.Results[0].Findings) == 0 {
+		t.Error("requarantined scan produced no findings")
+	}
+	entries, _, err = sweepjournal.Load(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := entries[name]; e.State != sweepjournal.StateComplete {
+		t.Errorf("journal state after requarantine %q, want complete", e.State)
+	}
+}
+
+// TestResumeSkipsAndRefingerprints: a resume under identical options
+// skips every journaled package; changing the options fingerprint (or
+// the package contents) forces a re-scan.
+func TestResumeSkipsAndRefingerprints(t *testing.T) {
+	c := superviseCorpus()
+	opts := scanner.Options{Workers: 4}
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	first, _, err := SuperviseGraphJS(c, opts, SuperviseOptions{JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sup := SuperviseOptions{JournalPath: journal, Resume: true}
+	resumed, stats, err := SuperviseGraphJS(c, opts, sup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != len(c.Packages) {
+		t.Fatalf("resumed %d of %d packages", stats.Resumed, len(c.Packages))
+	}
+	for i := range resumed.Results {
+		if !sameFindings(resumed.Results[i].Findings, first.Results[i].Findings) {
+			t.Errorf("%s: resumed findings differ", c.Packages[i].Name)
+		}
+		if resumed.Results[i].Failure != first.Results[i].Failure {
+			t.Errorf("%s: resumed class %q != %q", c.Packages[i].Name,
+				resumed.Results[i].Failure, first.Results[i].Failure)
+		}
+	}
+
+	// Edited content → different hash → that package (alone) re-scans.
+	edited := &dataset.Corpus{Name: c.Name}
+	edited.Packages = append(edited.Packages, c.Packages...)
+	cp := *edited.Packages[0]
+	cp.Source += "\n// edited\n"
+	edited.Packages[0] = &cp
+	_, stats, err = SuperviseGraphJS(edited, opts, sup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != len(c.Packages)-1 {
+		t.Errorf("resumed %d, want %d (one package edited)", stats.Resumed, len(c.Packages)-1)
+	}
+
+	// Different caps → different fingerprint → nothing resumes.
+	capped := opts
+	capped.MaxSteps = 1 << 20
+	_, stats, err = SuperviseGraphJS(c, capped, sup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != 0 {
+		t.Errorf("%d packages resumed across an options change", stats.Resumed)
+	}
+}
+
+// TestSupervisedODGenTerminates: the baseline supervisor drives every
+// pathological package to a terminal journal state too, degrading the
+// unroll bound and step budget instead of MDG caps.
+func TestSupervisedODGenTerminates(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "odgen.jsonl")
+	oopts := odgen.DefaultOptions()
+	oopts.Timeout = 20 * time.Second
+	oopts.Workers = 2
+	_, stats, err := SuperviseODGen(dataset.Pathological(), oopts,
+		SuperviseOptions{JournalPath: journal})
+	if err != nil {
+		t.Fatalf("supervised baseline sweep: %v", err)
+	}
+	if got := stats.Completed + stats.Degraded + stats.Quarantined; got != len(dataset.Pathological().Packages) {
+		t.Fatalf("stats %+v do not cover the corpus", stats)
+	}
+	entries, _, err := sweepjournal.Load(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range dataset.Pathological().Packages {
+		e, ok := entries[p.Name]
+		if !ok {
+			t.Errorf("%s: no journal entry", p.Name)
+			continue
+		}
+		switch e.State {
+		case sweepjournal.StateComplete, sweepjournal.StateDegraded, sweepjournal.StateQuarantined:
+		default:
+			t.Errorf("%s: non-terminal state %q", p.Name, e.State)
+		}
+		if len(e.Attempts) == 0 {
+			t.Errorf("%s: no attempt history", p.Name)
+		}
+	}
+}

@@ -27,10 +27,14 @@ func pathologicalSource(t *testing.T, name string) string {
 // panics.
 func TestPathologicalClasses(t *testing.T) {
 	want := map[string]budget.Class{
-		"deep_nesting": budget.ClassParse, // parser recursion-depth limit
-		"huge_object":  budget.ClassNone,  // big but convergent
-		"proto_cycle":  budget.ClassNone,  // cyclic prototype chain
-		"unroll_bomb":  budget.ClassNone,  // MDG fixpoint summarizes it
+		"alias_storm":           budget.ClassNone,  // 2000 aliases of one tainted value
+		"call_chain":            budget.ClassNone,  // 1200-function forwarding chain
+		"deep_nesting":          budget.ClassParse, // parser recursion-depth limit
+		"huge_object":           budget.ClassNone,  // big but convergent
+		"member_chain":          budget.ClassNone,  // 2000-deep property chain
+		"proto_cycle":           budget.ClassNone,  // cyclic prototype chain
+		"unroll_bomb":           budget.ClassNone,  // MDG fixpoint summarizes it
+		"unterminated_template": budget.ClassParse, // lexer-level front-end failure
 	}
 	c := dataset.Pathological()
 	if len(c.Packages) != len(want) {
@@ -104,7 +108,7 @@ func TestScanTimeoutClass(t *testing.T) {
 // contained as a classified, structured error — the scan returns
 // normally.
 func TestEnginePanicIsolation(t *testing.T) {
-	testHookNative = func(string) { panic("injected engine bug") }
+	testHookNative = func(string, *budget.Budget) { panic("injected engine bug") }
 	defer func() { testHookNative = nil }()
 
 	src := pathologicalSource(t, "proto_cycle")
@@ -131,7 +135,7 @@ func TestFallbackEngine(t *testing.T) {
 		t.Fatalf("query engine baseline unusable: err=%v findings=%d", want.Err, len(want.Findings))
 	}
 
-	testHookNative = func(string) { panic("injected engine bug") }
+	testHookNative = func(string, *budget.Budget) { panic("injected engine bug") }
 	defer func() { testHookNative = nil }()
 
 	rep := ScanSource(src, "proto_cycle", Options{Engine: EngineFallback})
@@ -146,6 +150,101 @@ func TestFallbackEngine(t *testing.T) {
 	}
 	if err := DiffFindings(want.Findings, rep.Findings); err != nil {
 		t.Errorf("fallback findings differ from the surviving engine: %v", err)
+	}
+}
+
+// TestFallbackBudgetRetriesFresh is the regression for the old
+// fallback behaviour that refused to retry after a cap trip ("the
+// budget is spent; a retry would trip it again"): when the native
+// backend exhausts its step cap, the fallback must derive a fresh,
+// smaller allowance and still produce the query engine's findings
+// instead of giving up.
+func TestFallbackBudgetRetriesFresh(t *testing.T) {
+	src := pathologicalSource(t, "proto_cycle")
+	want := ScanSource(src, "proto_cycle", Options{Engine: EngineQuery})
+	if want.Err != nil || len(want.Findings) == 0 {
+		t.Fatalf("query engine baseline unusable: err=%v findings=%d", want.Err, len(want.Findings))
+	}
+
+	// Burn the scan's entire step allowance inside the native backend,
+	// then unwind with the budget's own error (a cooperative abort the
+	// Guard passes through as ClassBudget).
+	testHookNative = func(_ string, b *budget.Budget) {
+		for b.Step() == nil {
+		}
+		panic(b.Err())
+	}
+	defer func() { testHookNative = nil }()
+
+	rep := ScanSource(src, "proto_cycle", Options{Engine: EngineFallback, MaxSteps: 2_000_000})
+	if !rep.FellBack {
+		t.Fatal("budget-exhausted native backend did not fall back")
+	}
+	if budget.ClassOf(rep.FallbackErr) != budget.ClassBudget {
+		t.Errorf("FallbackErr class %q, want budget-exceeded", budget.ClassOf(rep.FallbackErr))
+	}
+	if !rep.Incomplete {
+		t.Error("budget-driven fallback not marked Incomplete")
+	}
+	if rep.Err != nil {
+		t.Fatalf("fallback scan errored: %v", rep.Err)
+	}
+	if err := DiffFindings(want.Findings, rep.Findings); err != nil {
+		t.Errorf("fallback findings differ from the query baseline: %v", err)
+	}
+}
+
+// TestReachGateOnlyTriage: the ladder's floor rung runs nothing past
+// the reach gate — a package the gate cannot prove clean comes back
+// Incomplete with no findings and no failure, quickly.
+func TestReachGateOnlyTriage(t *testing.T) {
+	src := pathologicalSource(t, "proto_cycle")
+	rep := ScanSource(src, "proto_cycle", Options{ReachGateOnly: true})
+	if len(rep.Findings) != 0 {
+		t.Errorf("triage scan produced findings: %d", len(rep.Findings))
+	}
+	if !rep.Incomplete {
+		t.Error("unproven triage scan not marked Incomplete")
+	}
+	if rep.Failure != budget.ClassNone || rep.Err != nil {
+		t.Errorf("triage scan failed: class=%q err=%v", rep.Failure, rep.Err)
+	}
+
+	// A gate-provably-clean package completes cleanly at the floor.
+	clean := ScanSource("var x = 1 + 2;\n", "clean", Options{ReachGateOnly: true})
+	if clean.Incomplete || clean.Failure != budget.ClassNone || clean.Err != nil {
+		t.Errorf("clean triage scan: incomplete=%v class=%q err=%v",
+			clean.Incomplete, clean.Failure, clean.Err)
+	}
+	if !clean.SkippedByReach {
+		t.Error("clean package not proven by the reach gate")
+	}
+}
+
+// TestPhaseAccounting: a completed scan reports per-phase budget
+// consumption, and a capped scan names the phase that exhausted it.
+func TestPhaseAccounting(t *testing.T) {
+	src := pathologicalSource(t, "huge_object")
+	rep := ScanSource(src, "huge_object", Options{})
+	if len(rep.Phases) == 0 {
+		t.Fatal("scan reported no phase usage")
+	}
+	seen := map[string]bool{}
+	for _, u := range rep.Phases {
+		seen[u.Phase] = true
+	}
+	for _, want := range []string{"front-end", "analysis"} {
+		if !seen[want] {
+			t.Errorf("phase %q missing from %v", want, rep.Phases)
+		}
+	}
+
+	capped := ScanSource(src, "huge_object", Options{MaxSteps: 50})
+	if capped.Failure != budget.ClassBudget {
+		t.Fatalf("capped scan class %q", capped.Failure)
+	}
+	if capped.ExhaustedPhase == "" {
+		t.Error("capped scan did not name its exhausted phase")
 	}
 }
 

@@ -89,6 +89,18 @@ type Options struct {
 	// skips graph construction for packages whose reachable code
 	// cannot produce a finding.
 	NoReachGate bool
+	// ReachGateOnly stops the scan after the reachability pre-pass:
+	// the cheapest-possible triage, used as the floor rung of the sweep
+	// supervisor's degradation ladder. A package the gate can prove
+	// finding-free completes cleanly; anything else returns an
+	// Incomplete report with no findings. Ignored by incremental scans
+	// (the fragment cache would be poisoned by gate-only results).
+	ReachGateOnly bool
+	// FaultLabel overrides the budget label used for deterministic
+	// fault injection and diagnostics (default: the scan name). Sweep
+	// supervisors label attempts "name#attempt" so injection plans can
+	// distinguish first attempts from retries.
+	FaultLabel string
 	// Workers bounds the worker pool for multi-package sweeps
 	// (metrics.SweepGraphJS, graphjs -workers). 0 means
 	// runtime.GOMAXPROCS(0); 1 forces a sequential sweep. A single
@@ -151,6 +163,15 @@ type Report struct {
 	// MaxHops bound (silent under-approximation made observable).
 	TruncatedSearches int
 
+	// Phases records per-phase budget consumption (cooperative steps,
+	// graph nodes/edges charged, wall time) in pipeline order, and
+	// ExhaustedPhase names the phase the first budget failure tripped
+	// in ("" when the budget held) — so callers see *which* phase
+	// starved, not just that one did. Incremental scans do not fill
+	// these (fragments interleave phases across cache hits).
+	Phases         []budget.PhaseUsage
+	ExhaustedPhase string
+
 	// Size metrics (Table 7). ASTNodes/CFGNodes are included to match
 	// the paper's accounting ("we included the AST and CFG nodes used
 	// to generate the final MDG"). On an incremental scan MDGNodes and
@@ -181,9 +202,27 @@ func (r *Report) TotalEdges() int { return r.CFGEdges + r.MDGEdges }
 func (r *Report) TotalTime() time.Duration { return r.GraphTime + r.QueryTime }
 
 // testHookNative, when set, runs at the start of native detection.
-// Tests use it to inject engine panics; it must only be set by
-// sequential tests.
-var testHookNative func(name string)
+// Tests use it to inject engine panics or burn the scan's budget; it
+// must only be set by sequential tests.
+var testHookNative func(name string, b *budget.Budget)
+
+// newBudget builds the scan budget and labels it for fault injection
+// and phase-stamped diagnostics.
+func newBudget(opts Options, name string) *budget.Budget {
+	b := budget.New(opts.limits())
+	if opts.FaultLabel != "" {
+		b.SetLabel(opts.FaultLabel)
+	} else {
+		b.SetLabel(name)
+	}
+	return b
+}
+
+// recordPhases closes the budget's phase log onto the report.
+func recordPhases(rep *Report, b *budget.Budget) {
+	rep.Phases = b.PhaseUsages()
+	rep.ExhaustedPhase = b.ExhaustedPhase()
+}
 
 // setFailure records a terminal phase error, classifying it with def
 // when the error carries no budget class of its own. Budget classes
@@ -248,11 +287,13 @@ func ScanSource(src, name string, opts Options) *Report {
 		return rep
 	}
 	rep.Engine = engine
-	b := budget.New(opts.limits())
+	b := newBudget(opts, name)
+	defer func() { recordPhases(rep, b) }()
 
 	start := time.Now()
 
 	var nprog *core.Program
+	b.BeginPhase("front-end")
 	ferr := budget.Guard("front-end", func() error {
 		prog, perr := parser.ParseBudget(src, b)
 		if perr != nil {
@@ -283,15 +324,30 @@ func finishScan(rep *Report, progs []*core.Program, analyze func(analysis.Option
 	cfgq *queries.Config, opts Options, b *budget.Budget, start time.Time) *Report {
 
 	skip := false
+	b.BeginPhase("reach-gate")
 	if gerr := budget.Guard("reach-gate", func() error {
 		skip = gateSkips(rep, progs, cfgq, opts)
 		return nil
 	}); gerr != nil {
 		// The gate is an optimization; a panic inside it must not kill
-		// the scan. Fall through to full detection.
+		// the scan. Fall through to full detection — unless the gate is
+		// all this scan was asked to run.
 		skip = false
+		if opts.ReachGateOnly {
+			setFailure(rep, gerr, budget.ClassPanic)
+			rep.GraphTime = time.Since(start)
+			return rep
+		}
 	}
 	if skip {
+		rep.GraphTime = time.Since(start)
+		return rep
+	}
+	if opts.ReachGateOnly {
+		// Triage floor: the gate could not prove the package
+		// finding-free, and the caller asked for nothing deeper. No
+		// findings were established, so the report is best-effort.
+		rep.Incomplete = true
 		rep.GraphTime = time.Since(start)
 		return rep
 	}
@@ -302,6 +358,7 @@ func finishScan(rep *Report, progs []*core.Program, analyze func(analysis.Option
 	}
 	aopts.Budget = b
 	var res *analysis.Result
+	b.BeginPhase("analysis")
 	if aerr := budget.Guard("analysis", func() error {
 		res = analyze(aopts)
 		return nil
@@ -370,9 +427,10 @@ func gateSkips(rep *Report, progs []*core.Program, cfgq *queries.Config, opts Op
 func detectNative(rep *Report, res *analysis.Result, cfgq *queries.Config, b *budget.Budget) ([]queries.Finding, error) {
 	qStart := time.Now()
 	var fs []queries.Finding
+	b.BeginPhase("detect-native")
 	err := budget.Guard("detect-native", func() error {
 		if testHookNative != nil {
-			testHookNative(rep.Name)
+			testHookNative(rep.Name, b)
 		}
 		eng := taint.NewEngineBudget(res, cfgq, b)
 		fs = eng.Detect()
@@ -392,6 +450,7 @@ func detectNative(rep *Report, res *analysis.Result, cfgq *queries.Config, b *bu
 func detectQuery(rep *Report, res *analysis.Result, cfgq *queries.Config, b *budget.Budget) ([]queries.Finding, error) {
 	qStart := time.Now()
 	var fs []queries.Finding
+	b.BeginPhase("detect-query")
 	err := budget.Guard("detect-query", func() error {
 		lg := queries.LoadBudget(res, b)
 		out, derr := queries.Detect(lg, cfgq)
@@ -462,10 +521,19 @@ func detectInto(rep *Report, res *analysis.Result, cfgq *queries.Config, engine 
 			return
 		}
 		switch budget.ClassOf(err) {
-		case budget.ClassTimeout, budget.ClassBudget:
-			// The budget is spent; a retry would trip it again.
+		case budget.ClassTimeout:
+			// The wall clock is shared by every retry; it ran out, so the
+			// fallback would be dead on arrival.
 			setFailure(rep, err, budget.ClassQuery)
 			return
+		case budget.ClassBudget:
+			// A step/node/edge cap tripped. The caps measure *engine*
+			// effort, so an exhausted native budget says nothing about
+			// what the query backend needs — retry it on a fresh, smaller
+			// allowance (under the same wall clock) instead of inheriting
+			// a budget that would trip on its first step.
+			b = b.Derive(halfCaps(b.Limits()))
+			rep.Incomplete = true
 		}
 		rep.FellBack = true
 		rep.FallbackErr = err
@@ -486,6 +554,22 @@ func detectInto(rep *Report, res *analysis.Result, cfgq *queries.Config, engine 
 		}
 		rep.Findings = fs
 	}
+}
+
+// halfCaps halves each finite step/node/edge cap (never below 1) and
+// keeps the wall clock, sizing a retry's fresh allowance.
+func halfCaps(l budget.Limits) budget.Limits {
+	half := func(n int) int {
+		if n <= 0 {
+			return n
+		}
+		if n/2 < 1 {
+			return 1
+		}
+		return n / 2
+	}
+	return budget.Limits{Timeout: l.Timeout, MaxSteps: half(l.MaxSteps),
+		MaxNodes: half(l.MaxNodes), MaxEdges: half(l.MaxEdges)}
 }
 
 // DiffFindings compares the finding sets of the two backends on the
@@ -614,7 +698,8 @@ func scanFiles(files []SourceFile, name string, opts Options, preErr error) *Rep
 		return rep
 	}
 	rep.Engine = engine
-	b := budget.New(opts.limits())
+	b := newBudget(opts, name)
+	defer func() { recordPhases(rep, b) }()
 	start := time.Now()
 
 	frontEnd := noCacheFrontEnd
@@ -623,6 +708,7 @@ func scanFiles(files []SourceFile, name string, opts Options, preErr error) *Rep
 	}
 	var progs []*core.Program
 	keep := make(map[string]bool, len(files))
+	b.BeginPhase("front-end")
 	ferr := budget.Guard("front-end", func() error {
 		for _, f := range files {
 			keep[f.Rel] = true

@@ -291,6 +291,9 @@ func zeroTimings(rep *Report) {
 	rep.QueryTime = 0
 	rep.NativeTime = 0
 	rep.QueryEngineTime = 0
+	// Phase usage measures effort, not outcome: a warm cache hit
+	// legitimately spends zero front-end steps.
+	rep.Phases = nil
 }
 
 // TestCachedScanEqualsUncached: the front-end cache must be

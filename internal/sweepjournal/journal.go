@@ -1,0 +1,300 @@
+// Package sweepjournal persists per-package sweep outcomes as an
+// append-only JSONL journal, the crash-safety substrate for resumable
+// corpus sweeps: each worker appends one terminal Entry as it finishes
+// a package, so a sweep that is SIGKILLed mid-corpus loses at most the
+// packages still in flight. Re-running with resume enabled loads the
+// journal, skips every package whose entry matches the current content
+// hash and analysis-options fingerprint, and re-scans the rest.
+//
+// The format is deliberately dumb: one self-contained JSON object per
+// line, no header, no index, no compaction. A torn final line — the
+// signature of a kill mid-write — is detected and ignored on load, and
+// when several entries exist for one package (a re-scan after an edit,
+// a requarantine override) the last complete line wins. Entries carry
+// no wall-clock timestamps, so a journal is a deterministic function
+// of (corpus, options, fault plan) and two journals can be compared
+// byte-for-byte per package in the chaos harness.
+package sweepjournal
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Terminal states of a supervised package. Every package a supervised
+// sweep touches ends in exactly one of these.
+const (
+	// StateComplete: the full-fidelity rung produced a clean (or
+	// deterministically classified, e.g. parse-error) result.
+	StateComplete = "complete"
+	// StateDegraded: a lower ladder rung produced the result — either a
+	// clean run under reduced caps or the reach-gate-only triage floor.
+	// Rung records which.
+	StateDegraded = "degraded"
+	// StateQuarantined: every rung failed; later sweeps skip the
+	// package by default (requarantine overrides).
+	StateQuarantined = "quarantined"
+)
+
+// Finding is the journal's flat rendering of one queries.Finding
+// (witness paths are graph-node IDs, meaningless across runs, and are
+// not persisted).
+type Finding struct {
+	CWE      string `json:"cwe"`
+	SinkName string `json:"sink,omitempty"`
+	SinkLine int    `json:"line"`
+	SinkFile string `json:"file,omitempty"`
+	Source   string `json:"source,omitempty"`
+}
+
+// Attempt is one row of a package's attempt history: which ladder rung
+// ran, on which engine, and how it ended.
+type Attempt struct {
+	Rung     string `json:"rung"`
+	Engine   string `json:"engine,omitempty"`
+	Class    string `json:"class,omitempty"` // failure class ("" = clean)
+	Err      string `json:"err,omitempty"`
+	Findings int    `json:"findings"`
+}
+
+// Entry is one package's terminal journal row.
+type Entry struct {
+	Package string `json:"pkg"`
+	// Hash is the package's content hash; Opts fingerprints the
+	// analysis options (base scan options + ladder). Resume skips a
+	// package only when both match.
+	Hash string `json:"hash"`
+	Opts string `json:"opts"`
+	// State is the terminal state (StateComplete/Degraded/Quarantined);
+	// Rung names the ladder rung that produced the result.
+	State string `json:"state"`
+	Rung  string `json:"rung"`
+	// Class is the final failure class ("" for a clean result) and
+	// Incomplete marks best-effort findings subsets.
+	Class      string    `json:"class,omitempty"`
+	Incomplete bool      `json:"incomplete,omitempty"`
+	Findings   []Finding `json:"findings"`
+	Attempts   []Attempt `json:"attempts"`
+}
+
+// Key is the journal map key for an entry (the package name: a corpus
+// never contains two packages with the same name).
+func (e *Entry) Key() string { return e.Package }
+
+// Matches reports whether the entry can stand in for a fresh scan of a
+// package with the given content hash and options fingerprint.
+func (e *Entry) Matches(hash, opts string) bool {
+	return e.Hash == hash && e.Opts == opts
+}
+
+// Writer appends entries to a journal file. It is safe for concurrent
+// use: each entry is marshaled and written under a lock as a single
+// buffered write followed by a flush, so concurrently finishing
+// workers never interleave bytes within a line.
+type Writer struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// Create opens (creating or appending to) a journal file for writing.
+// A torn final line left by a kill mid-append is repaired first —
+// otherwise the next Append would concatenate onto the torn bytes and
+// corrupt a line in the middle of the file.
+func Create(path string) (*Writer, error) {
+	if err := repairTail(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweepjournal: %w", err)
+	}
+	return &Writer{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// repairTail fixes a journal whose final line has no terminating
+// newline: a tail that parses as an Entry (the kill landed between the
+// payload and the newline) is completed with the missing newline; torn
+// bytes are truncated back to the last complete line.
+func repairTail(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("sweepjournal: %w", err)
+	}
+	if len(data) == 0 || data[len(data)-1] == '\n' {
+		return nil
+	}
+	tail := data
+	if i := lastNewline(data); i >= 0 {
+		tail = data[i+1:]
+	}
+	var e Entry
+	if json.Unmarshal(tail, &e) == nil && e.Package != "" {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("sweepjournal: %w", err)
+		}
+		if _, err := f.Write([]byte("\n")); err != nil {
+			f.Close()
+			return fmt.Errorf("sweepjournal: repair %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	if err := os.Truncate(path, int64(len(data)-len(tail))); err != nil {
+		return fmt.Errorf("sweepjournal: repair %s: %w", path, err)
+	}
+	return nil
+}
+
+func lastNewline(data []byte) int {
+	for i := len(data) - 1; i >= 0; i-- {
+		if data[i] == '\n' {
+			return i
+		}
+	}
+	return -1
+}
+
+// Append writes one entry as a JSONL line and flushes it to the OS, so
+// a kill after Append returns cannot tear the line.
+func (w *Writer) Append(e Entry) error {
+	if w == nil {
+		return nil
+	}
+	data, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("sweepjournal: marshal %s: %w", e.Package, err)
+	}
+	data = append(data, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("sweepjournal: append %s: %w", e.Package, err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("sweepjournal: flush: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file.
+func (w *Writer) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("sweepjournal: flush: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("sweepjournal: close: %w", err)
+	}
+	return nil
+}
+
+// Load replays a journal into a per-package map (last complete entry
+// wins). A torn final line — no trailing newline, or bytes that do not
+// parse as an Entry — is tolerated and reported via torn, exactly the
+// state a SIGKILL mid-append leaves behind. A torn or unparsable line
+// anywhere but the end is an error: that is corruption, not a crash
+// artifact. A missing file loads as an empty journal.
+func Load(path string) (entries map[string]Entry, torn bool, err error) {
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return map[string]Entry{}, false, nil
+		}
+		return nil, false, fmt.Errorf("sweepjournal: %w", rerr)
+	}
+	entries = map[string]Entry{}
+	for len(data) > 0 {
+		nl := -1
+		for i, b := range data {
+			if b == '\n' {
+				nl = i
+				break
+			}
+		}
+		line := data
+		last := nl < 0
+		if !last {
+			line = data[:nl]
+			data = data[nl+1:]
+		} else {
+			data = nil
+		}
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if uerr := json.Unmarshal(line, &e); uerr != nil || e.Package == "" {
+			if last {
+				return entries, true, nil // torn final line: kill artifact
+			}
+			return nil, false, fmt.Errorf("sweepjournal: corrupt line in %s: %q", path, truncate(line, 80))
+		}
+		if last {
+			// A complete JSON object with no trailing newline: the kill
+			// landed between the payload and the newline. The entry is
+			// intact; keep it but still report the tear.
+			torn = true
+		}
+		entries[e.Key()] = e
+	}
+	return entries, torn, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "..."
+}
+
+// ContentHash fingerprints one source text.
+func ContentHash(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:8])
+}
+
+// ContentHashFiles fingerprints a multi-file package: the hash covers
+// every (path, content) pair in sorted path order, so renames, edits,
+// additions and deletions all change it.
+func ContentHashFiles(files map[string]string) string {
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	h := sha256.New()
+	for _, p := range paths {
+		fmt.Fprintf(h, "%d:%s=%d:", len(p), p, len(files[p]))
+		h.Write([]byte(files[p]))
+	}
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// Fingerprint hashes an arbitrary JSON-serializable options value into
+// a short stable string. Callers must pass a deterministic value
+// (structs and slices, not maps with elided ordering).
+func Fingerprint(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Options values are plain structs; a marshal failure is a
+		// programming error worth failing loudly over.
+		panic("sweepjournal: fingerprint: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}

@@ -1,0 +1,295 @@
+package sweepjournal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func entry(pkg, hash, opts, state string) Entry {
+	return Entry{
+		Package: pkg, Hash: hash, Opts: opts, State: state, Rung: "full",
+		Findings: []Finding{{CWE: "CWE-94", SinkLine: 3, Source: "input"}},
+		Attempts: []Attempt{{Rung: "full", Engine: "query", Findings: 1}},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Append(entry(fmt.Sprintf("pkg-%d", i), "h", "o", StateComplete)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, torn, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Error("clean journal reported torn")
+	}
+	if len(got) != 5 {
+		t.Fatalf("loaded %d entries, want 5", len(got))
+	}
+	e := got["pkg-3"]
+	if e.State != StateComplete || len(e.Findings) != 1 || e.Findings[0].CWE != "CWE-94" {
+		t.Errorf("entry did not round-trip: %+v", e)
+	}
+}
+
+// TestLastEntryWins: re-scans append rather than rewrite; replay must
+// keep the newest complete entry per package.
+func TestLastEntryWins(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(entry("pkg", "h1", "o", StateQuarantined)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(entry("pkg", "h2", "o", StateComplete)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := got["pkg"]; e.Hash != "h2" || e.State != StateComplete {
+		t.Errorf("last entry did not win: %+v", e)
+	}
+}
+
+// TestTornFinalLine: a journal whose final line was cut mid-write (the
+// SIGKILL signature) must load every complete line and report the tear
+// instead of erroring.
+func TestTornFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Append(entry(fmt.Sprintf("pkg-%d", i), "h", "o", StateComplete)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail at several depths: mid-line, at the newline, and
+	// the whole final line (a clean cut, no tear to report).
+	for _, cut := range []int{1, 7, 20, lastLineLen(data)} {
+		torn := data[:len(data)-cut]
+		tpath := filepath.Join(dir, fmt.Sprintf("torn-%d.jsonl", cut))
+		if err := os.WriteFile(tpath, torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, isTorn, err := Load(tpath)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if len(got) < 3 {
+			t.Errorf("cut=%d: only %d entries survived, want >=3", cut, len(got))
+		}
+		if cut != lastLineLen(data) && !isTorn {
+			t.Errorf("cut=%d: torn tail not reported", cut)
+		}
+		for i := 0; i < 3; i++ {
+			if _, ok := got[fmt.Sprintf("pkg-%d", i)]; !ok {
+				t.Errorf("cut=%d: complete entry pkg-%d lost", cut, i)
+			}
+		}
+	}
+}
+
+func lastLineLen(data []byte) int {
+	s := strings.TrimRight(string(data), "\n")
+	i := strings.LastIndexByte(s, '\n')
+	return len(data) - (i + 1)
+}
+
+// TestCorruptMiddleLineErrors: garbage anywhere but the tail is
+// corruption, not a kill artifact.
+func TestCorruptMiddleLineErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	content := `{"pkg":"a","hash":"h","opts":"o","state":"complete","rung":"full","findings":[],"attempts":[]}
+{"pkg": garbage
+{"pkg":"b","hash":"h","opts":"o","state":"complete","rung":"full","findings":[],"attempts":[]}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path); err == nil {
+		t.Error("corrupt middle line loaded without error")
+	}
+}
+
+func TestMissingFileLoadsEmpty(t *testing.T) {
+	got, torn, err := Load(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || torn || len(got) != 0 {
+		t.Errorf("missing file: entries=%d torn=%v err=%v, want empty/false/nil", len(got), torn, err)
+	}
+}
+
+// TestConcurrentWriters: entries appended from many goroutines (the
+// sweep pool's workers) must each survive as an intact line. Run under
+// -race this also checks the Writer's locking.
+func TestConcurrentWriters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				e := entry(fmt.Sprintf("pkg-%d-%d", g, i), "h", "o", StateComplete)
+				if err := w.Append(e); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, torn, err := Load(path)
+	if err != nil || torn {
+		t.Fatalf("load: torn=%v err=%v", torn, err)
+	}
+	if len(got) != workers*per {
+		t.Fatalf("loaded %d entries, want %d", len(got), workers*per)
+	}
+}
+
+func TestMatches(t *testing.T) {
+	e := entry("pkg", "h1", "o1", StateComplete)
+	if !e.Matches("h1", "o1") {
+		t.Error("matching hash+opts rejected")
+	}
+	if e.Matches("h2", "o1") {
+		t.Error("content-hash mismatch accepted")
+	}
+	if e.Matches("h1", "o2") {
+		t.Error("options-fingerprint mismatch accepted")
+	}
+}
+
+func TestContentHashFiles(t *testing.T) {
+	a := ContentHashFiles(map[string]string{"a.js": "x", "b.js": "y"})
+	b := ContentHashFiles(map[string]string{"b.js": "y", "a.js": "x"})
+	if a != b {
+		t.Error("hash depends on map iteration order")
+	}
+	if a == ContentHashFiles(map[string]string{"a.js": "x", "b.js": "z"}) {
+		t.Error("content edit not reflected in hash")
+	}
+	if a == ContentHashFiles(map[string]string{"a.js": "x"}) {
+		t.Error("file deletion not reflected in hash")
+	}
+	if a == ContentHashFiles(map[string]string{"a.js": "xb", ".js": "y"}) {
+		t.Error("path/content boundary ambiguity")
+	}
+}
+
+// TestCreateRepairsTornTail: reopening a journal whose final line was
+// torn by a kill must not let the next append concatenate onto the
+// torn bytes. Torn garbage is truncated away; a complete entry that
+// only lost its newline is kept and completed.
+func TestCreateRepairsTornTail(t *testing.T) {
+	t.Run("garbage-tail-truncated", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "j.jsonl")
+		w, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Append(entry("pkg-0", "h", "o", StateComplete))
+		w.Append(entry("pkg-1", "h", "o", StateComplete))
+		w.Close()
+		data, _ := os.ReadFile(path)
+		cut := strings.LastIndex(strings.TrimRight(string(data), "\n"), "\n")
+		torn := append([]byte(nil), data[:cut+1]...)
+		torn = append(torn, data[cut+1:cut+10]...) // half a line, no newline
+		if err := os.WriteFile(path, torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		w, err = Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(entry("pkg-2", "h", "o", StateComplete)); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		got, tornLoad, err := Load(path)
+		if err != nil {
+			t.Fatalf("appended-after-tear journal corrupt: %v", err)
+		}
+		if tornLoad {
+			t.Error("repaired journal still reports torn")
+		}
+		if _, ok := got["pkg-1"]; ok {
+			t.Error("torn entry resurrected")
+		}
+		if _, ok := got["pkg-2"]; !ok {
+			t.Error("post-repair append lost")
+		}
+	})
+
+	t.Run("newline-less-entry-kept", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "j.jsonl")
+		w, err := Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Append(entry("pkg-0", "h", "o", StateComplete))
+		w.Append(entry("pkg-1", "h", "o", StateComplete))
+		w.Close()
+		data, _ := os.ReadFile(path)
+		if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil { // drop final newline only
+			t.Fatal(err)
+		}
+
+		w, err = Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(entry("pkg-2", "h", "o", StateComplete)); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		got, _, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 3 {
+			t.Fatalf("loaded %d entries, want 3 (intact newline-less entry kept)", len(got))
+		}
+	})
+}
