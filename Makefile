@@ -1,12 +1,20 @@
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-all bench-faults bench-incremental bench-resume tables pathological mutate-check chaos fuzz-smoke
+.PHONY: check fmt vet lint build test race bench bench-all bench-faults bench-incremental bench-reach bench-resume tables pathological mutate-check chaos fuzz-smoke
 
-# check is the tier-1 gate: formatting, vet, build, the race-enabled
-# test suite, the crash-corpus regression, the incremental-scan
-# mutation-equivalence harness, the chaos harness, and a short fuzz
-# smoke. CI and pre-commit both run this target.
-check: fmt vet build race pathological mutate-check chaos fuzz-smoke
+# check is the tier-1 gate: formatting, vet, the repo-invariant lint
+# suite, build, the race-enabled test suite, the crash-corpus
+# regression, the incremental-scan mutation-equivalence harness, the
+# chaos harness, and a short fuzz smoke. CI and pre-commit both run
+# this target.
+check: fmt vet lint build race pathological mutate-check chaos fuzz-smoke
+
+# lint runs the custom repo-invariant analyzers (naked panics outside
+# Guard fences, budget-carrying loops without cooperative checks,
+# Fragment mutation after caching). See internal/lint for the checks
+# and the //lint:allow waiver syntax.
+lint:
+	$(GO) run ./cmd/graphjslint internal cmd
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -52,6 +60,15 @@ bench-resume:
 		| $(GO) run ./cmd/benchjson -out BENCH_resume.json
 	@tail -n 2 BENCH_resume.json
 
+# bench-reach snapshots the export-graph gate's precision counters
+# (pruned functions, skipped packages, fallbacks, provenance depth)
+# with the gate on and off into BENCH_reach.json. The finding counts in
+# both rows must match — the differential oracle in test form.
+bench-reach:
+	$(GO) test -run xxx -bench ReachGate -benchtime 1x . \
+		| $(GO) run ./cmd/benchjson -out BENCH_reach.json
+	@tail -n 2 BENCH_reach.json
+
 # bench-incremental snapshots the cold-vs-warm re-scan timings and the
 # fragment-cache counters into BENCH_incremental.json (the ≥2× warm
 # single-file-edit speedup is the acceptance bar).
@@ -93,3 +110,4 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzParse -fuzztime 3s ./internal/js/parser
 	$(GO) test -run xxx -fuzz FuzzParseQuery -fuzztime 3s ./internal/graphdb
 	$(GO) test -run xxx -fuzz FuzzIncrementalEquivalence -fuzztime 3s -fuzzminimizetime 5s ./internal/metrics
+	$(GO) test -run xxx -fuzz FuzzReachSoundness -fuzztime 3s -fuzzminimizetime 5s ./internal/scanner

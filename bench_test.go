@@ -723,3 +723,45 @@ func BenchmarkIncrementalSweep(b *testing.B) {
 	b.ReportMetric(float64(stats.FragmentHits), "frag-hits")
 	b.ReportMetric(float64(stats.FragmentMisses), "frag-rebuilds")
 }
+
+// BenchmarkReachGate sweeps the combined ground-truth corpus with the
+// export-graph reachability gate on and off and reports the gate's
+// precision counters (snapshot: BENCH_reach.json). The invariant the
+// differential oracle enforces — identical finding sets either way —
+// is re-checked here so a perf snapshot can never capture an unsound
+// configuration.
+func BenchmarkReachGate(b *testing.B) {
+	vul, sec := dataset.GroundTruth(42)
+	c := &dataset.Corpus{Name: "combined"}
+	c.Packages = append(c.Packages, vul.Packages...)
+	c.Packages = append(c.Packages, sec.Packages...)
+	for _, gate := range []bool{true, false} {
+		name := "gate=on"
+		opts := scanner.Options{Workers: runtime.GOMAXPROCS(0)}
+		if !gate {
+			name = "gate=off"
+			opts.NoReachGate = true
+		}
+		b.Run(name, func(b *testing.B) {
+			var sw *metrics.Sweep
+			for i := 0; i < b.N; i++ {
+				sw = metrics.SweepGraphJS(c, opts)
+				if len(sw.Results) != len(c.Packages) {
+					b.Fatal("bad sweep")
+				}
+			}
+			avg := metrics.EngineAverages(sw.Results)
+			findings := 0
+			for _, r := range sw.Results {
+				findings += len(r.Findings)
+			}
+			b.ReportMetric(float64(findings), "findings")
+			b.ReportMetric(float64(avg.FuncsPruned), "pruned")
+			b.ReportMetric(avg.PrunedRate()*100, "pruned-pct")
+			b.ReportMetric(float64(avg.SkippedByReach), "skipped")
+			b.ReportMetric(float64(avg.ReachFallbacks), "fallbacks")
+			b.ReportMetric(float64(avg.Exports), "exports")
+			b.ReportMetric(float64(avg.MaxProvDepth), "prov-depth")
+		})
+	}
+}

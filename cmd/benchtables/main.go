@@ -51,6 +51,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size for corpus sweeps (0 = GOMAXPROCS)")
 	sweep := flag.Bool("sweep", false, "print worker-pool scaling (1/2/4/8 workers)")
 	faults := flag.Bool("faults", false, "print failure-class counts on the crash corpus")
+	provenance := flag.Bool("provenance", false, "print the reach-gate precision table (pruned %, gate-skip rate, provenance depth) gated vs ungated")
 	journal := flag.String("journal", "", "supervise the ground-truth sweeps and journal outcomes to FILE-graphjs.jsonl / FILE-odgen.jsonl")
 	resume := flag.Bool("resume", false, "with -journal: skip packages whose journal entry matches")
 	requarantine := flag.Bool("requarantine", false, "with -resume: re-scan quarantined packages")
@@ -66,6 +67,8 @@ func main() {
 		r.sweepTable()
 	case *faults:
 		r.faultsTable()
+	case *provenance:
+		r.provenanceTable()
 	case *all:
 		r.table3()
 		r.table4()
@@ -74,6 +77,7 @@ func main() {
 		r.figure7()
 		r.table6()
 		r.table7()
+		r.provenanceTable()
 	case *table == 3:
 		r.table3()
 	case *table == 4:
@@ -203,6 +207,40 @@ func (r *runner) sweepTable() {
 	fmt.Print(metrics.Table(
 		[]string{"workers", "wall", "sum-of-CPU", "cpu/wall", "vs 1 worker", "findings=seq"}, rows))
 	fmt.Printf("(%d packages, GOMAXPROCS=%d)\n\n", len(r.combined.Packages), runtime.GOMAXPROCS(0))
+}
+
+// provenanceTable measures the export-graph reach gate on the
+// ground-truth corpus: pruning and skip rates, fallback rate, export
+// counts and finding-provenance depth, with the gate on and off —
+// plus the soundness cross-check that both modes report identical
+// findings (the differential oracle, rendered as a column).
+func (r *runner) provenanceTable() {
+	fmt.Println("== Reach-gate precision: export-graph gate over the ground-truth corpus ==")
+	gated := metrics.SweepGraphJS(r.combined, scanner.Options{Workers: r.workers})
+	ungated := metrics.SweepGraphJS(r.combined, scanner.Options{Workers: r.workers, NoReachGate: true})
+	row := func(label string, sw *metrics.Sweep) []string {
+		ea := metrics.EngineAverages(sw.Results)
+		n := 0
+		for _, pr := range sw.Results {
+			n += len(pr.Findings)
+		}
+		return []string{
+			label,
+			metrics.FmtDur(sw.Wall),
+			fmt.Sprintf("%d/%d", ea.FuncsPruned, ea.FuncsTotal),
+			metrics.FmtPct(ea.PrunedRate()),
+			fmt.Sprintf("%d/%d", ea.SkippedByReach, len(sw.Results)),
+			fmt.Sprint(ea.ReachFallbacks),
+			fmt.Sprint(ea.Exports),
+			fmt.Sprint(ea.MaxProvDepth),
+			fmt.Sprint(n),
+		}
+	}
+	rows := [][]string{row("export-graph", gated), row("ungated", ungated)}
+	fmt.Print(metrics.Table([]string{
+		"gate", "wall", "pruned", "pruned-rate", "skipped", "fallback", "exports", "prov-depth", "findings",
+	}, rows))
+	fmt.Printf("findings identical gated vs ungated: %v\n\n", sameFindings(gated.Results, ungated.Results))
 }
 
 // faultsTable sweeps the pathological crash corpus with both tools

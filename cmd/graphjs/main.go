@@ -282,6 +282,12 @@ func runSweep(targets []string, opts scanner.Options, pool *scanner.StatePool,
 		}
 		fmt.Printf("sweep: %d targets — %d complete, %d degraded, %d quarantined, %d resumed\n",
 			len(units), stats.Completed, stats.Degraded, stats.Quarantined, stats.Resumed)
+		ea := metrics.EngineAverages(sw.Results)
+		if ea.FuncsTotal > 0 || ea.SkippedByReach > 0 {
+			fmt.Printf("reach gate: %d/%d functions pruned (%.0f%%), %d targets skipped, %d fallback, %d exports, max provenance depth %d\n",
+				ea.FuncsPruned, ea.FuncsTotal, 100*ea.PrunedRate(),
+				ea.SkippedByReach, ea.ReachFallbacks, ea.Exports, ea.MaxProvDepth)
+		}
 		if stats.Torn {
 			fmt.Println("(the resumed journal ended in a torn line — kill artifact, repaired)")
 		}
@@ -372,6 +378,9 @@ func printHuman(rep *scanner.Report, stats, trace bool) {
 	}
 	for _, f := range rep.Findings {
 		fmt.Printf("  %s\n", f)
+		if f.Provenance.Entry != "" {
+			fmt.Printf("    via %s\n", f.Provenance)
+		}
 		if trace && len(f.Path) > 0 {
 			fmt.Printf("    witness path: %d nodes (ids %v)\n", len(f.Path), f.Path)
 		}
@@ -391,8 +400,11 @@ func printHuman(rep *scanner.Report, stats, trace bool) {
 			fmt.Printf("  engines: query %s, native %s\n", rep.QueryEngineTime, rep.NativeTime)
 		}
 		if rep.FuncsTotal > 0 || rep.SkippedByReach {
-			fmt.Printf("  reach: %d/%d functions pruned, skipped=%v\n",
-				rep.FuncsPruned, rep.FuncsTotal, rep.SkippedByReach)
+			fmt.Printf("  reach: %d/%d functions pruned, skipped=%v, exports=%d, fallback=%v\n",
+				rep.FuncsPruned, rep.FuncsTotal, rep.SkippedByReach, rep.ExportCount, rep.ReachFallback)
+		}
+		if rep.ProvenanceDepth > 0 {
+			fmt.Printf("  provenance: deepest call-hop chain %d\n", rep.ProvenanceDepth)
 		}
 		if rep.TruncatedSearches > 0 {
 			fmt.Printf("  truncated searches: %d (hop bound hit)\n", rep.TruncatedSearches)
@@ -410,6 +422,11 @@ type jsonFinding struct {
 	Sink   string `json:"sink"`
 	Line   int    `json:"line"`
 	Source string `json:"source"`
+	// Call-path provenance: the API entry (or fallback marker) and the
+	// hop chain from it down to the sink's function.
+	Entry    string   `json:"entry,omitempty"`
+	Hops     []string `json:"hops,omitempty"`
+	Fallback bool     `json:"reachFallback,omitempty"`
 }
 
 func printJSON(rep *scanner.Report) {
@@ -427,6 +444,7 @@ func printJSON(rep *scanner.Report) {
 	for _, f := range rep.Findings {
 		out.Findings = append(out.Findings, jsonFinding{
 			CWE: string(f.CWE), Sink: f.SinkName, Line: f.SinkLine, Source: f.Source,
+			Entry: f.Provenance.Entry, Hops: f.Provenance.Hops, Fallback: f.Provenance.Fallback,
 		})
 	}
 	enc := json.NewEncoder(os.Stdout)

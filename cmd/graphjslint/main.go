@@ -1,0 +1,37 @@
+// Command graphjslint runs the repo-invariant lint suite over the
+// given directories (default: internal and cmd). It exits nonzero when
+// any check fires; see internal/lint for the checks and the
+// //lint:allow waiver syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: graphjslint [dir ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	roots := flag.Args()
+	if len(roots) == 0 {
+		roots = []string{"internal", "cmd"}
+	}
+	findings, err := lint.Dirs(roots...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphjslint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "graphjslint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

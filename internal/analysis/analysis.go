@@ -163,7 +163,7 @@ func AnalyzeModules(progs []*core.Program, opts Options) *Result {
 					res.TimedOut = true
 					return
 				}
-				panic(r)
+				panic(r) //lint:allow nakedpanic -- re-raises foreign panics for the scanner's phase guard
 			}
 		}()
 		// Cross-module fixpoint: a require('./m') resolves through the
@@ -308,10 +308,10 @@ func (a *analyzer) qualify(name string) string {
 func (a *analyzer) tick() {
 	a.steps++
 	if a.opts.StepBudget > 0 && a.steps > a.opts.StepBudget {
-		panic(budgetExhausted{})
+		panic(budgetExhausted{}) //lint:allow nakedpanic -- budgetExhausted is recovered by Run's local fence
 	}
 	if a.opts.Budget.Step() != nil {
-		panic(budgetExhausted{})
+		panic(budgetExhausted{}) //lint:allow nakedpanic -- budgetExhausted is recovered by Run's local fence
 	}
 }
 

@@ -156,7 +156,7 @@ func (ci *concreteInterp) eval(e core.Expr, site int) CLoc {
 		ci.st.Values[l] = x.Value
 		return l
 	}
-	panic("unreachable expression form")
+	panic("unreachable expression form") //lint:allow nakedpanic -- interpreter invariant; recovered at the scanner's phase guard
 }
 
 // valueOf renders the primitive behind l ("" for objects).

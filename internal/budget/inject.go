@@ -112,7 +112,7 @@ func (b *Budget) maybeInject() error {
 	switch b.inj.mode {
 	case 1:
 		b.inj.mode = 0
-		panic(&InjectedFault{Label: b.label, Check: b.checks})
+		panic(&InjectedFault{Label: b.label, Check: b.checks}) //lint:allow nakedpanic -- the fault-injection panic itself, recovered by Guard
 	default:
 		b.inj.mode = 0
 		return b.fail(ClassTimeout, "injected fault", 0)

@@ -28,6 +28,7 @@ package dataset
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 
 	"repro/internal/queries"
@@ -67,9 +68,11 @@ func (c Class) String() string {
 		return "baseline-fp"
 	case ClassNoWebContext:
 		return "noweb"
-	default:
-		return fmt.Sprintf("Class(%d)", int(c))
 	}
+	if s, ok := exportAliasString(c); ok {
+		return s
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
 }
 
 // Annotation is one ground-truth vulnerability record: the type and the
@@ -79,13 +82,18 @@ type Annotation struct {
 	Line int
 }
 
-// Package is one synthetic npm-style package (single main file, as in
-// the majority of the reference-corpus packages).
+// Package is one synthetic npm-style package. Most packages are a
+// single main file (as in the majority of the reference-corpus
+// packages); re-export templates add sibling modules via Extra.
 type Package struct {
 	Name   string
 	Source string
-	Class  Class
-	CWE    queries.CWE // primary class under test ("" for benign)
+	// Extra holds additional module files keyed by relative filename
+	// (e.g. "lib.js"). When non-empty, Source is the package's
+	// index.js and harnesses scan the whole file set as one package.
+	Extra map[string]string
+	Class Class
+	CWE   queries.CWE // primary class under test ("" for benign)
 	// Annotated is what the dataset records (matching the reference
 	// datasets' single-sink annotations).
 	Annotated []Annotation
@@ -102,9 +110,28 @@ const (
 	xsinkMarker = "//@xsink"
 )
 
-// finalize extracts annotations from the marked source.
+// finalize extracts annotations from the marked source (main file
+// first, then Extra files in sorted filename order — annotation lines
+// are file-local, so multi-file templates must keep their sinks in one
+// file to stay unambiguous under the harness's line-based matching).
 func finalize(p *Package) {
-	lines := strings.Split(p.Source, "\n")
+	p.Source = extractMarks(p, p.Source)
+	if len(p.Extra) > 0 {
+		rels := make([]string, 0, len(p.Extra))
+		for rel := range p.Extra {
+			rels = append(rels, rel)
+		}
+		sort.Strings(rels)
+		for _, rel := range rels {
+			p.Extra[rel] = extractMarks(p, p.Extra[rel])
+		}
+	}
+}
+
+// extractMarks records src's marker annotations on p and returns src
+// with the markers stripped.
+func extractMarks(p *Package, src string) string {
+	lines := strings.Split(src, "\n")
 	for i, ln := range lines {
 		if strings.Contains(ln, sinkMarker) {
 			a := Annotation{CWE: p.CWE, Line: i + 1}
@@ -114,8 +141,8 @@ func finalize(p *Package) {
 			p.Exploitable = append(p.Exploitable, Annotation{CWE: p.CWE, Line: i + 1})
 		}
 	}
-	p.Source = strings.ReplaceAll(p.Source, sinkMarker, "")
-	p.Source = strings.ReplaceAll(p.Source, xsinkMarker, "")
+	src = strings.ReplaceAll(src, sinkMarker, "")
+	return strings.ReplaceAll(src, xsinkMarker, "")
 }
 
 // names provides deterministic identifier variety.

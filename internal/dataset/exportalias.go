@@ -1,0 +1,154 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/queries"
+)
+
+// Export-alias shapes exercise the export-graph reachability gate: the
+// CWE under test is always command injection, but what varies is how
+// the package's API surface is declared — whether the vulnerable (or
+// innocuous) function is actually reachable from it, and whether the
+// gate's alias resolution follows the declaration.
+const (
+	// ClassDeadShadow packages define a shadow copy of the exported
+	// function that nothing exports or calls: the gate must prune it
+	// while keeping the live flow.
+	ClassDeadShadow Class = 200 + iota
+	// ClassAliasedExport packages attach the API through a local alias
+	// of module.exports (var api = module.exports; api.m = fn).
+	ClassAliasedExport
+	// ClassReexportChain packages re-export a sibling module
+	// (module.exports = require('./lib')) whose object literal holds
+	// the actual entry points.
+	ClassReexportChain
+)
+
+// exportAliasString covers the export-alias classes for Class.String.
+func exportAliasString(c Class) (string, bool) {
+	switch c {
+	case ClassDeadShadow:
+		return "dead-shadow", true
+	case ClassAliasedExport:
+		return "aliased-export", true
+	case ClassReexportChain:
+		return "reexport-chain", true
+	}
+	return "", false
+}
+
+// ExportAlias generates the export-alias corpus: each shape in a
+// vulnerable and a benign variant, twice for identifier variety. The
+// corpus is separate from the ground-truth mixes (GroundTruth output
+// is unchanged by its existence).
+func ExportAlias(seed int64) *Corpus {
+	g := NewGenForTest(seed)
+	c := &Corpus{Name: "ExportAlias"}
+	for round := 0; round < 2; round++ {
+		for _, class := range []Class{ClassDeadShadow, ClassAliasedExport, ClassReexportChain} {
+			c.Packages = append(c.Packages,
+				g.exportAlias(class, true),
+				g.exportAlias(class, false))
+		}
+	}
+	return c
+}
+
+// ExportAliasForTest renders one shape for cross-package tests.
+func ExportAliasForTest(g *gen, class Class, vulnerable bool) *Package {
+	return g.exportAlias(class, vulnerable)
+}
+
+func (g *gen) exportAlias(class Class, vulnerable bool) *Package {
+	name := g.fn()
+	p := g.param()
+	pkg := &Package{Class: class}
+	if vulnerable {
+		pkg.CWE = queries.CWECommandInjection
+	}
+	switch class {
+	case ClassDeadShadow:
+		pkg.Source = deadShadowSource(name, p, vulnerable)
+	case ClassAliasedExport:
+		pkg.Source = aliasedExportSource(name, p, vulnerable)
+	case ClassReexportChain:
+		pkg.Source = "module.exports = require('./lib');\n"
+		pkg.Extra = map[string]string{"lib.js": reexportLibSource(name, p, vulnerable)}
+	}
+	suffix := "benign"
+	if vulnerable {
+		suffix = "vuln"
+	}
+	pkg.Name = fmt.Sprintf("pkg-export-%s-%s-%03d", class, suffix, g.n)
+	g.n++
+	finalize(pkg)
+	return pkg
+}
+
+// deadShadowSource exports one function and leaves an identically
+// shaped shadow copy dead: never exported, never called. The shadow is
+// what the gate must prune; in the vulnerable variant only the live
+// sink is annotated.
+func deadShadowSource(name, p string, vulnerable bool) string {
+	if vulnerable {
+		return fmt.Sprintf(`const { exec } = require('child_process');
+function %[1]s(%[2]s) {
+	exec('git clone ' + %[2]s); %[3]s
+}
+function %[1]sShadow(%[2]s) {
+	exec('git fetch ' + %[2]s);
+}
+module.exports = %[1]s;
+`, name, p, sinkMarker)
+	}
+	return fmt.Sprintf(`const { exec } = require('child_process');
+function %[1]s(%[2]s) {
+	return %[2]s + '!';
+}
+function %[1]sShadow() {
+	exec('git fetch origin');
+}
+module.exports = %[1]s;
+`, name, p)
+}
+
+// aliasedExportSource attaches the API through a local alias of
+// module.exports, the aliasing pattern the export graph must resolve.
+func aliasedExportSource(name, p string, vulnerable bool) string {
+	if vulnerable {
+		return fmt.Sprintf(`const { exec } = require('child_process');
+var api = module.exports;
+api.%[1]s = function(%[2]s) {
+	exec('tar -xf ' + %[2]s); %[3]s
+};
+`, name, p, sinkMarker)
+	}
+	return fmt.Sprintf(`const { exec } = require('child_process');
+var api = module.exports;
+api.%[1]s = function(%[2]s) {
+	return %[2]s.length;
+};
+api.ping = function() {
+	exec('true');
+};
+`, name, p)
+}
+
+// reexportLibSource is the sibling module behind a
+// module.exports = require('./lib') chain.
+func reexportLibSource(name, p string, vulnerable bool) string {
+	if vulnerable {
+		return fmt.Sprintf(`const { exec } = require('child_process');
+function %[1]s(%[2]s) {
+	exec('sh -c ' + %[2]s); %[3]s
+}
+module.exports = { %[1]s: %[1]s };
+`, name, p, sinkMarker)
+	}
+	return fmt.Sprintf(`function %[1]s(%[2]s) {
+	return [%[2]s].join('/');
+}
+module.exports = { %[1]s: %[1]s };
+`, name, p)
+}

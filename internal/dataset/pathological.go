@@ -22,13 +22,13 @@ var pathologicalFS embed.FS
 func Pathological() *Corpus {
 	entries, err := pathologicalFS.ReadDir("testdata/pathological")
 	if err != nil {
-		panic("dataset: embedded pathological corpus missing: " + err.Error())
+		panic("dataset: embedded pathological corpus missing: " + err.Error()) //lint:allow nakedpanic -- embedded corpus missing means a corrupt build; fail loudly
 	}
 	c := &Corpus{Name: "pathological"}
 	for _, e := range entries {
 		data, rerr := pathologicalFS.ReadFile(path.Join("testdata/pathological", e.Name()))
 		if rerr != nil {
-			panic("dataset: read embedded " + e.Name() + ": " + rerr.Error())
+			panic("dataset: read embedded " + e.Name() + ": " + rerr.Error()) //lint:allow nakedpanic -- embedded corpus missing means a corrupt build; fail loudly
 		}
 		c.Packages = append(c.Packages, &Package{
 			Name:   strings.TrimSuffix(e.Name(), ".js"),

@@ -1,0 +1,894 @@
+// Package exports statically resolves a package's API surface over
+// Core JavaScript: which function definitions are reachable from
+// module.exports / exports, under local aliasing (`var api =
+// module.exports`), object-literal methods, property re-assignment,
+// and require re-export chains — plus an alias-aware call graph and
+// per-line ownership, so findings can carry call-path provenance
+// (entry export → hop chain → sink function).
+//
+// The pass is a flow-insensitive abstract interpretation whose value
+// domain mirrors the MDG builder's store: every value-producing site
+// (object literal, call result, binary operation, lazily materialized
+// property or global) is one abstract object, and variables map to
+// sets of functions and abstract objects. Export evidence follows
+// exactly the flows analysis.markExported can see — property values
+// and aliases, never dependency edges — so the gate's fallback
+// decision agrees with the analyzer's attack model: a function
+// returned from a helper call or stored through `this` is invisible
+// to both, and a package with no property-reachable exported function
+// falls back to treating every function as a root.
+//
+// All function identifiers are uniformly file-qualified as
+// "file:name" ("file:" is the file's top-level scope), for single-
+// and multi-file packages alike.
+package exports
+
+import (
+	"path"
+	"sort"
+	"strings"
+
+	"repro/internal/budget"
+	"repro/internal/core"
+)
+
+// maxPasses caps the fixpoint. The domain is finite and unions are
+// monotone, so convergence is typically reached in two or three
+// passes; hitting the cap flips the result to the fallback attack
+// model (soundness over precision).
+const maxPasses = 8
+
+// FuncInfo describes one function definition.
+type FuncInfo struct {
+	Def   *core.FuncDef
+	File  string
+	QName string // "file:name"
+	Owner string // enclosing function qname, or "file:" for top level
+}
+
+// Export is one resolved entry of the package's API surface.
+type Export struct {
+	Name string // API-surface name: "module.exports", "exports.run", "exports[*]"
+	File string // defining module
+	Func string // function qname
+}
+
+// Result is the resolved export graph of one package.
+type Result struct {
+	// Exports lists the API surface in deterministic order.
+	Exports []Export
+	// Funcs indexes every function definition by qualified name;
+	// Order preserves definition order.
+	Funcs map[string]*FuncInfo
+	Order []string
+	// Calls is the alias-aware call graph (callee lists sorted).
+	// Callers include the per-file top-level pseudo-nodes "file:".
+	Calls map[string][]string
+	// Exported marks functions property-reachable from an exports
+	// object; Escaped marks functions passed as arguments to callees
+	// the pass cannot resolve (the analyzer's callback heuristic can
+	// invoke those with tainted data).
+	Exported map[string]bool
+	Escaped  map[string]bool
+	// Fallback records that no export evidence was found (or the
+	// fixpoint was cut short), so every function must be treated as a
+	// root — the analyzer's script attack model.
+	Fallback bool
+	// Converged is false when the fixpoint hit maxPasses or the budget;
+	// Fallback is forced in that case.
+	Converged bool
+
+	entryName map[string]string // exported func -> canonical API name
+	ownerOf   map[lineKey]string
+
+	// Call-path provenance tree: every reachable function's BFS parent
+	// and the entry label of its root.
+	parent    map[string]string
+	rootEntry map[string]string
+	reachable map[string]bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// Reachable reports whether the function qname is reachable from the
+// package's roots (exported ∪ escaped ∪ top-level, or everything
+// under Fallback).
+func (r *Result) Reachable(qname string) bool { return r.reachable[qname] }
+
+// OwnerOf returns the qualified name of the function whose shallow
+// body contains file:line ("file:" for top-level code, "" when the
+// line is unknown to the pass).
+func (r *Result) OwnerOf(file string, line int) string {
+	return r.ownerOf[lineKey{file, line}]
+}
+
+// EntryName returns the canonical API name of an exported function
+// ("" when the function is not part of the export surface).
+func (r *Result) EntryName(qname string) string { return r.entryName[qname] }
+
+// PathTo resolves call-path provenance for a program point: the entry
+// label (an export API name, or one of the markers "(module)",
+// "(callback)", "(fallback)") and the call-hop chain of function
+// qnames from the entry function to the function owning file:line.
+// ok is false when the point is unknown or unreachable.
+func (r *Result) PathTo(file string, line int) (entry string, hops []string, ok bool) {
+	owner := r.OwnerOf(file, line)
+	if owner == "" {
+		return "", nil, false
+	}
+	if strings.HasSuffix(owner, ":") {
+		return "(module)", []string{owner}, true
+	}
+	if !r.reachable[owner] {
+		return "", nil, false
+	}
+	for cur := owner; cur != ""; cur = r.parent[cur] {
+		hops = append(hops, cur)
+	}
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	root := hops[0]
+	if strings.HasSuffix(root, ":") {
+		// Rooted at top-level code (a function invoked during module
+		// load).
+		return "(module)", hops, true
+	}
+	return r.rootEntry[root], hops, true
+}
+
+// ---------------------------------------------------------------------------
+// Abstract domain
+// ---------------------------------------------------------------------------
+
+// A value is a function (Fn != "") or an abstract object (index into
+// interp.objs).
+type value struct {
+	Fn  string
+	Obj int
+}
+
+type valSet map[value]struct{}
+
+func (s valSet) add(v value) bool {
+	if _, ok := s[v]; ok {
+		return false
+	}
+	s[v] = struct{}{}
+	return true
+}
+
+// object is one abstract allocation site: named properties plus a
+// star bucket for dynamic writes and builtin merges.
+type object struct {
+	props map[string]valSet
+	dyn   valSet
+}
+
+type interp struct {
+	bud     *budget.Budget
+	progs   []*core.Program
+	modules map[string]bool
+
+	objs    []*object
+	site    map[string]int    // stable alloc key -> object id
+	env     map[string]valSet // "file:var" -> values
+	funcs   map[string]*FuncInfo
+	order   []string
+	calls   map[string]map[string]bool
+	escaped map[string]bool
+
+	moduleObj  map[string]int
+	exportsObj map[string]int
+
+	ownerOf map[lineKey]string
+
+	changed bool
+	aborted bool
+}
+
+// Analyze runs the export-graph pass over the normalized programs of
+// one package. b may be nil; when set, the fixpoint consumes
+// cooperative steps and aborts (to the fallback attack model) once
+// the budget trips.
+func Analyze(progs []*core.Program, b *budget.Budget) *Result {
+	ip := &interp{
+		bud:        b,
+		progs:      progs,
+		modules:    map[string]bool{},
+		site:       map[string]int{},
+		env:        map[string]valSet{},
+		funcs:      map[string]*FuncInfo{},
+		calls:      map[string]map[string]bool{},
+		escaped:    map[string]bool{},
+		moduleObj:  map[string]int{},
+		exportsObj: map[string]int{},
+		ownerOf:    map[lineKey]string{},
+	}
+	// The coarse per-file/per-pass consults use b.Err — observing a
+	// budget failure recorded elsewhere without charging checkpoints —
+	// so the gate does not shift the deterministic fault-injection
+	// ordinals of the phases around it. Fine-grained accounting (and
+	// deadline checking) happens per statement in ip.step.
+	for _, p := range progs {
+		ip.modules[p.FileName] = true
+		if b.Err() != nil {
+			ip.aborted = true
+		}
+	}
+	for _, p := range progs {
+		if b.Err() != nil {
+			ip.aborted = true
+			break
+		}
+		ip.collect(p)
+	}
+	converged := false
+	for pass := 0; pass < maxPasses && !ip.aborted; pass++ {
+		if b.Err() != nil {
+			ip.aborted = true
+			break
+		}
+		ip.changed = false
+		//lint:allow budgetloop -- walkStmts consults the budget per statement via ip.step
+		for _, p := range ip.progs {
+			ip.walkStmts(p.FileName, p.FileName+":", p.Body)
+		}
+		if !ip.changed {
+			converged = true
+			break
+		}
+	}
+	if ip.aborted {
+		converged = false
+	}
+	return ip.finish(converged)
+}
+
+// step charges one cooperative budget step; once the budget trips the
+// whole pass aborts and the caller degrades to the fallback model.
+func (ip *interp) step() bool {
+	if err := ip.bud.Step(); err != nil {
+		ip.aborted = true
+		return false
+	}
+	return true
+}
+
+func (ip *interp) newObject(key string) int {
+	if id, ok := ip.site[key]; ok {
+		return id
+	}
+	ip.objs = append(ip.objs, &object{props: map[string]valSet{}, dyn: valSet{}})
+	id := len(ip.objs) - 1
+	ip.site[key] = id
+	ip.changed = true
+	return id
+}
+
+// collect pre-binds the per-file module/exports objects and hoists
+// every function definition into the environment (including the base
+// name of normalizer-renamed duplicates, which shadow by source name).
+func (ip *interp) collect(p *core.Program) {
+	file := p.FileName
+	mo := ip.newObject("module@" + file)
+	eo := ip.newObject("exports@" + file)
+	ip.moduleObj[file] = mo
+	ip.exportsObj[file] = eo
+	ip.propSet(mo, "exports").add(value{Obj: eo})
+	ip.envSet(file, "module").add(value{Obj: mo})
+	ip.envSet(file, "exports").add(value{Obj: eo})
+
+	var walk func(stmts []core.Stmt, owner string)
+	walk = func(stmts []core.Stmt, owner string) {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case *core.FuncDef:
+				q := file + ":" + st.Name
+				if _, dup := ip.funcs[q]; !dup {
+					ip.funcs[q] = &FuncInfo{Def: st, File: file, QName: q, Owner: owner}
+					ip.order = append(ip.order, q)
+				}
+				fv := value{Fn: q}
+				ip.envSet(file, st.Name).add(fv)
+				if base := baseFnName(st.Name); base != st.Name {
+					ip.envSet(file, base).add(fv)
+				}
+				for i, pn := range st.Params {
+					ip.envSet(file, pn).add(value{Obj: ip.newObject("param@" + q + "#" + itoa(i))})
+				}
+				walk(st.Body, q)
+			case *core.If:
+				walk(st.Then, owner)
+				walk(st.Else, owner)
+			case *core.While:
+				walk(st.Body, owner)
+			case *core.ForIn:
+				walk(st.Body, owner)
+			}
+		}
+	}
+	walk(p.Body, file+":")
+}
+
+// baseFnName strips the normalizer's `$N` duplicate suffix.
+func baseFnName(name string) string {
+	i := strings.LastIndex(name, "$")
+	if i <= 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+func (ip *interp) envSet(file, name string) valSet {
+	k := file + ":" + name
+	s := ip.env[k]
+	if s == nil {
+		s = valSet{}
+		ip.env[k] = s
+	}
+	return s
+}
+
+func (ip *interp) propSet(obj int, prop string) valSet {
+	o := ip.objs[obj]
+	s := o.props[prop]
+	if s == nil {
+		s = valSet{}
+		o.props[prop] = s
+	}
+	return s
+}
+
+func (ip *interp) envAdd(file, name string, vs valSet) {
+	if len(vs) == 0 {
+		return
+	}
+	dst := ip.envSet(file, name)
+	for v := range vs {
+		if dst.add(v) {
+			ip.changed = true
+		}
+	}
+}
+
+// eval resolves an expression to its abstract values. Unbound
+// variables are lazily materialized as per-file global objects, the
+// same way the analyzer's store lazily allocates nodes for them.
+func (ip *interp) eval(file string, e core.Expr) valSet {
+	v, ok := e.(core.Var)
+	if !ok {
+		return nil
+	}
+	k := file + ":" + v.Name
+	if s, ok := ip.env[k]; ok && len(s) > 0 {
+		return s
+	}
+	s := ip.envSet(file, v.Name)
+	if s.add(value{Obj: ip.newObject("global@" + k)}) {
+		ip.changed = true
+	}
+	return s
+}
+
+// funcObj returns the property object of a function value (functions
+// are objects too: `module.exports = f; f.helper = g`).
+func (ip *interp) funcObj(qname string) int {
+	return ip.newObject("fnprops@" + qname)
+}
+
+// lookup models `x := obj.p` over one abstract value, including the
+// analyzer's lazy property materialization.
+func (ip *interp) lookup(v value, prop string, out valSet) {
+	obj := v.Obj
+	if v.Fn != "" {
+		obj = ip.funcObj(v.Fn)
+	}
+	ps := ip.propSet(obj, prop)
+	if len(ps) == 0 {
+		ps.add(value{Obj: ip.newObject("prop@" + itoa(obj) + "." + prop)})
+	}
+	for pv := range ps {
+		out.add(pv)
+	}
+	for pv := range ip.objs[obj].dyn {
+		out.add(pv)
+	}
+}
+
+// allProps collects every named and dynamic property value of v.
+func (ip *interp) allProps(v value, out valSet) {
+	obj := v.Obj
+	if v.Fn != "" {
+		obj = ip.funcObj(v.Fn)
+	}
+	for _, ps := range ip.objs[obj].props {
+		for pv := range ps {
+			out.add(pv)
+		}
+	}
+	for pv := range ip.objs[obj].dyn {
+		out.add(pv)
+	}
+}
+
+func (ip *interp) storeProp(targets valSet, prop string, vs valSet) {
+	for t := range targets {
+		obj := t.Obj
+		if t.Fn != "" {
+			obj = ip.funcObj(t.Fn)
+		}
+		dst := ip.propSet(obj, prop)
+		for v := range vs {
+			if dst.add(v) {
+				ip.changed = true
+			}
+		}
+	}
+}
+
+func (ip *interp) storeDyn(targets valSet, vs valSet) {
+	for t := range targets {
+		obj := t.Obj
+		if t.Fn != "" {
+			obj = ip.funcObj(t.Fn)
+		}
+		dst := ip.objs[obj].dyn
+		for v := range vs {
+			if dst.add(v) {
+				ip.changed = true
+			}
+		}
+	}
+}
+
+func (ip *interp) addCall(owner, callee string) {
+	m := ip.calls[owner]
+	if m == nil {
+		m = map[string]bool{}
+		ip.calls[owner] = m
+	}
+	if !m[callee] {
+		m[callee] = true
+		ip.changed = true
+	}
+}
+
+func (ip *interp) walkStmts(file, owner string, stmts []core.Stmt) {
+	for _, s := range stmts {
+		if !ip.step() {
+			return
+		}
+		if ln := s.Line(); ln > 0 {
+			ip.ownerOf[lineKey{file, ln}] = owner
+		}
+		switch st := s.(type) {
+		case *core.Assign:
+			ip.envAdd(file, st.X, ip.eval(file, st.E))
+		case *core.BinOp:
+			ip.envSet(file, st.X).add(value{Obj: ip.newObject(siteKey(file, st.Idx))})
+		case *core.UnOp:
+			ip.envSet(file, st.X).add(value{Obj: ip.newObject(siteKey(file, st.Idx))})
+		case *core.NewObj:
+			ip.envSet(file, st.X).add(value{Obj: ip.newObject(siteKey(file, st.Idx))})
+		case *core.Lookup:
+			out := valSet{}
+			for v := range ip.eval(file, st.Obj) {
+				ip.lookup(v, st.Prop, out)
+			}
+			ip.envAdd(file, st.X, out)
+		case *core.DynLookup:
+			out := valSet{}
+			for v := range ip.eval(file, st.Obj) {
+				ip.allProps(v, out)
+			}
+			out.add(value{Obj: ip.newObject(siteKey(file, st.Idx))})
+			ip.envAdd(file, st.X, out)
+		case *core.Update:
+			ip.storeProp(ip.eval(file, st.Obj), st.Prop, ip.eval(file, st.Val))
+		case *core.DynUpdate:
+			ip.storeDyn(ip.eval(file, st.Obj), ip.eval(file, st.Val))
+		case *core.Call:
+			ip.call(file, owner, st)
+		case *core.FuncDef:
+			ip.walkStmts(file, file+":"+st.Name, st.Body)
+		case *core.If:
+			ip.walkStmts(file, owner, st.Then)
+			ip.walkStmts(file, owner, st.Else)
+		case *core.While:
+			ip.walkStmts(file, owner, st.Body)
+		case *core.ForIn:
+			// Loop keys are strings/fresh values; the analyzer wires
+			// them with dependency edges only, which neither export
+			// marking nor call resolution can see.
+			ip.envSet(file, st.Key).add(value{Obj: ip.newObject(siteKey(file, st.Idx))})
+			ip.walkStmts(file, owner, st.Body)
+		case *core.Return:
+			// Return values reach callers through dependency edges
+			// only (the call result is the call node itself), so they
+			// carry no export evidence and no call resolution.
+		}
+		if ip.aborted {
+			return
+		}
+	}
+}
+
+func siteKey(file string, idx int) string { return "site@" + file + "#" + itoa(idx) }
+
+// call models one call site, mirroring the analyzer's order: require
+// resolution, builtin models, then summary linking with the callback
+// escape for unresolved callees.
+func (ip *interp) call(file, owner string, st *core.Call) {
+	resultObj := func() valSet {
+		s := valSet{}
+		s.add(value{Obj: ip.newObject(siteKey(file, st.Idx))})
+		return s
+	}
+
+	if st.CalleeName == "require" && len(st.Args) == 1 && !st.IsNew {
+		if lit, ok := st.Args[0].(core.Lit); ok && lit.Kind == core.LitString {
+			if target, ok := ip.resolveModule(file, lit.Value); ok {
+				out := valSet{}
+				for v := range ip.propSet(ip.moduleObj[target], "exports") {
+					out.add(v)
+				}
+				out.add(value{Obj: ip.exportsObj[target]})
+				ip.envAdd(file, st.X, out)
+				return
+			}
+		}
+		// External module: an opaque object (lazy props track member
+		// reads like require('fs').readFile).
+		ip.envAdd(file, st.X, resultObj())
+		return
+	}
+
+	if ip.builtin(file, st) {
+		return
+	}
+
+	callees := ip.eval(file, st.Callee)
+	resolved := false
+	for v := range callees {
+		if v.Fn != "" {
+			resolved = true
+			ip.addCall(owner, v.Fn)
+		}
+	}
+	if !resolved {
+		// The analyzer's callback heuristic: function-valued arguments
+		// of an unresolvable callee may be invoked with tainted data.
+		for _, arg := range st.Args {
+			for v := range ip.eval(file, arg) {
+				if v.Fn != "" && !ip.escaped[v.Fn] {
+					ip.escaped[v.Fn] = true
+					ip.changed = true
+				}
+			}
+		}
+	}
+	ip.envAdd(file, st.X, resultObj())
+}
+
+// builtin mirrors analysis.builtinCall's models: property-merging
+// builtins move values between objects without escaping arguments.
+func (ip *interp) builtin(file string, st *core.Call) bool {
+	name := st.CalleeName
+	switch {
+	case name == "Object.assign":
+		if len(st.Args) == 0 {
+			return false
+		}
+		targets := ip.eval(file, st.Args[0])
+		merged := valSet{}
+		for _, src := range st.Args[1:] {
+			for v := range ip.eval(file, src) {
+				ip.allProps(v, merged)
+			}
+		}
+		ip.storeDyn(targets, merged)
+		ip.envAdd(file, st.X, targets)
+		return true
+	case name == "JSON.parse":
+		out := valSet{}
+		out.add(value{Obj: ip.newObject(siteKey(file, st.Idx))})
+		ip.envAdd(file, st.X, out)
+		return true
+	case name == "Object.keys" || name == "Object.values" || name == "Object.entries":
+		res := valSet{}
+		res.add(value{Obj: ip.newObject(siteKey(file, st.Idx))})
+		vals := valSet{}
+		for _, arg := range st.Args {
+			for v := range ip.eval(file, arg) {
+				ip.allProps(v, vals)
+			}
+		}
+		ip.storeDyn(res, vals)
+		ip.envAdd(file, st.X, res)
+		return true
+	case strings.HasSuffix(name, ".push") || strings.HasSuffix(name, ".unshift"):
+		recv := valSet{}
+		if st.This != nil {
+			recv = ip.eval(file, st.This)
+		}
+		elems := valSet{}
+		for _, arg := range st.Args {
+			for v := range ip.eval(file, arg) {
+				elems.add(v)
+			}
+		}
+		ip.storeDyn(recv, elems)
+		out := valSet{}
+		out.add(value{Obj: ip.newObject(siteKey(file, st.Idx))})
+		ip.envAdd(file, st.X, out)
+		return true
+	case strings.HasSuffix(name, ".concat"):
+		res := valSet{}
+		res.add(value{Obj: ip.newObject(siteKey(file, st.Idx))})
+		elems := valSet{}
+		if st.This != nil {
+			for v := range ip.eval(file, st.This) {
+				ip.allProps(v, elems)
+			}
+		}
+		for _, arg := range st.Args {
+			for v := range ip.eval(file, arg) {
+				elems.add(v)
+				ip.allProps(v, elems)
+			}
+		}
+		ip.storeDyn(res, elems)
+		ip.envAdd(file, st.X, res)
+		return true
+	}
+	return false
+}
+
+// resolveModule mirrors analysis.resolveModule: relative specifiers
+// against the requiring file's directory, then a basename fallback.
+func (ip *interp) resolveModule(fromFile, spec string) (string, bool) {
+	if !strings.HasPrefix(spec, "./") && !strings.HasPrefix(spec, "../") {
+		return "", false
+	}
+	target := path.Clean(path.Join(path.Dir(fromFile), spec))
+	for _, c := range []string{target, target + ".js", path.Join(target, "index.js")} {
+		if ip.modules[c] {
+			return c, true
+		}
+	}
+	base := path.Base(target)
+	files := make([]string, 0, len(ip.modules))
+	for f := range ip.modules {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		fb := strings.TrimSuffix(path.Base(f), ".js")
+		if fb == base || fb == strings.TrimSuffix(base, ".js") {
+			return f, true
+		}
+	}
+	return "", false
+}
+
+// ---------------------------------------------------------------------------
+// Export closure, reachability and provenance
+// ---------------------------------------------------------------------------
+
+func (ip *interp) finish(converged bool) *Result {
+	r := &Result{
+		Funcs:     ip.funcs,
+		Order:     ip.order,
+		Calls:     map[string][]string{},
+		Exported:  map[string]bool{},
+		Escaped:   map[string]bool{},
+		Converged: converged,
+		entryName: map[string]string{},
+		ownerOf:   ip.ownerOf,
+		parent:    map[string]string{},
+		rootEntry: map[string]string{},
+		reachable: map[string]bool{},
+	}
+	for q := range ip.escaped {
+		r.Escaped[q] = true
+	}
+	for owner, callees := range ip.calls {
+		out := make([]string, 0, len(callees))
+		for c := range callees {
+			out = append(out, c)
+		}
+		sort.Strings(out)
+		r.Calls[owner] = out
+	}
+
+	if converged {
+		ip.exportClosure(r)
+	}
+	r.Fallback = !converged || len(r.Exported) == 0
+
+	ip.solveReach(r)
+	return r
+}
+
+// exportClosure walks the export surface of every module: the values
+// of module.exports plus the original exports object, through object
+// properties (named and dynamic), stopping at functions — exactly the
+// flows analysis.markExported traverses.
+func (ip *interp) exportClosure(r *Result) {
+	type item struct {
+		v    value
+		name string
+		file string
+	}
+	var queue []item
+	push := func(v value, name, file string) {
+		queue = append(queue, item{v, name, file})
+	}
+	for _, p := range ip.progs {
+		file := p.FileName
+		direct := ip.propSet(ip.moduleObj[file], "exports")
+		for _, v := range sortedVals(direct) {
+			if v.Obj == ip.exportsObj[file] {
+				continue // seeded alias; named "exports" below
+			}
+			if v.Fn != "" {
+				push(v, "module.exports", file)
+			} else {
+				push(v, "exports", file)
+			}
+		}
+		push(value{Obj: ip.exportsObj[file]}, "exports", file)
+	}
+
+	seenObj := map[int]bool{}
+	const maxDepth = 6 // matches the pollution query's version bound; API surfaces are shallow
+	for len(queue) > 0 {
+		if !ip.step() {
+			return
+		}
+		it := queue[0]
+		queue = queue[1:]
+		if it.v.Fn != "" {
+			q := it.v.Fn
+			if !r.Exported[q] {
+				r.Exported[q] = true
+				r.entryName[q] = it.name
+				r.Exports = append(r.Exports, Export{Name: it.name, File: it.file, Func: q})
+			}
+			continue
+		}
+		if seenObj[it.v.Obj] || strings.Count(it.name, ".") > maxDepth {
+			continue
+		}
+		seenObj[it.v.Obj] = true
+		o := ip.objs[it.v.Obj]
+		props := make([]string, 0, len(o.props))
+		for p := range o.props {
+			props = append(props, p)
+		}
+		sort.Strings(props)
+		for _, p := range props {
+			for _, v := range sortedVals(o.props[p]) {
+				push(v, it.name+"."+p, it.file)
+			}
+		}
+		for _, v := range sortedVals(o.dyn) {
+			push(v, it.name+"[*]", it.file)
+		}
+	}
+	sort.Slice(r.Exports, func(i, j int) bool {
+		a, b := r.Exports[i], r.Exports[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Func < b.Func
+	})
+}
+
+func sortedVals(s valSet) []value {
+	out := make([]value, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fn != out[j].Fn {
+			return out[i].Fn < out[j].Fn
+		}
+		return out[i].Obj < out[j].Obj
+	})
+	return out
+}
+
+// solveReach runs the multi-source BFS over the call graph that
+// yields both the reachable set and the provenance tree. Root layers
+// in priority order — exported functions, module top-level code,
+// escaped callbacks, then (under Fallback) every remaining function —
+// so each function's provenance prefers an export-rooted path.
+func (ip *interp) solveReach(r *Result) {
+	var queue []string
+	enqueue := func(q, entry string) {
+		if r.reachable[q] {
+			return
+		}
+		r.reachable[q] = true
+		r.rootEntry[q] = entry
+		queue = append(queue, q)
+	}
+
+	var exported []string
+	for q := range r.Exported {
+		exported = append(exported, q)
+	}
+	sort.Strings(exported)
+	for _, q := range exported {
+		enqueue(q, r.entryName[q])
+	}
+	for _, p := range ip.progs {
+		enqueue(p.FileName+":", "(module)")
+	}
+	var escaped []string
+	for q := range r.Escaped {
+		escaped = append(escaped, q)
+	}
+	sort.Strings(escaped)
+	for _, q := range escaped {
+		enqueue(q, "(callback)")
+	}
+	if r.Fallback {
+		for _, q := range r.Order {
+			enqueue(q, "(fallback)")
+		}
+	}
+
+	for len(queue) > 0 {
+		if !ip.step() {
+			// Budget tripped mid-closure: degrade to keep-everything so
+			// the caller never prunes on a half-computed graph.
+			r.Fallback = true
+			for _, q := range r.Order {
+				enqueue(q, "(fallback)")
+				queue = nil
+			}
+			for _, q := range r.Order {
+				r.reachable[q] = true
+			}
+			return
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		for _, callee := range r.Calls[cur] {
+			if !r.reachable[callee] {
+				r.reachable[callee] = true
+				r.parent[callee] = cur
+				r.rootEntry[callee] = r.rootEntry[cur]
+				queue = append(queue, callee)
+			}
+		}
+	}
+}

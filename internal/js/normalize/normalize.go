@@ -29,6 +29,7 @@ func Normalize(prog *ast.Program, fileName string) *core.Program {
 func NormalizeBudget(prog *ast.Program, fileName string, b *budget.Budget) *core.Program {
 	n := &normalizer{bud: b}
 	var body []core.Stmt
+	//lint:allow budgetloop -- n.stmt consults the budget per statement
 	for _, s := range prog.Body {
 		n.stmt(s, &body)
 	}
@@ -94,7 +95,7 @@ func (n *normalizer) metaNoIdx(node ast.Node) core.Meta {
 
 func (n *normalizer) stmt(s ast.Stmt, out *[]core.Stmt) {
 	if err := n.bud.Step(); err != nil {
-		panic(err) // unwound by budget.Guard, classification intact
+		panic(err) //lint:allow nakedpanic -- unwound by budget.Guard, classification intact
 	}
 	switch st := s.(type) {
 	case *ast.VarDecl:

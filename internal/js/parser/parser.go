@@ -81,6 +81,7 @@ func ParseBudget(src string, b *budget.Budget) (*ast.Program, error) {
 	}
 	p := &parser{toks: toks, bud: b}
 	prog := &ast.Program{Base: ast.Base{P: token.Pos{Line: 1, Column: 1}}}
+	//lint:allow budgetloop -- parseStmt consults the budget per token via p.budErr
 	for !p.at(token.EOF) && p.err == nil && p.budErr == nil {
 		s := p.parseStmt()
 		if s != nil {

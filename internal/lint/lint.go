@@ -1,0 +1,409 @@
+// Package lint implements the repo-invariant checks enforced by
+// cmd/graphjslint. The checks encode conventions the scanner's fault
+// containment depends on but the compiler cannot see:
+//
+//   - nakedpanic: library code under internal/ must not panic outside a
+//     budget.Guard fence. Guards are dynamic, so every deliberate panic
+//     site must carry a //lint:allow nakedpanic waiver stating which
+//     fence recovers it.
+//   - budgetloop: a function that receives a *budget.Budget must
+//     consult it inside every loop — otherwise the cooperative
+//     deadline/step accounting the fault-containment layer relies on
+//     has a blind spot exactly where the work happens.
+//   - fragmutate: mdg.Fragment snapshots are immutable once cached by
+//     the incremental scanner. Fragment fields may only be written in
+//     the function that constructs the fragment (&Fragment{...});
+//     any later field write is cache corruption.
+//
+// The analyzers are plain go/ast walks (no go/analysis dependency) so
+// the lint suite builds with the standard library alone. A finding is
+// suppressed by a `//lint:allow <check> -- reason` comment on the same
+// line or the line directly above the flagged statement.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one invariant violation.
+type Finding struct {
+	File  string
+	Line  int
+	Check string
+	Msg   string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Check, f.Msg)
+}
+
+// Dirs lints every non-test .go file under the given roots and returns
+// the findings sorted by file and line.
+func Dirs(roots ...string) ([]Finding, error) {
+	var out []Finding
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			fs, err := File(path, nil)
+			if err != nil {
+				return err
+			}
+			out = append(out, fs...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out, nil
+}
+
+// File lints a single file. src may be nil (read from disk) or the
+// file's contents (used by tests). Which checks run depends on the
+// path: nakedpanic and budgetloop apply to internal/* library code,
+// fragmutate applies everywhere Fragment values are manipulated.
+func File(path string, src any) ([]Finding, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	l := &linter{
+		fset:     fset,
+		path:     filepath.ToSlash(path),
+		allow:    allowedLines(fset, file),
+		internal: strings.Contains(filepath.ToSlash(path), "internal/"),
+	}
+	if l.internal {
+		l.nakedPanic(file)
+		if !strings.Contains(l.path, "internal/budget/") {
+			l.budgetLoop(file)
+		}
+	}
+	l.fragMutate(file)
+	return l.out, nil
+}
+
+type linter struct {
+	fset     *token.FileSet
+	path     string
+	allow    map[int]map[string]bool
+	internal bool
+	out      []Finding
+}
+
+// allowedLines maps line numbers to the set of checks waived there. A
+// `//lint:allow check1,check2 -- reason` comment waives its own line
+// and the line directly below it, so it works both as a trailing
+// comment and on a line of its own above the statement.
+func allowedLines(fset *token.FileSet, file *ast.File) map[int]map[string]bool {
+	allow := map[int]map[string]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "lint:allow") {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:allow"))
+			if i := strings.Index(rest, "--"); i >= 0 {
+				rest = rest[:i]
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, check := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' }) {
+				for _, ln := range []int{line, line + 1} {
+					if allow[ln] == nil {
+						allow[ln] = map[string]bool{}
+					}
+					allow[ln][check] = true
+				}
+			}
+		}
+	}
+	return allow
+}
+
+func (l *linter) report(pos token.Pos, check, msg string) {
+	line := l.fset.Position(pos).Line
+	if l.allow[line][check] {
+		return
+	}
+	l.out = append(l.out, Finding{File: l.path, Line: line, Check: check, Msg: msg})
+}
+
+// nakedPanic flags every panic(...) call. Library code must return
+// classified errors; deliberate panics (fault injection, internal
+// invariants recovered by a Guard fence) carry explicit waivers naming
+// the fence that catches them.
+func (l *linter) nakedPanic(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			l.report(call.Pos(), "nakedpanic",
+				"panic in library code outside a Guard fence; return a classified error or waive with the recovering fence")
+		}
+		return true
+	})
+}
+
+// budgetLoop flags loops in budget-carrying functions that never
+// consult the budget. A function "carries" a budget when it has a
+// *budget.Budget parameter; a loop "consults" it when the parameter
+// identifier appears anywhere in the loop body (a method call, or
+// passing it to a callee that checks). Only the outermost
+// non-consulting loop is flagged — fixing it covers its children.
+func (l *linter) budgetLoop(file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		buds := budgetParams(fn)
+		if len(buds) == 0 {
+			continue
+		}
+		l.checkLoops(fn.Body, fn.Name.Name, buds)
+	}
+}
+
+// budgetParams returns the names of *budget.Budget parameters.
+func budgetParams(fn *ast.FuncDecl) map[string]bool {
+	buds := map[string]bool{}
+	if fn.Type.Params == nil {
+		return buds
+	}
+	for _, field := range fn.Type.Params.List {
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := star.X.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Budget" {
+			continue
+		}
+		if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "budget" {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				buds[name.Name] = true
+			}
+		}
+	}
+	return buds
+}
+
+// checkLoops walks n flagging loops whose subtree never mentions a
+// budget identifier. Descent stops at the first flagged loop and at
+// function literals (which do not inherit the parameter obligation).
+func (l *linter) checkLoops(n ast.Node, fname string, buds map[string]bool) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch loop := node.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			if mentionsAny(loop, buds) {
+				return true // cooperative; inner loops judged on their own
+			}
+			l.report(loop.Pos(), "budgetloop",
+				fmt.Sprintf("loop in %s never consults budget parameter; add a Step/CheckDeadline call or thread the budget through", fname))
+			return false
+		}
+		return true
+	})
+}
+
+func mentionsAny(n ast.Node, names map[string]bool) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := node.(*ast.Ident); ok && names[id.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// fragMutate flags writes to fields of mdg.Fragment values outside the
+// function that constructs them. Fragment identifiers are method
+// receivers, parameters typed *Fragment / []*Fragment (or the
+// mdg-qualified forms), and range variables drawn from those slices.
+// An identifier assigned a &Fragment{...} composite literal in the
+// same function is under construction and exempt.
+func (l *linter) fragMutate(file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		frags := fragmentIdents(fn)
+		if len(frags) == 0 {
+			continue
+		}
+		constructed := constructedIdents(fn.Body)
+		ast.Inspect(fn.Body, func(node ast.Node) bool {
+			asg, ok := node.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range asg.Lhs {
+				root, isField := rootIdent(lhs)
+				if root == nil || !isField {
+					continue
+				}
+				if frags[root.Name] && !constructed[root.Name] {
+					l.report(asg.Pos(), "fragmutate",
+						fmt.Sprintf("write to field of cached Fragment %q in %s; fragments are immutable after SnapshotFragment", root.Name, fn.Name.Name))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fragmentIdents collects names bound to Fragment values in fn's
+// signature and range statements over Fragment slices.
+func fragmentIdents(fn *ast.FuncDecl) map[string]bool {
+	frags := map[string]bool{}
+	collect := func(list *ast.FieldList) {
+		if list == nil {
+			return
+		}
+		for _, field := range list.List {
+			if !isFragmentType(field.Type) {
+				continue
+			}
+			for _, name := range field.Names {
+				if name.Name != "_" {
+					frags[name.Name] = true
+				}
+			}
+		}
+	}
+	collect(fn.Recv)
+	collect(fn.Type.Params)
+	if len(frags) == 0 {
+		return frags
+	}
+	// Range variables over Fragment-typed slices inherit the marking.
+	ast.Inspect(fn.Body, func(node ast.Node) bool {
+		rng, ok := node.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		src, _ := rootIdent(rng.X)
+		if src == nil || !frags[src.Name] {
+			return true
+		}
+		if id, ok := rng.Value.(*ast.Ident); ok && id.Name != "_" {
+			frags[id.Name] = true
+		}
+		return true
+	})
+	return frags
+}
+
+// isFragmentType matches Fragment, *Fragment, []*Fragment, ...*Fragment
+// and their mdg-qualified spellings.
+func isFragmentType(t ast.Expr) bool {
+	switch tt := t.(type) {
+	case *ast.StarExpr:
+		return isFragmentType(tt.X)
+	case *ast.ArrayType:
+		return isFragmentType(tt.Elt)
+	case *ast.Ellipsis:
+		return isFragmentType(tt.Elt)
+	case *ast.Ident:
+		return tt.Name == "Fragment"
+	case *ast.SelectorExpr:
+		pkg, ok := tt.X.(*ast.Ident)
+		return ok && pkg.Name == "mdg" && tt.Sel.Name == "Fragment"
+	}
+	return false
+}
+
+// constructedIdents returns names assigned a &Fragment{...} (or
+// Fragment{...}) composite literal anywhere in body.
+func constructedIdents(body *ast.BlockStmt) map[string]bool {
+	made := map[string]bool{}
+	ast.Inspect(body, func(node ast.Node) bool {
+		asg, ok := node.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			if i >= len(asg.Lhs) {
+				break
+			}
+			expr := rhs
+			if un, ok := expr.(*ast.UnaryExpr); ok && un.Op == token.AND {
+				expr = un.X
+			}
+			lit, ok := expr.(*ast.CompositeLit)
+			if !ok || !isFragmentType(lit.Type) {
+				continue
+			}
+			if id, ok := asg.Lhs[i].(*ast.Ident); ok {
+				made[id.Name] = true
+			}
+		}
+		return true
+	})
+	return made
+}
+
+// rootIdent walks selector/index chains to the base identifier and
+// reports whether the expression actually dereferences into it (a bare
+// identifier on the LHS is a rebind, not a field write).
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	field := false
+	for {
+		switch ee := e.(type) {
+		case *ast.Ident:
+			return ee, field
+		case *ast.SelectorExpr:
+			e = ee.X
+			field = true
+		case *ast.IndexExpr:
+			e = ee.X
+			field = true
+		case *ast.StarExpr:
+			e = ee.X
+		case *ast.ParenExpr:
+			e = ee.X
+		default:
+			return nil, false
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func findings(t *testing.T, path, src string) []Finding {
+	t.Helper()
+	fs, err := File(path, src)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	return fs
+}
+
+func checks(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Check)
+	}
+	return out
+}
+
+func TestNakedPanicFlagged(t *testing.T) {
+	src := `package x
+func f() { panic("boom") }
+`
+	fs := findings(t, "internal/x/x.go", src)
+	if len(fs) != 1 || fs[0].Check != "nakedpanic" || fs[0].Line != 2 {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestNakedPanicWaived(t *testing.T) {
+	src := `package x
+func f() {
+	panic("boom") //lint:allow nakedpanic -- recovered by the phase guard
+}
+func g() {
+	//lint:allow nakedpanic -- recovered by the phase guard
+	panic("boom")
+}
+`
+	if fs := findings(t, "internal/x/x.go", src); len(fs) != 0 {
+		t.Fatalf("waived panics still flagged: %v", fs)
+	}
+}
+
+func TestPanicOutsideInternalIgnored(t *testing.T) {
+	src := `package main
+func main() { panic("cli") }
+`
+	if fs := findings(t, "cmd/x/main.go", src); len(fs) != 0 {
+		t.Fatalf("cmd panics are not library panics: %v", fs)
+	}
+}
+
+func TestBudgetLoopFlagged(t *testing.T) {
+	src := `package x
+import "repro/internal/budget"
+func f(items []int, b *budget.Budget) {
+	for range items {
+	}
+}
+`
+	fs := findings(t, "internal/x/x.go", src)
+	if len(fs) != 1 || fs[0].Check != "budgetloop" {
+		t.Fatalf("findings = %v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "f never consults") {
+		t.Fatalf("msg = %q", fs[0].Msg)
+	}
+}
+
+func TestBudgetLoopConsultedNotFlagged(t *testing.T) {
+	src := `package x
+import "repro/internal/budget"
+func f(items []int, b *budget.Budget) {
+	for range items {
+		if b.CheckDeadline() != nil {
+			return
+		}
+		for range items { // inner loop judged on its own
+		}
+	}
+}
+`
+	fs := findings(t, "internal/x/x.go", src)
+	if len(fs) != 1 || fs[0].Line != 8 {
+		t.Fatalf("want only the inner loop flagged: %v", fs)
+	}
+}
+
+func TestBudgetLoopNoParamNoObligation(t *testing.T) {
+	src := `package x
+func f(items []int) {
+	for range items {
+	}
+}
+`
+	if fs := findings(t, "internal/x/x.go", src); len(fs) != 0 {
+		t.Fatalf("no budget param means no obligation: %v", fs)
+	}
+}
+
+func TestBudgetLoopFuncLitExempt(t *testing.T) {
+	src := `package x
+import "repro/internal/budget"
+func f(items []int, b *budget.Budget) {
+	_ = b.Err()
+	g := func() {
+		for range items {
+		}
+	}
+	g()
+}
+`
+	if fs := findings(t, "internal/x/x.go", src); len(fs) != 0 {
+		t.Fatalf("function literals do not inherit the obligation: %v", fs)
+	}
+}
+
+func TestFragMutateFlagged(t *testing.T) {
+	src := `package mdg
+type Fragment struct{ nodes []int }
+func grow(f *Fragment) {
+	f.nodes = append(f.nodes, 1)
+}
+func (f *Fragment) reset() {
+	f.nodes = nil
+}
+`
+	fs := findings(t, "internal/mdg/x.go", src)
+	if len(fs) != 2 {
+		t.Fatalf("findings = %v", fs)
+	}
+	for _, f := range fs {
+		if f.Check != "fragmutate" {
+			t.Fatalf("check = %q", f.Check)
+		}
+	}
+}
+
+func TestFragMutateConstructionExempt(t *testing.T) {
+	src := `package mdg
+type Fragment struct{ nodes []int }
+func snapshot(src []int) *Fragment {
+	f := &Fragment{}
+	for _, n := range src {
+		f.nodes = append(f.nodes, n)
+	}
+	return f
+}
+`
+	if fs := findings(t, "internal/mdg/x.go", src); len(fs) != 0 {
+		t.Fatalf("construction writes are exempt: %v", fs)
+	}
+}
+
+func TestFragMutateRangeVarAndQualified(t *testing.T) {
+	src := `package scanner
+import "repro/internal/mdg"
+func stomp(frags []*mdg.Fragment) {
+	for _, f := range frags {
+		f.Loc = 0
+	}
+}
+`
+	fs := findings(t, "internal/scanner/x.go", src)
+	if len(fs) != 1 || fs[0].Check != "fragmutate" {
+		t.Fatalf("findings = %v", fs)
+	}
+}
+
+func TestFragMutateRebindNotFlagged(t *testing.T) {
+	src := `package scanner
+import "repro/internal/mdg"
+func swap(f *mdg.Fragment, g *mdg.Fragment) *mdg.Fragment {
+	f = g // pointer rebind, not a field write
+	return f
+}
+`
+	if fs := findings(t, "internal/scanner/x.go", src); len(fs) != 0 {
+		t.Fatalf("rebinds are not mutations: %v", fs)
+	}
+}
+
+// TestRepoIsClean pins the repo-wide invariant the Makefile enforces:
+// the tree this test ships in must lint clean.
+func TestRepoIsClean(t *testing.T) {
+	fs, err := Dirs("../../internal", "../../cmd")
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	for _, f := range fs {
+		t.Errorf("%s", f)
+	}
+}

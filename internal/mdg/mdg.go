@@ -284,7 +284,7 @@ func (g *Graph) AddEdge(e Edge) bool {
 		// Internal invariant (callers only wire locations they
 		// allocated); a violation is an analyzer bug, recovered at the
 		// scanner's phase guard rather than killing the sweep.
-		panic(fmt.Sprintf("mdg: edge %v references unknown node", e))
+		panic(fmt.Sprintf("mdg: edge %v references unknown node", e)) //lint:allow nakedpanic -- graph invariant; recovered at the scanner's phase guard
 	}
 	g.bud.AddEdge()
 	g.edgeSet[e] = struct{}{}

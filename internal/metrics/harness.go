@@ -3,6 +3,8 @@ package metrics
 import (
 	"runtime"
 	"runtime/debug"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -144,8 +146,12 @@ func graphjsResult(p *dataset.Package, rep *scanner.Report) PackageResult {
 		LoC:               rep.LoC,
 		QueryEngineTime:   rep.QueryEngineTime,
 		NativeTime:        rep.NativeTime,
+		FuncsTotal:        rep.FuncsTotal,
 		FuncsPruned:       rep.FuncsPruned,
 		SkippedByReach:    rep.SkippedByReach,
+		ExportCount:       rep.ExportCount,
+		ReachFallback:     rep.ReachFallback,
+		ProvenanceDepth:   rep.ProvenanceDepth,
 		TruncatedSearches: rep.TruncatedSearches,
 	}
 }
@@ -177,8 +183,51 @@ func odgenResult(p *dataset.Package, rep *odgen.Report) PackageResult {
 func SweepGraphJS(c *dataset.Corpus, opts scanner.Options) *Sweep {
 	return fillPackages(runCorpus(len(c.Packages), opts.Workers, func(i int) PackageResult {
 		p := c.Packages[i]
-		return graphjsResult(p, scanner.ScanSource(p.Source, p.Name, opts))
+		return graphjsResult(p, scanPackage(p, opts))
 	}), c)
+}
+
+// scanPackage scans one dataset package: single-file packages through
+// ScanSource, multi-file packages (re-export templates with Extra
+// modules) through ScanFiles with the main file as index.js.
+func scanPackage(p *dataset.Package, opts scanner.Options) *scanner.Report {
+	if len(p.Extra) == 0 {
+		return scanner.ScanSource(p.Source, p.Name, opts)
+	}
+	files := packageFiles(p)
+	return scanner.ScanFiles(files, p.Name, opts)
+}
+
+// packageFiles renders a multi-file package as a sorted SourceFile
+// set (ScanFiles requires sorted Rel order).
+func packageFiles(p *dataset.Package) []scanner.SourceFile {
+	files := []scanner.SourceFile{{Rel: "index.js", Src: p.Source}}
+	rels := make([]string, 0, len(p.Extra))
+	for rel := range p.Extra {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		files = append(files, scanner.SourceFile{Rel: rel, Src: p.Extra[rel]})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].Rel < files[j].Rel })
+	return files
+}
+
+// packageContent is the content string hashed for journal resume keys;
+// it covers every file of the package.
+func packageContent(p *dataset.Package) string {
+	if len(p.Extra) == 0 {
+		return p.Source
+	}
+	var sb strings.Builder
+	for _, f := range packageFiles(p) {
+		sb.WriteString(f.Rel)
+		sb.WriteByte(0)
+		sb.WriteString(f.Src)
+		sb.WriteByte(0)
+	}
+	return sb.String()
 }
 
 // SweepGraphJSIncremental is SweepGraphJS with per-package incremental
@@ -191,7 +240,7 @@ func SweepGraphJSIncremental(c *dataset.Corpus, opts scanner.Options, pool *scan
 		p := c.Packages[i]
 		o := opts
 		o.Incremental = pool.Get(p.Name)
-		return graphjsResult(p, scanner.ScanSource(p.Source, p.Name, o))
+		return graphjsResult(p, scanPackage(p, o))
 	}), c)
 }
 

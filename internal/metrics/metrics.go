@@ -102,10 +102,18 @@ type PackageResult struct {
 	// Per-engine detection timings. QueryEngineTime and NativeTime
 	// are each non-zero only when the corresponding backend ran
 	// (both do under the differential engine).
-	QueryEngineTime   time.Duration
-	NativeTime        time.Duration
+	QueryEngineTime time.Duration
+	NativeTime      time.Duration
+	// Export-graph gate counters: function totals and pruning, the
+	// resolved API-surface size, whether the gate fell back to the
+	// every-function attack model, and the deepest call-hop provenance
+	// chain attached to a finding.
+	FuncsTotal        int
 	FuncsPruned       int
 	SkippedByReach    bool
+	ExportCount       int
+	ReachFallback     bool
+	ProvenanceDepth   int
 	TruncatedSearches int
 }
 
@@ -253,8 +261,20 @@ type EngineAverage struct {
 	Native         time.Duration // avg native-backend detection time
 	Packages       int           // packages contributing to the averages
 	SkippedByReach int           // packages the reach gate skipped entirely
+	FuncsTotal     int           // total functions defined across the run
 	FuncsPruned    int           // total functions pruned across the run
+	Exports        int           // total resolved API-surface entries
+	ReachFallbacks int           // packages scanned under the fallback attack model
+	MaxProvDepth   int           // deepest finding provenance chain seen
 	Truncated      int           // total hop-bound-truncated searches
+}
+
+// PrunedRate is the fraction of defined functions the gate pruned.
+func (e EngineAverage) PrunedRate() float64 {
+	if e.FuncsTotal == 0 {
+		return 0
+	}
+	return float64(e.FuncsPruned) / float64(e.FuncsTotal)
 }
 
 // EngineAverages summarizes the per-engine timing columns recorded by
@@ -265,8 +285,16 @@ func EngineAverages(results []PackageResult) EngineAverage {
 	var out EngineAverage
 	var timed int
 	for _, r := range results {
+		out.FuncsTotal += r.FuncsTotal
 		out.FuncsPruned += r.FuncsPruned
+		out.Exports += r.ExportCount
 		out.Truncated += r.TruncatedSearches
+		if r.ReachFallback {
+			out.ReachFallbacks++
+		}
+		if r.ProvenanceDepth > out.MaxProvDepth {
+			out.MaxProvDepth = r.ProvenanceDepth
+		}
 		if r.SkippedByReach {
 			out.SkippedByReach++
 			continue

@@ -340,7 +340,7 @@ func SuperviseGraphJS(c *dataset.Corpus, opts scanner.Options, sup SuperviseOpti
 		if engine == "" {
 			engine = scanner.EngineQuery
 		}
-		return graphjsResult(p, scanner.ScanSource(p.Source, p.Name, o)), string(engine)
+		return graphjsResult(p, scanPackage(p, o)), string(engine)
 	}
 	return supervise(c, opts.Workers, fp, ladder, sup, nil, run)
 }
@@ -457,7 +457,7 @@ func supervise(c *dataset.Corpus, workers int, fp string, ladder []rung, sup Sup
 	run func(p *dataset.Package, r rung, attempt, transientRetries int) (PackageResult, string)) (*Sweep, *SuperviseStats, error) {
 
 	if hash == nil {
-		hash = func(p *dataset.Package) string { return sweepjournal.ContentHash(p.Source) }
+		hash = func(p *dataset.Package) string { return sweepjournal.ContentHash(packageContent(p)) }
 	}
 	stats := &SuperviseStats{Entries: make([]sweepjournal.Entry, len(c.Packages))}
 	prior := map[string]sweepjournal.Entry{}

@@ -139,12 +139,12 @@ func (ip *interp) tick() {
 	if ip.steps > ip.budget {
 		ip.timeout = true
 		ip.failure = budget.ClassBudget
-		panic(timeoutSignal{})
+		panic(timeoutSignal{}) //lint:allow nakedpanic -- timeoutSignal is recovered by the run fence below
 	}
 	if !ip.deadline.IsZero() && ip.steps%256 == 0 && !time.Now().Before(ip.deadline) {
 		ip.timeout = true
 		ip.failure = budget.ClassTimeout
-		panic(timeoutSignal{})
+		panic(timeoutSignal{}) //lint:allow nakedpanic -- timeoutSignal is recovered by the run fence below
 	}
 }
 
@@ -243,7 +243,7 @@ func Scan(src, name string, opts Options) *Report {
 					if _, ok := r.(timeoutSignal); ok {
 						return
 					}
-					panic(r)
+					panic(r) //lint:allow nakedpanic -- re-raises foreign panics for the scanner's phase guard
 				}
 			}()
 			ip.run(nprog)

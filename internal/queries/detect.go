@@ -10,6 +10,31 @@ import (
 	"repro/internal/mdg"
 )
 
+// Provenance records how a finding's sink is reachable from the
+// package's API surface: the entry point (an export API name like
+// "exports.run", or one of the markers "(module)" for top-level code,
+// "(callback)" for escaped callbacks, "(fallback)" when the gate ran
+// the every-function attack model, "(unresolved)" when no path was
+// found) and the call-hop chain of file-qualified function names from
+// the entry function down to the function owning the sink.
+//
+// Provenance is diagnostic metadata: it is excluded from finding
+// identity (sorting, differential comparison, deduplication).
+type Provenance struct {
+	Entry    string
+	Hops     []string
+	Fallback bool
+}
+
+// String renders the provenance as "entry → hop → … → hop".
+func (p Provenance) String() string {
+	out := p.Entry
+	for _, h := range p.Hops {
+		out += " → " + h
+	}
+	return out
+}
+
 // Finding is one reported potential vulnerability.
 type Finding struct {
 	CWE      CWE
@@ -19,6 +44,10 @@ type Finding struct {
 	Source   string // name of the tainted source parameter
 	// Path is a witness node sequence from the source to the sink.
 	Path []graphdb.NodeID
+	// Provenance says how the sink is reachable from the exported API
+	// (filled by the scanner's reach gate; zero when the gate did not
+	// run, e.g. direct engine use in tests).
+	Provenance Provenance
 }
 
 // String renders the finding for reports.

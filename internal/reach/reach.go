@@ -1,4 +1,4 @@
-// Package reach is a call-graph reachability pre-pass over Core
+// Package reach is the scanner's reachability gate over Core
 // JavaScript, in the spirit of SōjiTantei's reachability analysis for
 // npm packages: it computes which functions are reachable from the
 // package's exported API surface so the scanner can skip MDG
@@ -6,39 +6,43 @@
 // code cannot produce a finding, and report pruned-function counts
 // otherwise.
 //
-// The pass is purely syntactic and errs on the side of keeping
-// functions. Roots are the top-level code plus every function whose
-// name is referenced in a value position anywhere (address-taken
-// functions cover both exported functions — every export flow starts
-// with such a reference — and callbacks passed to unresolved callees).
-// When the program shows no evidence of a module API (no
-// reference to any function, or no function at all flowing anywhere),
-// the analyzer's fallback attack model treats every function as
-// exported, and this pass mirrors that by treating every function as a
-// root.
+// Roots come from the alias-aware export graph (internal/exports):
+// the functions property-reachable from `module.exports` / `exports`
+// (through local aliases, object-literal methods and require
+// re-export chains), plus top-level code and callbacks escaping to
+// unresolvable callees. Only when that pass finds no export evidence
+// at all — or could not converge within its budget — does the gate
+// fall back to the analyzer's script attack model and treat every
+// function as a root. Function names are uniformly file-qualified as
+// "file:name" for single- and multi-file packages alike ("file:" is
+// top-level code).
 package reach
 
 import (
+	"repro/internal/budget"
 	"repro/internal/core"
+	"repro/internal/exports"
 	"repro/internal/queries"
 )
 
-// Result summarizes the reachability pre-pass for one package.
+// Result summarizes the reachability gate for one package.
 type Result struct {
 	// TotalFuncs and PrunedFuncs count the package's functions and how
 	// many of them are unreachable from the exported API surface.
 	TotalFuncs  int
 	PrunedFuncs int
-	// Reachable holds the reachable function names (qualified with the
-	// file name for multi-file packages).
+	// Reachable holds the reachable function names, uniformly
+	// qualified as "file:name".
 	Reachable map[string]bool
 	// Fallback records that no export evidence was found, so every
 	// function was treated as a root (the analyzer's attack model for
 	// plain scripts).
 	Fallback bool
 
-	// HasSources reports that reachable code can carry taint sources
-	// (a root function with at least one parameter exists).
+	// HasSources reports that reachable code can carry taint sources:
+	// a function whose parameters the analyzer would mark (exported,
+	// escaped to a callback position, or any function under Fallback)
+	// has at least one parameter.
 	HasSources bool
 	// SinkReachable reports that reachable code calls a configured
 	// sink.
@@ -47,6 +51,17 @@ type Result struct {
 	// property write or a literal prototype access — the shapes the
 	// pollution queries match.
 	PollutionPossible bool
+
+	// ExportCount counts resolved API-surface entries; EscapedFuncs
+	// counts callback-escaped root functions. Converged is false when
+	// the export fixpoint was cut short (forcing Fallback).
+	ExportCount  int
+	EscapedFuncs int
+	Converged    bool
+
+	// Exports is the underlying export graph, kept for call-path
+	// provenance resolution.
+	Exports *exports.Result
 }
 
 // CanSkipDetection reports that no detection query can produce a
@@ -56,245 +71,82 @@ func (r *Result) CanSkipDetection() bool {
 	return !r.HasSources || (!r.SinkReachable && !r.PollutionPossible)
 }
 
-// fn is one function with its shallow body (nested function bodies
-// excluded — they are functions of their own).
-type fn struct {
-	def   *core.FuncDef
-	owner string // qualified name of the enclosing function ("" = top level)
-	qname string
-}
-
-// Analyze runs the pre-pass over the (normalized) programs of one
+// Analyze runs the gate over the (normalized) programs of one
 // package. cfg supplies the sink configuration; nil means
 // DefaultConfig.
 func Analyze(progs []*core.Program, cfg *queries.Config) *Result {
+	return AnalyzeBudget(progs, cfg, nil)
+}
+
+// AnalyzeBudget is Analyze with a cooperative budget: the export
+// fixpoint charges steps, and a tripped budget degrades the result to
+// the keep-everything fallback instead of guessing.
+func AnalyzeBudget(progs []*core.Program, cfg *queries.Config, b *budget.Budget) *Result {
 	if cfg == nil {
 		cfg = queries.DefaultConfig()
 	}
-	a := &analyzer{
-		cfg:     cfg,
-		progs:   progs,
-		byQName: map[string]*fn{},
-		byName:  map[string][]*fn{},
-		calls:   map[string]map[string]bool{},
+	exp := exports.Analyze(progs, b)
+	r := &Result{
+		TotalFuncs:   len(exp.Order),
+		Reachable:    map[string]bool{},
+		Fallback:     exp.Fallback,
+		ExportCount:  len(exp.Exports),
+		EscapedFuncs: len(exp.Escaped),
+		Converged:    exp.Converged,
+		Exports:      exp,
 	}
-	for _, p := range progs {
-		a.collect(p)
-	}
-	for _, p := range progs {
-		a.scanRefs(p)
-	}
-	return a.solve()
-}
-
-type analyzer struct {
-	cfg     *queries.Config
-	progs   []*core.Program
-	funcs   []*fn
-	byQName map[string]*fn
-	byName  map[string][]*fn // bare name -> functions (cross-file)
-	calls   map[string]map[string]bool
-	refs    map[string]bool // qualified names referenced in value position
-}
-
-// collect indexes every function with its enclosing owner. Names are
-// qualified as "file:name"; "file:" is the file's top-level scope.
-func (a *analyzer) collect(p *core.Program) {
-	var walk func(stmts []core.Stmt, owner string)
-	walk = func(stmts []core.Stmt, owner string) {
-		for _, s := range stmts {
-			switch st := s.(type) {
-			case *core.FuncDef:
-				q := p.FileName + ":" + st.Name
-				f := &fn{def: st, owner: owner, qname: q}
-				a.funcs = append(a.funcs, f)
-				a.byQName[q] = f
-				a.byName[st.Name] = append(a.byName[st.Name], f)
-				walk(st.Body, q)
-			case *core.If:
-				walk(st.Then, owner)
-				walk(st.Else, owner)
-			case *core.While:
-				walk(st.Body, owner)
-			case *core.ForIn:
-				walk(st.Body, owner)
-			}
-		}
-	}
-	walk(p.Body, p.FileName+":")
-}
-
-// scanRefs records call edges and value-position references.
-func (a *analyzer) scanRefs(p *core.Program) {
-	if a.refs == nil {
-		a.refs = map[string]bool{}
-	}
-	addRef := func(name string) {
-		for _, f := range a.byName[name] {
-			a.refs[f.qname] = true
-		}
-	}
-	addCall := func(owner, callee string) {
-		for _, f := range a.byName[callee] {
-			if a.calls[owner] == nil {
-				a.calls[owner] = map[string]bool{}
-			}
-			a.calls[owner][f.qname] = true
-		}
-	}
-	refExpr := func(e core.Expr) {
-		if v, ok := e.(core.Var); ok {
-			addRef(v.Name)
-		}
-	}
-	var walk func(stmts []core.Stmt, owner string)
-	walk = func(stmts []core.Stmt, owner string) {
-		for _, s := range stmts {
-			switch st := s.(type) {
-			case *core.Assign:
-				refExpr(st.E)
-			case *core.BinOp:
-				refExpr(st.L)
-				refExpr(st.R)
-			case *core.UnOp:
-				refExpr(st.E)
-			case *core.Lookup:
-				refExpr(st.Obj)
-			case *core.DynLookup:
-				refExpr(st.Obj)
-				refExpr(st.Prop)
-			case *core.Update:
-				refExpr(st.Obj)
-				refExpr(st.Val)
-			case *core.DynUpdate:
-				refExpr(st.Obj)
-				refExpr(st.Prop)
-				refExpr(st.Val)
-			case *core.If:
-				refExpr(st.Cond)
-				walk(st.Then, owner)
-				walk(st.Else, owner)
-			case *core.While:
-				refExpr(st.Cond)
-				walk(st.Body, owner)
-			case *core.ForIn:
-				refExpr(st.Obj)
-				walk(st.Body, owner)
-			case *core.Return:
-				if st.E != nil {
-					refExpr(st.E)
-				}
-			case *core.Call:
-				// The callee position is a call edge, not an
-				// address-taken reference; everything else (receiver,
-				// arguments) is a reference — a function passed as an
-				// argument may be invoked by an unresolvable callee
-				// (the analyzer's callback heuristic).
-				addCall(owner, st.CalleeName)
-				if v, ok := st.Callee.(core.Var); ok && v.Name != st.CalleeName {
-					addCall(owner, v.Name)
-				}
-				if st.This != nil {
-					refExpr(st.This)
-				}
-				for _, arg := range st.Args {
-					refExpr(arg)
-				}
-			case *core.FuncDef:
-				q := p.FileName + ":" + st.Name
-				walk(st.Body, q)
-			}
-		}
-	}
-	walk(p.Body, p.FileName+":")
-}
-
-// solve computes the reachable set and scans reachable bodies for
-// detection-relevant operations.
-func (a *analyzer) solve() *Result {
-	r := &Result{TotalFuncs: len(a.funcs), Reachable: map[string]bool{}}
-	r.Fallback = len(a.refs) == 0
-
-	roots := map[string]bool{}
-	for q := range a.byQName {
-		if r.Fallback || a.refs[q] {
-			roots[q] = true
-		}
-	}
-	// Top-level code of every file is always executed.
-	topLevels := map[string]bool{}
-	for _, f := range a.funcs {
-		topLevels[fileOf(f.qname)+":"] = true
-	}
-	for owner := range a.calls {
-		if isTopLevel(owner) {
-			topLevels[owner] = true
-		}
-	}
-
-	// Closure over call edges.
-	var queue []string
-	for q := range roots {
-		r.Reachable[q] = true
-		queue = append(queue, q)
-	}
-	for t := range topLevels {
-		queue = append(queue, t)
-	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for callee := range a.calls[cur] {
-			if !r.Reachable[callee] {
-				r.Reachable[callee] = true
-				queue = append(queue, callee)
-			}
-		}
-	}
-	for _, f := range a.funcs {
-		if !r.Reachable[f.qname] {
+	//lint:allow budgetloop -- O(#functions) map fill, no nested work
+	for _, q := range exp.Order {
+		if exp.Reachable(q) {
+			r.Reachable[q] = true
+		} else {
 			r.PrunedFuncs++
 		}
 	}
 
-	// Source shape: a reachable function with parameters. (Only
-	// exported functions' parameters become sources, and every export
-	// flow references the function, so reachable over-approximates.)
-	for _, f := range a.funcs {
-		if r.Reachable[f.qname] && len(f.def.Params) > 0 {
+	// Source shape: the analyzer marks parameters of exported
+	// functions as sources (every function under fallback), and its
+	// callback heuristic can wire tainted values into escaped
+	// callbacks' parameters.
+	//lint:allow budgetloop -- early-exit flag computation over function list
+	for _, q := range exp.Order {
+		f := exp.Funcs[q]
+		if len(f.Def.Params) == 0 {
+			continue
+		}
+		if r.Fallback || exp.Exported[q] || exp.Escaped[q] {
 			r.HasSources = true
 			break
 		}
 	}
 
 	// Dangerous-operation scan over reachable shallow bodies plus all
-	// top-level code.
-	for _, f := range a.funcs {
-		if r.Reachable[f.qname] {
-			a.scanDanger(f.def.Body, f.qname, r)
+	// top-level code. Deliberately not budget-interruptible: the skip
+	// decision (CanSkipDetection) is only sound when computed from a
+	// complete scan, and an exhausted budget is observed at the next
+	// phase guard anyway.
+	sc := &dangerScanner{cfg: cfg}
+	//lint:allow budgetloop -- must complete or the gate's skip decision is unsound
+	for _, q := range exp.Order {
+		if r.Reachable[q] {
+			sc.scan(exp.Funcs[q].Def.Body, r)
 		}
 	}
-	a.scanTopDanger(r)
+	//lint:allow budgetloop -- must complete or the gate's skip decision is unsound
+	for _, p := range progs {
+		sc.scan(p.Body, r)
+	}
 	return r
 }
 
-func fileOf(qname string) string {
-	for i := len(qname) - 1; i >= 0; i-- {
-		if qname[i] == ':' {
-			return qname[:i]
-		}
-	}
-	return ""
-}
-
-func isTopLevel(qname string) bool {
-	return len(qname) > 0 && qname[len(qname)-1] == ':'
-}
-
-// scanDanger marks sink calls and pollution-shaped statements in one
-// function's shallow body (nested functions are scanned when they are
+// dangerScanner marks sink calls and pollution-shaped statements in
+// shallow bodies (nested functions are scanned when they are
 // themselves reachable).
-func (a *analyzer) scanDanger(stmts []core.Stmt, owner string, r *Result) {
+type dangerScanner struct {
+	cfg *queries.Config
+}
+
+func (a *dangerScanner) scan(stmts []core.Stmt, r *Result) {
 	for _, s := range stmts {
 		switch st := s.(type) {
 		case *core.Call:
@@ -317,20 +169,13 @@ func (a *analyzer) scanDanger(stmts []core.Stmt, owner string, r *Result) {
 				r.PollutionPossible = true
 			}
 		case *core.If:
-			a.scanDanger(st.Then, owner, r)
-			a.scanDanger(st.Else, owner, r)
+			a.scan(st.Then, r)
+			a.scan(st.Else, r)
 		case *core.While:
-			a.scanDanger(st.Body, owner, r)
+			a.scan(st.Body, r)
 		case *core.ForIn:
-			a.scanDanger(st.Body, owner, r)
+			a.scan(st.Body, r)
 		}
-	}
-}
-
-// scanTopDanger scans every file's top-level statements.
-func (a *analyzer) scanTopDanger(r *Result) {
-	for _, p := range a.progs {
-		a.scanDanger(p.Body, p.FileName+":", r)
 	}
 }
 
@@ -340,7 +185,7 @@ func protoProp(p string) bool {
 
 // isSinkCall reports whether the callee matches any configured sink,
 // including the optional require-as-code-injection sink.
-func (a *analyzer) isSinkCall(calleeName string) bool {
+func (a *dangerScanner) isSinkCall(calleeName string) bool {
 	for _, s := range a.cfg.Sinks {
 		if queries.MatchSink(calleeName, s.Name) {
 			return true

@@ -3,6 +3,7 @@ package reach
 import (
 	"testing"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/js/normalize"
 	"repro/internal/queries"
@@ -178,5 +179,117 @@ func TestNilConfig(t *testing.T) {
 	r := Analyze(progs(t, map[string]string{"a.js": "module.exports = 1;"}), nil)
 	if r.TotalFuncs != 0 || !r.CanSkipDetection() {
 		t.Errorf("trivial module: %+v", r)
+	}
+}
+
+// --- export-graph gate: uniform qualification and alias precision ---
+
+func TestUniformFileQualification(t *testing.T) {
+	// Single- and multi-file packages must key Reachable identically:
+	// always "file:name". A same-named function in a second file must
+	// not ride along on the exported one's name.
+	single := analyzeOne(t, `
+function run(c) { return c; }
+module.exports = run;
+`)
+	if !single.Reachable["index.js:run"] {
+		t.Fatalf("single-file keys must be file-qualified: %+v", single.Reachable)
+	}
+	for q := range single.Reachable {
+		if q == "run" {
+			t.Fatal("bare (unqualified) function name leaked into Reachable")
+		}
+	}
+
+	multi := Analyze(progs(t, map[string]string{
+		"index.js": `
+function run(c) { return c; }
+module.exports = run;
+`,
+		"other.js": `
+const { exec } = require('child_process');
+function run(c) { exec(c); }
+`,
+	}), queries.DefaultConfig())
+	if !multi.Reachable["index.js:run"] {
+		t.Fatal("exported index.js:run must be reachable")
+	}
+	if multi.Reachable["other.js:run"] {
+		t.Error("same-named dead function in another file must not inherit reachability")
+	}
+	if multi.PrunedFuncs != 1 {
+		t.Errorf("pruned = %d, want 1 (other.js:run)", multi.PrunedFuncs)
+	}
+}
+
+func TestDeadShadowPrunedByExportGraph(t *testing.T) {
+	// A vulnerable-looking function shadowed by a benign export of a
+	// different function: the by-name gate kept it alive (its name is
+	// referenced), the export graph prunes it.
+	r := analyzeOne(t, `
+const { exec } = require('child_process');
+function attack(c) { exec(c); }
+function safe(x) { return x; }
+var table = { unused: attack };
+module.exports = safe;
+`)
+	if r.Fallback {
+		t.Fatalf("export evidence present: %+v", r)
+	}
+	if r.Reachable["index.js:attack"] {
+		t.Error("attack is stored but never exported nor called; must be pruned")
+	}
+	if r.PrunedFuncs != 1 {
+		t.Errorf("pruned = %d, want 1", r.PrunedFuncs)
+	}
+	if !r.CanSkipDetection() {
+		t.Errorf("benign export with dead sink must be skippable: %+v", r)
+	}
+}
+
+func TestAliasedExportKeepsMethod(t *testing.T) {
+	r := analyzeOne(t, `
+const { exec } = require('child_process');
+function fire(c) { exec(c); }
+var api = module.exports;
+api.fire = fire;
+`)
+	if r.Fallback {
+		t.Fatalf("aliased export must count as evidence: %+v", r)
+	}
+	if !r.Reachable["index.js:fire"] || !r.SinkReachable || r.CanSkipDetection() {
+		t.Errorf("aliased exported sink must keep detection: %+v", r)
+	}
+}
+
+func TestExportCounters(t *testing.T) {
+	r := analyzeOne(t, `
+function a(x) { return x; }
+function b(y) { return y; }
+module.exports = { a: a, b: b };
+`)
+	if r.ExportCount != 2 {
+		t.Errorf("ExportCount = %d, want 2", r.ExportCount)
+	}
+	if !r.Converged {
+		t.Error("tiny package must converge")
+	}
+	if r.Exports == nil {
+		t.Fatal("Result must carry the export graph for provenance")
+	}
+	if r.Exports.EntryName("index.js:a") != "exports.a" {
+		t.Errorf("entry name = %q", r.Exports.EntryName("index.js:a"))
+	}
+}
+
+func TestBudgetAbortKeepsEverything(t *testing.T) {
+	b := budget.New(budget.Limits{MaxSteps: 2})
+	r := AnalyzeBudget(progs(t, map[string]string{"index.js": `
+function a(x) { return x; }
+function dead(y) { return y; }
+module.exports = a;
+`}), queries.DefaultConfig(), b)
+	if !r.Fallback || r.PrunedFuncs != 0 {
+		t.Errorf("budget abort must degrade to keep-everything: %+v", r)
 	}
 }

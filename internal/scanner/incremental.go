@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mdg"
 	"repro/internal/queries"
+	"repro/internal/reach"
 )
 
 // IncrementalStats counts what the incremental state reused and
@@ -261,11 +262,15 @@ func (st *IncrementalState) scan(files []SourceFile, name string, opts Options, 
 	// recomputed from the (cached) lowered programs on every scan
 	// rather than stitched from per-file summaries.
 	skip := false
+	var rr *reach.Result
 	if gerr := budget.Guard("reach-gate", func() error {
-		skip = gateSkips(rep, progs, cfgq, opts)
+		rr, skip = gateSkips(rep, progs, cfgq, opts, b)
 		return nil
 	}); gerr != nil {
-		skip = false
+		setFailure(rep, gerr, budget.ClassPanic)
+		rep.GraphTime = time.Since(start)
+		rep.IncrStats = st.statsPtr()
+		return rep
 	}
 	if skip {
 		rep.GraphTime = time.Since(start)
@@ -432,6 +437,10 @@ func (st *IncrementalState) scan(files []SourceFile, name string, opts Options, 
 		}
 	}
 	rep.Findings = queries.SortFindings(rep.Findings)
+	// Provenance is recomputed from this scan's whole-package gate
+	// result; merge paths append finding copies, so annotating here
+	// can never corrupt cached detection entries.
+	annotateProvenance(rep, rr)
 
 	b.CheckDeadline()
 	if budget.ClassOf(b.Err()) == budget.ClassTimeout {

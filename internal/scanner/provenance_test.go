@@ -1,0 +1,168 @@
+package scanner
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/queries"
+)
+
+// assertProvenance enforces the report-level invariant: every finding
+// carries either a resolved call path (entry + non-empty hop chain) or
+// one of the explicit markers.
+func assertProvenance(t *testing.T, rep *Report) {
+	t.Helper()
+	for _, f := range rep.Findings {
+		p := f.Provenance
+		if p.Entry == "" {
+			t.Errorf("finding %s: empty provenance entry", f)
+			continue
+		}
+		switch p.Entry {
+		case "(unresolved)", "(fallback)":
+			// Explicit markers may carry no hops.
+		default:
+			if len(p.Hops) == 0 {
+				t.Errorf("finding %s: entry %q with empty hop chain", f, p.Entry)
+			}
+		}
+	}
+}
+
+func TestFindingsCarryProvenance(t *testing.T) {
+	rep := ScanSource(gitResetSrc, "git_reset.js", Options{})
+	if rep.Err != nil || len(rep.Findings) == 0 {
+		t.Fatalf("scan unusable: %+v", rep)
+	}
+	assertProvenance(t, rep)
+	for _, f := range rep.Findings {
+		if f.Provenance.Entry != "module.exports" {
+			t.Errorf("finding %s: entry = %q, want module.exports", f, f.Provenance.Entry)
+		}
+		if len(f.Provenance.Hops) != 1 || !strings.HasSuffix(f.Provenance.Hops[0], ":git_reset") {
+			t.Errorf("finding %s: hops = %v", f, f.Provenance.Hops)
+		}
+		if f.Provenance.Fallback {
+			t.Errorf("finding %s: unexpected fallback marker", f)
+		}
+	}
+	if rep.ProvenanceDepth != 1 {
+		t.Errorf("ProvenanceDepth = %d, want 1", rep.ProvenanceDepth)
+	}
+	if rep.ExportCount != 1 {
+		t.Errorf("ExportCount = %d, want 1", rep.ExportCount)
+	}
+}
+
+func TestCallChainProvenanceDepth(t *testing.T) {
+	src := `
+var cp = require('child_process');
+function sinker(c) { cp.exec(c); }
+function mid(y) { sinker(y); }
+function entry(x) { mid(x); }
+module.exports = { fire: entry };
+`
+	rep := ScanSource(src, "chain.js", Options{Engine: EngineNative})
+	if rep.Err != nil {
+		t.Fatalf("err: %v", rep.Err)
+	}
+	assertProvenance(t, rep)
+	for _, f := range rep.Findings {
+		if f.Provenance.Entry != "exports.fire" {
+			t.Errorf("entry = %q", f.Provenance.Entry)
+		}
+		want := []string{"chain.js:entry", "chain.js:mid", "chain.js:sinker"}
+		if len(f.Provenance.Hops) != len(want) {
+			t.Fatalf("hops = %v, want %v", f.Provenance.Hops, want)
+		}
+		for i := range want {
+			if f.Provenance.Hops[i] != want[i] {
+				t.Fatalf("hops = %v, want %v", f.Provenance.Hops, want)
+			}
+		}
+	}
+	if len(rep.Findings) > 0 && rep.ProvenanceDepth != 3 {
+		t.Errorf("ProvenanceDepth = %d, want 3", rep.ProvenanceDepth)
+	}
+}
+
+func TestFallbackProvenanceMarker(t *testing.T) {
+	// No export evidence: the gate runs the fallback attack model and
+	// findings carry the explicit marker instead of a resolved entry.
+	src := `
+var cp = require('child_process');
+function attack(c) { cp.exec(c); }
+`
+	rep := ScanSource(src, "script.js", Options{})
+	if rep.Err != nil {
+		t.Fatalf("err: %v", rep.Err)
+	}
+	if !rep.ReachFallback {
+		t.Fatalf("expected fallback attack model: %+v", rep)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("fallback attack model must still scan the script")
+	}
+	assertProvenance(t, rep)
+	for _, f := range rep.Findings {
+		if !f.Provenance.Fallback {
+			t.Errorf("finding %s: fallback scans must mark provenance Fallback", f)
+		}
+		if f.Provenance.Entry != "(fallback)" {
+			t.Errorf("finding %s: entry = %q, want (fallback)", f, f.Provenance.Entry)
+		}
+	}
+}
+
+func TestUngatedScanCarriesSameProvenance(t *testing.T) {
+	gated := ScanSource(gitResetSrc, "git_reset.js", Options{})
+	ungated := ScanSource(gitResetSrc, "git_reset.js", Options{NoReachGate: true})
+	if gated.Err != nil || ungated.Err != nil {
+		t.Fatalf("scans unusable: %v / %v", gated.Err, ungated.Err)
+	}
+	if len(gated.Findings) != len(ungated.Findings) {
+		t.Fatalf("finding counts differ: %d vs %d", len(gated.Findings), len(ungated.Findings))
+	}
+	for i := range gated.Findings {
+		g, u := gated.Findings[i].Provenance, ungated.Findings[i].Provenance
+		if g.Entry != u.Entry || g.Fallback != u.Fallback || len(g.Hops) != len(u.Hops) {
+			t.Errorf("provenance differs gated vs ungated: %+v vs %+v", g, u)
+		}
+	}
+	if ungated.FuncsTotal == 0 {
+		t.Error("ungated scans must still report gate counters")
+	}
+}
+
+func TestIncrementalProvenance(t *testing.T) {
+	st := NewIncrementalState()
+	opts := Options{Incremental: st}
+	var last *Report
+	for i := 0; i < 2; i++ {
+		last = ScanSource(gitResetSrc, "git_reset.js", opts)
+		if last.Err != nil || len(last.Findings) == 0 {
+			t.Fatalf("scan %d unusable: %+v", i, last)
+		}
+		assertProvenance(t, last)
+	}
+	cold := ScanSource(gitResetSrc, "git_reset.js", Options{})
+	for i := range cold.Findings {
+		c, w := cold.Findings[i].Provenance, last.Findings[i].Provenance
+		if c.Entry != w.Entry || len(c.Hops) != len(w.Hops) {
+			t.Errorf("warm provenance diverged from cold: %+v vs %+v", w, c)
+		}
+	}
+}
+
+func TestTemplateFindingsCarryProvenance(t *testing.T) {
+	g := dataset.NewGenForTest(5)
+	for _, cwe := range queries.AllCWEs {
+		p := dataset.RenderForTest(g, cwe, dataset.ClassPlain)
+		rep := ScanSource(p.Source, p.Name, Options{})
+		if rep.Err != nil {
+			t.Fatalf("%s: %v", p.Name, rep.Err)
+		}
+		assertProvenance(t, rep)
+	}
+}

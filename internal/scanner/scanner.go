@@ -159,6 +159,14 @@ type Report struct {
 	FuncsPruned    int
 	SkippedByReach bool
 
+	// Export-graph gate precision counters: resolved API-surface
+	// entries, whether the gate ran the every-function fallback attack
+	// model, and the deepest call-hop chain attached to any finding's
+	// provenance.
+	ExportCount     int
+	ReachFallback   bool
+	ProvenanceDepth int
+
 	// TruncatedSearches counts taint searches cut short by the
 	// MaxHops bound (silent under-approximation made observable).
 	TruncatedSearches int
@@ -324,20 +332,19 @@ func finishScan(rep *Report, progs []*core.Program, analyze func(analysis.Option
 	cfgq *queries.Config, opts Options, b *budget.Budget, start time.Time) *Report {
 
 	skip := false
+	var rr *reach.Result
 	b.BeginPhase("reach-gate")
 	if gerr := budget.Guard("reach-gate", func() error {
-		skip = gateSkips(rep, progs, cfgq, opts)
+		rr, skip = gateSkips(rep, progs, cfgq, opts, b)
 		return nil
 	}); gerr != nil {
-		// The gate is an optimization; a panic inside it must not kill
-		// the scan. Fall through to full detection — unless the gate is
-		// all this scan was asked to run.
-		skip = false
-		if opts.ReachGateOnly {
-			setFailure(rep, gerr, budget.ClassPanic)
-			rep.GraphTime = time.Since(start)
-			return rep
-		}
+		// Panic-fenced like every other pass: the Guard recovers the
+		// panic and the scan fails with a classified error (retry
+		// ladders and quarantine handle it uniformly), instead of
+		// silently absorbing faults inside the gate.
+		setFailure(rep, gerr, budget.ClassPanic)
+		rep.GraphTime = time.Since(start)
+		return rep
 	}
 	if skip {
 		rep.GraphTime = time.Since(start)
@@ -393,6 +400,7 @@ func finishScan(rep *Report, progs []*core.Program, analyze func(analysis.Option
 	}
 
 	runDetection(rep, res, cfgq, rep.Engine, start, b)
+	annotateProvenance(rep, rr)
 
 	b.CheckDeadline()
 	if budget.ClassOf(b.Err()) == budget.ClassTimeout {
@@ -405,20 +413,46 @@ func finishScan(rep *Report, progs []*core.Program, analyze func(analysis.Option
 	return rep
 }
 
-// gateSkips runs the reachability pre-pass and reports whether the
-// whole detection pipeline can be skipped for this package.
-func gateSkips(rep *Report, progs []*core.Program, cfgq *queries.Config, opts Options) bool {
-	if opts.NoReachGate {
-		return false
-	}
-	rr := reach.Analyze(progs, cfgq)
+// gateSkips runs the export-graph reachability gate and reports
+// whether the whole detection pipeline can be skipped for this
+// package. Under NoReachGate the gate still runs — its result feeds
+// finding provenance and the precision counters, and keeping it in
+// both modes makes gated and ungated reports byte-identical wherever
+// they overlap — but it never skips.
+func gateSkips(rep *Report, progs []*core.Program, cfgq *queries.Config, opts Options, b *budget.Budget) (*reach.Result, bool) {
+	rr := reach.AnalyzeBudget(progs, cfgq, b)
 	rep.FuncsTotal = rr.TotalFuncs
 	rep.FuncsPruned = rr.PrunedFuncs
-	if rr.CanSkipDetection() {
+	rep.ExportCount = rr.ExportCount
+	rep.ReachFallback = rr.Fallback
+	if !opts.NoReachGate && rr.CanSkipDetection() {
 		rep.SkippedByReach = true
-		return true
+		return rr, true
 	}
-	return false
+	return rr, false
+}
+
+// annotateProvenance attaches call-path provenance to every finding:
+// how its sink line is reachable from the exported API. Findings the
+// gate cannot place (or any finding when the gate itself failed) get
+// the explicit "(unresolved)" marker rather than silence.
+func annotateProvenance(rep *Report, rr *reach.Result) {
+	for i := range rep.Findings {
+		f := &rep.Findings[i]
+		if rr == nil || rr.Exports == nil {
+			f.Provenance = queries.Provenance{Entry: "(unresolved)", Fallback: true}
+			continue
+		}
+		entry, hops, ok := rr.Exports.PathTo(f.SinkFile, f.SinkLine)
+		if !ok {
+			f.Provenance = queries.Provenance{Entry: "(unresolved)", Fallback: rr.Fallback}
+			continue
+		}
+		f.Provenance = queries.Provenance{Entry: entry, Hops: hops, Fallback: rr.Fallback}
+		if len(hops) > rep.ProvenanceDepth {
+			rep.ProvenanceDepth = len(hops)
+		}
+	}
 }
 
 // detectNative runs the native taint engine inside a panic guard and

@@ -293,7 +293,7 @@ func Fingerprint(v any) string {
 	if err != nil {
 		// Options values are plain structs; a marshal failure is a
 		// programming error worth failing loudly over.
-		panic("sweepjournal: fingerprint: " + err.Error())
+		panic("sweepjournal: fingerprint: " + err.Error()) //lint:allow nakedpanic -- marshal of plain option structs cannot fail; programming error
 	}
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:8])
