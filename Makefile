@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench bench-all bench-faults bench-incremental bench-reach bench-resume tables pathological mutate-check chaos fuzz-smoke
+.PHONY: check fmt vet lint build test race bench bench-all bench-faults bench-incremental bench-reach bench-resume bench-serve serve-check tables pathological mutate-check chaos fuzz-smoke
 
 # check is the tier-1 gate: formatting, vet, the repo-invariant lint
 # suite, build, the race-enabled test suite, the crash-corpus
 # regression, the incremental-scan mutation-equivalence harness, the
-# chaos harness, and a short fuzz smoke. CI and pre-commit both run
-# this target.
-check: fmt vet lint build race pathological mutate-check chaos fuzz-smoke
+# chaos harness, the scan-service lifecycle gate, and a short fuzz
+# smoke. CI and pre-commit both run this target.
+check: fmt vet lint build race pathological mutate-check chaos serve-check fuzz-smoke
 
 # lint runs the custom repo-invariant analyzers (naked panics outside
 # Guard fences, budget-carrying loops without cooperative checks,
@@ -76,6 +76,24 @@ bench-incremental:
 	$(GO) test -run xxx -bench 'IncrementalRescan|IncrementalSweep' -benchtime 3x . \
 		| $(GO) run ./cmd/benchjson -out BENCH_incremental.json
 	@tail -n 2 BENCH_incremental.json
+
+# bench-serve snapshots the graphjsd daemon path into BENCH_serve.json:
+# cold vs warm re-submission latency through POST /v1/scan plus p50/p95
+# under concurrent load. benchjson -serve validates the metrics are all
+# present and warm clears the ≥2× StatePool acceptance bar.
+bench-serve:
+	$(GO) test -run xxx -bench ServeScan -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -serve -out BENCH_serve.json
+	@tail -n 1 BENCH_serve.json
+
+# serve-check is the scan-service gate: build the daemon, run the
+# race-enabled server lifecycle tests (concurrent-vs-sequential finding
+# identity, 429 shedding, warm resubmit, drain/journal replay), and
+# replay every curl example in docs/API.md against a live test server.
+serve-check:
+	$(GO) build -o /dev/null ./cmd/graphjsd
+	$(GO) test -race -count=1 ./internal/server
+	$(GO) test -race -count=1 -run TestAPIDocCurlExamples ./internal/server
 
 tables:
 	$(GO) run ./cmd/benchtables

@@ -9,6 +9,14 @@
 // to FILE (the perf-trajectory log `make bench` maintains); otherwise
 // they go to stdout. Non-benchmark lines are passed through to stderr
 // so failures stay visible.
+//
+// -serve additionally validates the scan-service snapshot (`make
+// bench-serve` → BENCH_serve.json): the input must contain the
+// BenchmarkServeScan result with its cold-ms, warm-ms, speedup,
+// p50-ms and p95-ms metrics, and the warm path must beat cold by at
+// least 2× (the daemon's StatePool acceptance bar). A missing metric
+// or a speedup below the bar is a non-zero exit, so CI catches a
+// regressed or silently skipped serve benchmark.
 package main
 
 import (
@@ -35,6 +43,7 @@ type Snapshot struct {
 
 func main() {
 	out := flag.String("out", "", "append JSON lines to this file (default stdout)")
+	serve := flag.Bool("serve", false, "validate the BenchmarkServeScan snapshot (cold/warm/percentile metrics, warm ≥2× cold)")
 	flag.Parse()
 
 	w := os.Stdout
@@ -53,6 +62,7 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	n := 0
+	var snaps []Snapshot
 	for sc.Scan() {
 		line := sc.Text()
 		snap, ok := parseBenchLine(line)
@@ -66,6 +76,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
+		snaps = append(snaps, snap)
 		n++
 	}
 	if err := sc.Err(); err != nil {
@@ -76,6 +87,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
+	if *serve {
+		if err := validateServe(snaps); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -serve:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// serveSpeedupFloor is the acceptance bar for the warm StatePool path:
+// a warm re-submission must beat a cold scan by at least this factor.
+const serveSpeedupFloor = 2.0
+
+// validateServe checks the serve benchmark produced every metric the
+// BENCH_serve.json snapshot promises and that warm reuse clears the
+// speedup floor.
+func validateServe(snaps []Snapshot) error {
+	for _, s := range snaps {
+		if !strings.HasPrefix(s.Benchmark, "BenchmarkServeScan") {
+			continue
+		}
+		for _, m := range []string{"cold-ms", "warm-ms", "speedup", "p50-ms", "p95-ms"} {
+			if _, ok := s.Metrics[m]; !ok {
+				return fmt.Errorf("%s is missing metric %q", s.Benchmark, m)
+			}
+		}
+		if sp := s.Metrics["speedup"]; sp < serveSpeedupFloor {
+			return fmt.Errorf("warm speedup %.2fx below the %.1fx floor (cold %.3fms, warm %.3fms)",
+				sp, serveSpeedupFloor, s.Metrics["cold-ms"], s.Metrics["warm-ms"])
+		}
+		return nil
+	}
+	return fmt.Errorf("no BenchmarkServeScan result on stdin")
 }
 
 // parseBenchLine parses one `go test -bench` result line, e.g.

@@ -36,9 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
-	"strings"
 	"sync"
 	"time"
 
@@ -49,6 +47,7 @@ import (
 	"repro/internal/poc"
 	"repro/internal/queries"
 	"repro/internal/scanner"
+	"repro/internal/server"
 	"repro/internal/sweepjournal"
 )
 
@@ -320,43 +319,7 @@ func printEntry(e *sweepjournal.Entry) {
 // unreadable target hashes its error text — still deterministic, so a
 // resume skips it until the problem (or the file) changes.
 func hashTarget(target string) string {
-	errHash := func(err error) string { return sweepjournal.ContentHash("error: " + err.Error()) }
-	info, err := os.Stat(target)
-	if err != nil {
-		return errHash(err)
-	}
-	if !info.IsDir() {
-		data, err := os.ReadFile(target)
-		if err != nil {
-			return errHash(err)
-		}
-		return sweepjournal.ContentHash(string(data))
-	}
-	files := map[string]string{}
-	err = filepath.Walk(target, func(path string, info os.FileInfo, err error) error {
-		if err != nil {
-			return err
-		}
-		if info.IsDir() {
-			base := filepath.Base(path)
-			if base == "node_modules" || base == "test" || base == "tests" || base == ".git" {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if strings.HasSuffix(path, ".js") && !strings.HasSuffix(path, ".min.js") {
-			data, rerr := os.ReadFile(path)
-			if rerr != nil {
-				return rerr
-			}
-			files[path] = string(data)
-		}
-		return nil
-	})
-	if err != nil {
-		return errHash(err)
-	}
-	return sweepjournal.ContentHashFiles(files)
+	return metrics.HashTarget(target)
 }
 
 func printHuman(rep *scanner.Report, stats, trace bool) {
@@ -417,39 +380,13 @@ func printHuman(rep *scanner.Report, stats, trace bool) {
 	}
 }
 
-type jsonFinding struct {
-	CWE    string `json:"cwe"`
-	Sink   string `json:"sink"`
-	Line   int    `json:"line"`
-	Source string `json:"source"`
-	// Call-path provenance: the API entry (or fallback marker) and the
-	// hop chain from it down to the sink's function.
-	Entry    string   `json:"entry,omitempty"`
-	Hops     []string `json:"hops,omitempty"`
-	Fallback bool     `json:"reachFallback,omitempty"`
-}
-
+// printJSON emits the shared wire rendering (server.ReportToJSON), so
+// the CLI's -json output is byte-identical to the daemon's findings
+// for the same scan.
 func printJSON(rep *scanner.Report) {
-	out := struct {
-		Name       string        `json:"name"`
-		TimedOut   bool          `json:"timedOut"`
-		Failure    string        `json:"failure,omitempty"`
-		Incomplete bool          `json:"incomplete,omitempty"`
-		FellBack   bool          `json:"fellBack,omitempty"`
-		Findings   []jsonFinding `json:"findings"`
-	}{
-		Name: rep.Name, TimedOut: rep.TimedOut, Failure: string(rep.Failure),
-		Incomplete: rep.Incomplete, FellBack: rep.FellBack, Findings: []jsonFinding{},
-	}
-	for _, f := range rep.Findings {
-		out.Findings = append(out.Findings, jsonFinding{
-			CWE: string(f.CWE), Sink: f.SinkName, Line: f.SinkLine, Source: f.Source,
-			Entry: f.Provenance.Entry, Hops: f.Provenance.Hops, Fallback: f.Provenance.Fallback,
-		})
-	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(out)
+	_ = enc.Encode(server.ReportToJSON(rep))
 }
 
 func dump(target string, mdgOut, coreOut, exportDB bool) error {

@@ -1,0 +1,116 @@
+// Command graphjsd runs the MDG vulnerability scanner as a long-lived
+// HTTP/JSON service: concurrent scans from one static binary, with
+// admission control, warm incremental state shared across requests,
+// and journal-backed resumable corpus sweeps.
+//
+// See docs/API.md for the endpoint reference and docs/OPERATIONS.md
+// for deployment and tuning guidance.
+//
+// Usage:
+//
+//	graphjsd [flags]
+//
+// Flags:
+//
+//	-addr string      listen address (default "127.0.0.1:8044")
+//	-workers int      concurrent scan slots (default GOMAXPROCS)
+//	-queue int        admitted requests that may wait for a slot
+//	                  (default 2×workers; negative = shed immediately)
+//	-retry-after dur  Retry-After hint on 429 responses (default 1s)
+//	-engine string    default detection engine (default "query")
+//	-timeout dur      default per-request scan timeout (default 5m)
+//	-max-timeout dur  ceiling a request may raise its timeout to
+//	-steps/-nodes/-edges int          default per-request budget caps
+//	-max-steps/-max-nodes/-max-edges  ceilings requests are clamped to
+//	-no-warm-state    disable the process-wide incremental StatePool
+//
+// SIGINT/SIGTERM stop the listener, drain in-flight scans (new
+// requests get 503), flush journals, and exit 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/scanner"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8044", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent scan slots (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "admission queue depth (0 = 2x workers, negative = none)")
+		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		engine     = flag.String("engine", "query", "default engine: query, native, differential, fallback")
+		timeout    = flag.Duration("timeout", 5*time.Minute, "default per-request scan timeout")
+		maxTimeout = flag.Duration("max-timeout", 0, "ceiling for per-request timeouts (0 = default timeout)")
+		steps      = flag.Int("steps", 0, "default per-request abstract-interpretation step cap (0 = unlimited)")
+		nodes      = flag.Int("nodes", 0, "default per-request MDG node cap (0 = unlimited)")
+		edges      = flag.Int("edges", 0, "default per-request MDG edge cap (0 = unlimited)")
+		maxSteps   = flag.Int("max-steps", 0, "ceiling for per-request step caps (0 = unlimited)")
+		maxNodes   = flag.Int("max-nodes", 0, "ceiling for per-request node caps (0 = unlimited)")
+		maxEdges   = flag.Int("max-edges", 0, "ceiling for per-request edge caps (0 = unlimited)")
+		noWarm     = flag.Bool("no-warm-state", false, "disable the process-wide incremental StatePool")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "graphjsd: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+	eng, err := scanner.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphjsd: %v\n", err)
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RetryAfter:     *retryAfter,
+		Engine:         eng,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DefaultSteps:   *steps,
+		DefaultNodes:   *nodes,
+		DefaultEdges:   *edges,
+		MaxSteps:       *maxSteps,
+		MaxNodes:       *maxNodes,
+		MaxEdges:       *maxEdges,
+		NoWarmState:    *noWarm,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		got := <-sig
+		log.Printf("graphjsd: %s: stopping listener, draining in-flight scans", got)
+		// Shutdown stops accepting connections and waits for active
+		// handlers; Drain additionally blocks admission so requests
+		// racing the shutdown get a clean 503 instead of a reset.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		defer cancel()
+		srv.Drain()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("graphjsd: shutdown: %v", err)
+		}
+		log.Printf("graphjsd: drained, exiting")
+	}()
+
+	log.Printf("graphjsd: listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("graphjsd: %v", err)
+	}
+	<-done
+}

@@ -27,6 +27,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "graphjslint: %v\n", err)
 		os.Exit(2)
 	}
+	docs, err := lint.PackageDocs(roots...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "graphjslint: %v\n", err)
+		os.Exit(2)
+	}
+	findings = append(findings, docs...)
 	for _, f := range findings {
 		fmt.Println(f)
 	}

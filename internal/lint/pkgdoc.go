@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// PackageDocs checks that every Go package under the given roots has a
+// package doc comment (`// Package <name> ...` on some file's package
+// clause). Undocumented packages are reported as "pkgdoc" findings
+// against the package's first .go file. Test files and testdata trees
+// are ignored; the check is what gates the godoc discipline in
+// `make lint`.
+func PackageDocs(roots ...string) ([]Finding, error) {
+	var out []Finding
+	for _, root := range roots {
+		dirs := map[string][]string{}
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				if name := d.Name(); name == "testdata" || strings.HasPrefix(name, ".") {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			dir := filepath.Dir(path)
+			dirs[dir] = append(dirs[dir], path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for dir, files := range dirs {
+			sort.Strings(files)
+			documented := false
+			pkg := ""
+			for _, f := range files {
+				fset := token.NewFileSet()
+				// PackageClauseOnly+ParseComments keeps the scan cheap:
+				// only the package line and its doc comment are parsed.
+				file, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+				if err != nil {
+					return nil, fmt.Errorf("lint: %w", err)
+				}
+				pkg = file.Name.Name
+				if file.Doc != nil && strings.TrimSpace(file.Doc.Text()) != "" {
+					documented = true
+					break
+				}
+			}
+			if !documented {
+				out = append(out, Finding{
+					File:  filepath.ToSlash(files[0]),
+					Line:  1,
+					Check: "pkgdoc",
+					Msg: fmt.Sprintf("package %s (%s) has no package doc comment; add `// Package %s ...` to one file",
+						pkg, filepath.ToSlash(dir), pkg),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].File < out[j].File })
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, src string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackageDocsFlagsUndocumented(t *testing.T) {
+	root := t.TempDir()
+	// documented: doc comment on one of two files
+	writeFile(t, filepath.Join(root, "internal", "good", "doc.go"),
+		"// Package good is documented.\npackage good\n")
+	writeFile(t, filepath.Join(root, "internal", "good", "more.go"),
+		"package good\n\nfunc More() {}\n")
+	// undocumented
+	writeFile(t, filepath.Join(root, "internal", "bad", "bad.go"),
+		"package bad\n\nfunc Bad() {}\n")
+	// only tests documented — package comment on a test file doesn't count
+	writeFile(t, filepath.Join(root, "internal", "testy", "t.go"),
+		"package testy\n")
+	writeFile(t, filepath.Join(root, "internal", "testy", "t_test.go"),
+		"// Package testy has its doc on a test file only.\npackage testy\n")
+	// testdata is skipped entirely
+	writeFile(t, filepath.Join(root, "internal", "good", "testdata", "x.go"),
+		"package x\n")
+
+	got, err := PackageDocs(filepath.Join(root, "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("findings = %v, want 2 (bad, testy)", got)
+	}
+	for _, f := range got {
+		if f.Check != "pkgdoc" {
+			t.Errorf("check = %q, want pkgdoc", f.Check)
+		}
+	}
+	if !strings.Contains(got[0].File, "bad") || !strings.Contains(got[1].File, "testy") {
+		t.Errorf("flagged files = %s, %s; want bad then testy", got[0].File, got[1].File)
+	}
+}
+
+// TestRepoPackagesDocumented is the gate itself: every package under
+// this repository's internal/ tree must carry a package comment.
+func TestRepoPackagesDocumented(t *testing.T) {
+	got, err := PackageDocs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range got {
+		t.Errorf("%s", f)
+	}
+}

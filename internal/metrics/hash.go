@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/sweepjournal"
+)
+
+// HashTarget fingerprints a scan target's current on-disk content for
+// journal resume matching: a plain file hashes its bytes, a package
+// directory hashes every non-minified .js file under it (skipping
+// node_modules, test dirs, and .git). Unreadable targets hash their
+// error text, so a target that starts failing re-runs instead of
+// resuming.
+func HashTarget(target string) string {
+	errHash := func(err error) string { return sweepjournal.ContentHash("error: " + err.Error()) }
+	info, err := os.Stat(target)
+	if err != nil {
+		return errHash(err)
+	}
+	if !info.IsDir() {
+		data, err := os.ReadFile(target)
+		if err != nil {
+			return errHash(err)
+		}
+		return sweepjournal.ContentHash(string(data))
+	}
+	files := map[string]string{}
+	err = filepath.Walk(target, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			base := filepath.Base(path)
+			if base == "node_modules" || base == "test" || base == "tests" || base == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".js") && !strings.HasSuffix(path, ".min.js") {
+			data, rerr := os.ReadFile(path)
+			if rerr != nil {
+				return rerr
+			}
+			files[path] = string(data)
+		}
+		return nil
+	})
+	if err != nil {
+		return errHash(err)
+	}
+	return sweepjournal.ContentHashFiles(files)
+}
