@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench bench-all bench-faults bench-incremental bench-reach bench-resume bench-serve serve-check tables pathological mutate-check chaos fuzz-smoke
+.PHONY: check fmt vet lint build test race bench bench-all bench-faults bench-incremental bench-reach bench-resume bench-serve bench-store serve-check tables pathological mutate-check chaos fuzz-smoke
 
 # check is the tier-1 gate: formatting, vet, the repo-invariant lint
 # suite, build, the race-enabled test suite, the crash-corpus
@@ -86,6 +86,15 @@ bench-serve:
 		| $(GO) run ./cmd/benchjson -serve -out BENCH_serve.json
 	@tail -n 1 BENCH_serve.json
 
+# bench-store snapshots the persistent-store warm-restart path into
+# BENCH_store.json: a cold scan vs a fresh process restarting from a
+# populated -cache-dir (store open included in the timing). benchjson
+# -store validates the metrics and gates the restart speedup at ≥2×.
+bench-store:
+	$(GO) test -run xxx -bench StoreRestart -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -store -out BENCH_store.json
+	@tail -n 1 BENCH_store.json
+
 # serve-check is the scan-service gate: build the daemon, run the
 # race-enabled server lifecycle tests (concurrent-vs-sequential finding
 # identity, 429 shedding, warm resubmit, drain/journal replay), and
@@ -113,13 +122,21 @@ mutate-check:
 	$(GO) test -race -run 'Mutation|Incremental|CachedScanEqualsUncached|CacheEvicts' \
 		./internal/scanner ./internal/metrics
 
-# chaos runs the supervised-sweep chaos harness under the race
-# detector: Workers=4 sweeps with deterministic injected panics and
-# timeouts, a simulated SIGKILL (journal truncated mid-line), and a
-# resume that must reproduce the uninterrupted run exactly.
+# chaos runs the supervised-sweep and persistent-store chaos harnesses
+# under the race detector: Workers=4 sweeps with deterministic injected
+# panics and timeouts, simulated SIGKILLs (journal torn mid-line, store
+# log torn mid-record, crash mid-compaction), injected disk faults
+# (short write, ENOSPC), bit flips, and resumes that must reproduce the
+# uninterrupted run exactly — corruption may change speed, never
+# findings.
 chaos:
-	$(GO) test -race -count=1 -run 'TestChaosKillResume|TestCreateRepairsTornTail|TestConcurrentWriters' \
+	$(GO) test -race -count=1 -run 'TestChaosKillResume|TestChaosStoreKillResume|TestCreateRepairsTornTail|TestConcurrentWriters|TestCompactCrashBeforeTruncate' \
 		./internal/metrics ./internal/sweepjournal
+	$(GO) test -race -count=1 -run 'TestCrashMidCompactionLeavesOldLogIntact|TestInjectedDiskFaultsRollBackAndCount|TestTornTailRepairedOnOpen|TestBitFlipQuarantinesRecord|TestGarbageHeaderQuarantinesWholeLog|TestConcurrentPutGet' \
+		./internal/store
+	$(GO) test -race -count=1 -run 'TestStoreCorruptionDegradesToCold|TestStoreUndecodableEntryQuarantined' \
+		./internal/scanner
+	$(GO) test -race -count=1 -run 'TestCorruptCacheDirDegradesToCold' ./internal/server
 
 # fuzz-smoke gives each fuzz target a few seconds — enough to catch
 # newly introduced panics on the seeded pathological shapes.
@@ -129,3 +146,4 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzParseQuery -fuzztime 3s ./internal/graphdb
 	$(GO) test -run xxx -fuzz FuzzIncrementalEquivalence -fuzztime 3s -fuzzminimizetime 5s ./internal/metrics
 	$(GO) test -run xxx -fuzz FuzzReachSoundness -fuzztime 3s -fuzzminimizetime 5s ./internal/scanner
+	$(GO) test -run xxx -fuzz FuzzStoreDecode -fuzztime 3s -fuzzminimizetime 5s ./internal/scanner

@@ -17,6 +17,12 @@
 // least 2× (the daemon's StatePool acceptance bar). A missing metric
 // or a speedup below the bar is a non-zero exit, so CI catches a
 // regressed or silently skipped serve benchmark.
+//
+// -store likewise validates the persistent-store snapshot (`make
+// bench-store` → BENCH_store.json): the BenchmarkStoreRestart result
+// must carry cold-ms, warm-ms and speedup, and a restart from a
+// populated -cache-dir must beat a cold sweep by at least 2× (the
+// warm-restart acceptance bar from the store design).
 package main
 
 import (
@@ -44,16 +50,18 @@ type Snapshot struct {
 func main() {
 	out := flag.String("out", "", "append JSON lines to this file (default stdout)")
 	serve := flag.Bool("serve", false, "validate the BenchmarkServeScan snapshot (cold/warm/percentile metrics, warm ≥2× cold)")
+	storeCheck := flag.Bool("store", false, "validate the BenchmarkStoreRestart snapshot (cold/warm metrics, store-warm restart ≥2× cold)")
 	flag.Parse()
 
 	w := os.Stdout
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
-		defer f.Close()
+		outFile = f
 		w = f
 	}
 
@@ -87,9 +95,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
 	}
+	// The snapshot log is an append-only perf trajectory: a close error
+	// here means lines may be missing, which must fail loudly rather
+	// than leave a silently truncated BENCH_*.json.
+	if outFile != nil {
+		if err := outFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
 	if *serve {
 		if err := validateServe(snaps); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: -serve:", err)
+			os.Exit(1)
+		}
+	}
+	if *storeCheck {
+		if err := validateStore(snaps); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -store:", err)
 			os.Exit(1)
 		}
 	}
@@ -119,6 +142,33 @@ func validateServe(snaps []Snapshot) error {
 		return nil
 	}
 	return fmt.Errorf("no BenchmarkServeScan result on stdin")
+}
+
+// storeSpeedupFloor is the acceptance bar for warm restarts: a fresh
+// process sweeping from a populated -cache-dir must beat the same
+// sweep cold by at least this factor.
+const storeSpeedupFloor = 2.0
+
+// validateStore checks the store-restart benchmark produced the
+// metrics the BENCH_store.json snapshot promises and that the
+// store-warm restart clears the speedup floor.
+func validateStore(snaps []Snapshot) error {
+	for _, s := range snaps {
+		if !strings.HasPrefix(s.Benchmark, "BenchmarkStoreRestart") {
+			continue
+		}
+		for _, m := range []string{"cold-ms", "warm-ms", "speedup"} {
+			if _, ok := s.Metrics[m]; !ok {
+				return fmt.Errorf("%s is missing metric %q", s.Benchmark, m)
+			}
+		}
+		if sp := s.Metrics["speedup"]; sp < storeSpeedupFloor {
+			return fmt.Errorf("store-warm restart speedup %.2fx below the %.1fx floor (cold %.3fms, warm %.3fms)",
+				sp, storeSpeedupFloor, s.Metrics["cold-ms"], s.Metrics["warm-ms"])
+		}
+		return nil
+	}
+	return fmt.Errorf("no BenchmarkStoreRestart result on stdin")
 }
 
 // parseBenchLine parses one `go test -bench` result line, e.g.

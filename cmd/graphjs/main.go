@@ -17,10 +17,15 @@
 //	-max-edges N    per-target MDG edge cap (0 = unlimited)
 //	-require-sink   treat dynamic require() as a code-injection sink
 //	-incremental    reuse MDG fragments across scans of repeated targets
+//	-cache-dir DIR  persistent analysis store: cached fragments and results
+//	                survive across invocations (implies -incremental)
+//	-no-fsync       skip store/journal fsyncs (benchmarks only)
 //	-sweep          supervised sweep: retry/degradation ladder per target
 //	-journal FILE   with -sweep: append per-target outcomes to a JSONL journal
 //	-resume         with -sweep -journal: skip targets whose entry matches
 //	-requarantine   with -resume: re-scan quarantined targets
+//	-compact-journal  with -sweep -journal -cache-dir: fold the journal's
+//	                live entries into the store and truncate the log
 //	-dump-mdg       print the MDG in Graphviz DOT format and exit
 //	-dump-core      print the normalized Core JavaScript and exit
 //	-export-db      write the loaded property graph as JSON and exit
@@ -48,6 +53,7 @@ import (
 	"repro/internal/queries"
 	"repro/internal/scanner"
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/sweepjournal"
 )
 
@@ -61,6 +67,9 @@ func main() {
 	maxEdges := flag.Int("max-edges", 0, "per-target MDG edge cap (0 = unlimited)")
 	requireSink := flag.Bool("require-sink", false, "treat dynamic require() as a code-injection sink")
 	incremental := flag.Bool("incremental", false, "reuse MDG fragments and detection results across scans of repeated targets; -stats prints hit/miss/rebuild counters")
+	cacheDir := flag.String("cache-dir", "", "persistent analysis store directory; cached work survives across invocations (implies -incremental)")
+	noFsync := flag.Bool("no-fsync", false, "skip store/journal fsyncs (benchmarks only; a crash may lose cached work)")
+	compactJournal := flag.Bool("compact-journal", false, "with -sweep -journal -cache-dir: fold the journal's live entries into the store and truncate the log")
 	sweepMode := flag.Bool("sweep", false, "supervised sweep: retry failures down a degradation ladder until every target reaches a terminal state")
 	journalPath := flag.String("journal", "", "with -sweep: append per-target outcomes to this JSONL journal as workers finish")
 	resume := flag.Bool("resume", false, "with -sweep -journal: skip targets whose journal entry matches the current content and options")
@@ -110,22 +119,50 @@ func main() {
 		MaxSteps: *maxSteps, MaxNodes: *maxNodes, MaxEdges: *maxEdges,
 	}
 	var pool *scanner.StatePool
-	if *incremental {
+	if *incremental || *cacheDir != "" {
 		// One incremental state per distinct target: a target repeated
 		// on the command line (or re-scanned by an embedding caller) is
 		// re-analyzed only where its files changed.
 		pool = scanner.NewStatePool()
 	}
+	var st *store.Store
+	if *cacheDir != "" {
+		st, err = store.Open(*cacheDir, store.Options{NoFsync: *noFsync})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphjs: open cache %s: %v\n", *cacheDir, err)
+			os.Exit(1)
+		}
+		// Close syncs; deferred exits below go through finish.
+		pool.AttachStore(st)
+	}
+	finish := func(code int) {
+		if st != nil {
+			if cerr := st.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "graphjs: close cache: %v\n", cerr)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}
+		os.Exit(code)
+	}
+	if *compactJournal && (!*sweepMode || *journalPath == "" || st == nil) {
+		fmt.Fprintln(os.Stderr, "graphjs: -compact-journal requires -sweep, -journal, and -cache-dir")
+		finish(2)
+	}
 	if *sweepMode {
 		if *dumpMDG || *dumpCore || *exportDB {
 			fmt.Fprintln(os.Stderr, "graphjs: -sweep cannot be combined with dump modes")
-			os.Exit(2)
+			finish(2)
 		}
 		opts.Workers = *workers
-		os.Exit(runSweep(targets, opts, pool, metrics.SuperviseOptions{
-			JournalPath:  *journalPath,
-			Resume:       *resume,
-			Requarantine: *requarantine,
+		finish(runSweep(targets, opts, pool, metrics.SuperviseOptions{
+			JournalPath:    *journalPath,
+			Resume:         *resume,
+			Requarantine:   *requarantine,
+			Store:          st,
+			CompactJournal: *compactJournal,
+			NoFsync:        *noFsync,
 		}, *asJSON))
 	}
 	if !(*dumpMDG || *dumpCore || *exportDB) {
@@ -164,7 +201,7 @@ func main() {
 			exit = 3 // findings present
 		}
 	}
-	os.Exit(exit)
+	finish(exit)
 }
 
 // scanAll fills reports[i] with the scan of targets[i], using a

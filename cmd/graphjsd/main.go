@@ -23,9 +23,17 @@
 //	-steps/-nodes/-edges int          default per-request budget caps
 //	-max-steps/-max-nodes/-max-edges  ceilings requests are clamped to
 //	-no-warm-state    disable the process-wide incremental StatePool
+//	-state-max-entries int  LRU-evict warm state beyond this many packages
+//	-state-max-bytes int    LRU-evict warm state beyond this estimated size
+//	-cache-dir string       persistent analysis store directory: warm state
+//	                        survives restarts; replicas may share it
+//	                        read-only (see docs/OPERATIONS.md)
+//	-cache-read-only        open -cache-dir as a lock-free read-only replica
+//	-no-fsync               skip journal/store fsyncs (benchmarks only)
 //
 // SIGINT/SIGTERM stop the listener, drain in-flight scans (new
-// requests get 503), flush journals, and exit 0.
+// requests get 503), flush journals, sync and close the store, and
+// exit 0.
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 
 	"repro/internal/scanner"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 func main() {
@@ -60,6 +69,11 @@ func main() {
 		maxNodes   = flag.Int("max-nodes", 0, "ceiling for per-request node caps (0 = unlimited)")
 		maxEdges   = flag.Int("max-edges", 0, "ceiling for per-request edge caps (0 = unlimited)")
 		noWarm     = flag.Bool("no-warm-state", false, "disable the process-wide incremental StatePool")
+		stateMax   = flag.Int("state-max-entries", 0, "LRU cap on warm StatePool packages (0 = unbounded)")
+		stateBytes = flag.Int64("state-max-bytes", 0, "LRU cap on estimated warm StatePool bytes (0 = unbounded)")
+		cacheDir   = flag.String("cache-dir", "", "persistent analysis store directory (empty = memory-only)")
+		cacheRO    = flag.Bool("cache-read-only", false, "open -cache-dir as a read-only replica (no writer lock)")
+		noFsync    = flag.Bool("no-fsync", false, "skip journal/store fsyncs (benchmarks only; crash may lose cache entries)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -71,21 +85,36 @@ func main() {
 		fmt.Fprintf(os.Stderr, "graphjsd: %v\n", err)
 		os.Exit(2)
 	}
+	var st *store.Store
+	if *cacheDir != "" {
+		st, err = store.Open(*cacheDir, store.Options{ReadOnly: *cacheRO, NoFsync: *noFsync})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphjsd: open cache %s: %v\n", *cacheDir, err)
+			os.Exit(2)
+		}
+		ss := st.Stats()
+		log.Printf("graphjsd: cache %s: %d entries, %d bytes (read-only=%v)",
+			*cacheDir, ss.Entries, ss.Bytes, *cacheRO)
+	}
 
 	srv := server.New(server.Options{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RetryAfter:     *retryAfter,
-		Engine:         eng,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		DefaultSteps:   *steps,
-		DefaultNodes:   *nodes,
-		DefaultEdges:   *edges,
-		MaxSteps:       *maxSteps,
-		MaxNodes:       *maxNodes,
-		MaxEdges:       *maxEdges,
-		NoWarmState:    *noWarm,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		RetryAfter:      *retryAfter,
+		Engine:          eng,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		DefaultSteps:    *steps,
+		DefaultNodes:    *nodes,
+		DefaultEdges:    *edges,
+		MaxSteps:        *maxSteps,
+		MaxNodes:        *maxNodes,
+		MaxEdges:        *maxEdges,
+		NoWarmState:     *noWarm,
+		StateMaxEntries: *stateMax,
+		StateMaxBytes:   *stateBytes,
+		Store:           st,
+		NoFsync:         *noFsync,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -104,6 +133,13 @@ func main() {
 		srv.Drain()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("graphjsd: shutdown: %v", err)
+		}
+		// In-flight work is done; a final sync-and-close makes every
+		// cached analysis durable for the next warm restart.
+		if st != nil {
+			if err := st.Close(); err != nil {
+				log.Printf("graphjsd: close cache: %v", err)
+			}
 		}
 		log.Printf("graphjsd: drained, exiting")
 	}()

@@ -41,6 +41,13 @@ type FaultPlan struct {
 	// (default 50): a scan that performs fewer checkpoints than its
 	// target simply never faults.
 	Spread int
+	// DiskProb is the probability an armed persistent-store session
+	// suffers one injected disk fault (a short write tearing the record
+	// mid-append, or a synthetic ENOSPC) at a write checkpoint drawn
+	// from the same Spread window. Store writes consult DiskFaultAt
+	// with their session label and per-session write ordinal, so disk
+	// faults are as deterministic as the engine faults above.
+	DiskProb float64
 	// Arm filters eligible scans by budget label (nil = every scan).
 	// Supervisors label attempts "name#attempt", so a plan can restrict
 	// faults to first attempts and keep retries clean.
@@ -64,6 +71,49 @@ type InjectedFault struct {
 
 func (e *InjectedFault) Error() string {
 	return fmt.Sprintf("budget: injected fault (label %q, checkpoint %d)", e.Label, e.Check)
+}
+
+// DiskFault is one injected persistent-store I/O failure mode.
+type DiskFault int
+
+// Disk-fault modes drawn by DiskFaultAt.
+const (
+	// DiskNone: no fault at this checkpoint.
+	DiskNone DiskFault = iota
+	// DiskShortWrite: the write tears partway through the record —
+	// the torn-tail shape a crash or power loss leaves behind.
+	DiskShortWrite
+	// DiskENOSPC: the write fails before any byte lands (device full).
+	DiskENOSPC
+)
+
+// DiskFaultAt consults the process-wide fault plan for persistent-store
+// I/O: the decision is a pure function of (plan seed, label, write
+// ordinal), so a store session faults at the same write on every run.
+// Like maybeInject, at most one disk fault fires per label. A nil plan
+// or zero DiskProb means no injection (the production path).
+func DiskFaultAt(label string, ordinal int) DiskFault {
+	p := faultPlan.Load()
+	if p == nil || p.DiskProb <= 0 {
+		return DiskNone
+	}
+	if p.Arm != nil && !p.Arm(label) {
+		return DiskNone
+	}
+	if hash01(p.Seed, label, "diskprob") >= p.DiskProb {
+		return DiskNone
+	}
+	spread := p.Spread
+	if spread <= 0 {
+		spread = 50
+	}
+	if ordinal != 1+int(hash01(p.Seed, label, "diskcheck")*float64(spread)) {
+		return DiskNone
+	}
+	if hash01(p.Seed, label, "diskmode") < 0.5 {
+		return DiskShortWrite
+	}
+	return DiskENOSPC
 }
 
 // hash01 maps (seed, label, salt) to [0,1) deterministically.

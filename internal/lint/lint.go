@@ -14,6 +14,11 @@
 //     the incremental scanner. Fragment fields may only be written in
 //     the function that constructs the fragment (&Fragment{...});
 //     any later field write is cache corruption.
+//   - syncclose: the Close/Sync result of a writable file (os.Create,
+//     os.OpenFile with write flags) must be checked. A write error can
+//     surface only at close/fsync time; discarding it turns silent
+//     data loss into a "successful" run — exactly the failure mode the
+//     persistent store and sweep journal are built to prevent.
 //
 // The analyzers are plain go/ast walks (no go/analysis dependency) so
 // the lint suite builds with the standard library alone. A finding is
@@ -105,6 +110,7 @@ func File(path string, src any) ([]Finding, error) {
 		}
 	}
 	l.fragMutate(file)
+	l.syncClose(file)
 	return l.out, nil
 }
 
@@ -381,6 +387,122 @@ func constructedIdents(body *ast.BlockStmt) map[string]bool {
 		return true
 	})
 	return made
+}
+
+// syncClose flags discarded Close()/Sync() results on files opened
+// writable in the same function. Covered discard shapes: a bare
+// expression statement, `defer f.Close()`, and `_ = f.Close()`. The
+// check is syntactic and per-function — a writable *os.File passed to
+// another function is that function's responsibility.
+func (l *linter) syncClose(file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		writable := writableFileIdents(fn.Body)
+		if len(writable) == 0 {
+			continue
+		}
+		ast.Inspect(fn.Body, func(node ast.Node) bool {
+			switch st := node.(type) {
+			case *ast.ExprStmt:
+				l.reportSyncClose(st.X, writable, "")
+			case *ast.DeferStmt:
+				l.reportSyncClose(st.Call, writable, "defer ")
+			case *ast.AssignStmt:
+				for i, lhs := range st.Lhs {
+					if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+						continue
+					}
+					if i < len(st.Rhs) {
+						l.reportSyncClose(st.Rhs[i], writable, "_ = ")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportSyncClose reports e when it is a Close/Sync call on a known
+// writable file identifier whose result the surrounding context drops.
+func (l *linter) reportSyncClose(e ast.Expr, writable map[string]bool, context string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Sync") {
+		return
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok || !writable[recv.Name] {
+		return
+	}
+	l.report(call.Pos(), "syncclose",
+		fmt.Sprintf("%s%s.%s() discards the error of a writable file; a failed write can surface only here — check it or waive with the reason",
+			context, recv.Name, sel.Sel.Name))
+}
+
+// writableFileIdents collects identifiers assigned from os.Create or a
+// write-mode os.OpenFile anywhere in body.
+func writableFileIdents(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(node ast.Node) bool {
+		asg, ok := node.(*ast.AssignStmt)
+		if !ok || len(asg.Rhs) != 1 {
+			return true
+		}
+		call, ok := asg.Rhs[0].(*ast.CallExpr)
+		if !ok || !isWritableOpen(call) {
+			return true
+		}
+		// os.Create/os.OpenFile return (*os.File, error): the file is
+		// the first LHS.
+		if id, ok := asg.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// isWritableOpen matches os.Create(...) and os.OpenFile(...) whose flag
+// argument requests write access (mentions any of the O_* write flags).
+// Plain os.Open and read-only OpenFile calls are exempt: their Close
+// cannot lose data.
+func isWritableOpen(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "os" {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Create":
+		return true
+	case "OpenFile":
+		if len(call.Args) < 2 {
+			return false
+		}
+		writeFlags := map[string]bool{
+			"O_WRONLY": true, "O_RDWR": true, "O_APPEND": true,
+			"O_CREATE": true, "O_TRUNC": true,
+		}
+		found := false
+		ast.Inspect(call.Args[1], func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && writeFlags[id.Name] {
+				found = true
+				return false
+			}
+			return !found
+		})
+		return found
+	}
+	return false
 }
 
 // rootIdent walks selector/index chains to the base identifier and

@@ -197,3 +197,86 @@ func TestRepoIsClean(t *testing.T) {
 		t.Errorf("%s", f)
 	}
 }
+
+func TestSyncCloseFlagged(t *testing.T) {
+	src := `package x
+
+import "os"
+
+func f() {
+	f, err := os.Create("out")
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	g, err := os.OpenFile("log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	g.Sync()
+	_ = g.Close()
+}
+`
+	fs := findings(t, "cmd/x/main.go", src)
+	if len(fs) != 3 {
+		t.Fatalf("findings = %v, want 3 syncclose", fs)
+	}
+	for _, f := range fs {
+		if f.Check != "syncclose" {
+			t.Fatalf("unexpected check %q in %v", f.Check, fs)
+		}
+	}
+}
+
+func TestSyncCloseCheckedAndReadOnlyExempt(t *testing.T) {
+	src := `package x
+
+import "os"
+
+func f() error {
+	f, err := os.Create("out")
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func g() {
+	r, err := os.Open("in")
+	if err != nil {
+		return
+	}
+	defer r.Close()
+	ro, err := os.OpenFile("in2", os.O_RDONLY, 0)
+	if err != nil {
+		return
+	}
+	ro.Close()
+}
+`
+	if fs := findings(t, "internal/x/x.go", src); len(fs) != 0 {
+		t.Fatalf("checked/read-only closes flagged: %v", fs)
+	}
+}
+
+func TestSyncCloseWaived(t *testing.T) {
+	src := `package x
+
+import "os"
+
+func f() {
+	f, err := os.Create("out")
+	if err != nil {
+		return
+	}
+	//lint:allow syncclose -- error path cleanup, the write already failed
+	f.Close()
+}
+`
+	if fs := findings(t, "internal/x/x.go", src); len(fs) != 0 {
+		t.Fatalf("waived close flagged: %v", fs)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/odgen"
 	"repro/internal/queries"
 	"repro/internal/scanner"
+	"repro/internal/store"
 	"repro/internal/sweepjournal"
 )
 
@@ -60,6 +61,19 @@ type SuperviseOptions struct {
 	// immediately). The actual delay is jittered deterministically from
 	// the package name so parallel retries do not stampede in lockstep.
 	Backoff time.Duration
+	// Store, when non-nil, backs the journal with the persistent
+	// analysis store: resume overlays the live JSONL log over entries
+	// previously compacted into the store, and CompactJournal folds
+	// the log into the store when the sweep finishes.
+	Store *store.Store
+	// CompactJournal rewrites the journal's live entries into Store
+	// and truncates the JSONL log after a successful sweep (no-op
+	// without Store and JournalPath).
+	CompactJournal bool
+	// NoFsync disables the journal's per-append group-commit fsync
+	// (benchmarks; a kill may then lose acknowledged entries, which
+	// resume re-scans).
+	NoFsync bool
 }
 
 // SuperviseStats summarizes how a supervised sweep terminated.
@@ -462,7 +476,7 @@ func supervise(c *dataset.Corpus, workers int, fp string, ladder []rung, sup Sup
 	stats := &SuperviseStats{Entries: make([]sweepjournal.Entry, len(c.Packages))}
 	prior := map[string]sweepjournal.Entry{}
 	if sup.Resume && sup.JournalPath != "" {
-		loaded, torn, err := sweepjournal.Load(sup.JournalPath)
+		loaded, torn, err := sweepjournal.LoadWithStore(sup.JournalPath, sup.Store)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -471,7 +485,7 @@ func supervise(c *dataset.Corpus, workers int, fp string, ladder []rung, sup Sup
 	var w *sweepjournal.Writer
 	if sup.JournalPath != "" {
 		var err error
-		if w, err = sweepjournal.Create(sup.JournalPath); err != nil {
+		if w, err = sweepjournal.CreateOpts(sup.JournalPath, sweepjournal.WriterOptions{NoFsync: sup.NoFsync}); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -509,6 +523,14 @@ func supervise(c *dataset.Corpus, workers int, fp string, ladder []rung, sup Sup
 
 	if w != nil {
 		if cerr := w.Close(); cerr != nil && journalErr == nil {
+			journalErr = cerr
+		}
+	}
+	// Compaction only runs on a fully healthy sweep: a journal error
+	// means the log may be missing entries the store would then
+	// truncate away.
+	if journalErr == nil && sup.CompactJournal && sup.Store != nil && sup.JournalPath != "" {
+		if _, cerr := sweepjournal.Compact(sup.JournalPath, sup.Store); cerr != nil {
 			journalErr = cerr
 		}
 	}

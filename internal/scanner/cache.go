@@ -58,6 +58,19 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
+// EstimateBytes approximates the memory retained by the cached
+// front-end entries (a sizing heuristic for pool limits: a flat
+// per-entry charge plus a per-lowered-statement rate).
+func (c *Cache) EstimateBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b int64
+	for _, e := range c.entries {
+		b += 1024 + int64(e.coreStmts)*96
+	}
+	return b
+}
+
 // EvictExcept removes every entry whose path is not in keep, returning
 // the number evicted. Package scans call it on completion so files
 // deleted from the package cannot leave stale programs behind (the

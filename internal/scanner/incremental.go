@@ -13,6 +13,7 @@ import (
 	"repro/internal/mdg"
 	"repro/internal/queries"
 	"repro/internal/reach"
+	"repro/internal/store"
 )
 
 // IncrementalStats counts what the incremental state reused and
@@ -31,6 +32,15 @@ type IncrementalStats struct {
 	// package (EvictedFiles) or their component key went stale
 	// (EvictedFragments).
 	EvictedFiles, EvictedFragments int
+	// Persistent-store traffic (zero unless a store is attached).
+	// StoreHits are entries served from disk instead of rebuilt;
+	// StoreQuarantined counts records dropped for failing a CRC or
+	// decode — each one a corruption turned into a cold rebuild
+	// instead of a wrong finding. StoreErrors counts failed writes
+	// (ENOSPC and injected faults): the entry stayed in memory, the
+	// disk missed a speedup.
+	StoreHits, StoreMisses, StorePuts int
+	StoreQuarantined, StoreErrors     int
 }
 
 // Rebuilds returns the number of fragment rebuilds (the miss count).
@@ -47,6 +57,11 @@ func (s *IncrementalStats) Add(o IncrementalStats) {
 	s.DetectMisses += o.DetectMisses
 	s.EvictedFiles += o.EvictedFiles
 	s.EvictedFragments += o.EvictedFragments
+	s.StoreHits += o.StoreHits
+	s.StoreMisses += o.StoreMisses
+	s.StorePuts += o.StorePuts
+	s.StoreQuarantined += o.StoreQuarantined
+	s.StoreErrors += o.StoreErrors
 }
 
 // IncrementalState carries everything a package's re-scans can reuse:
@@ -62,6 +77,10 @@ type IncrementalState struct {
 	facts map[string]*factsEntry
 	frags map[string]*fragEntry
 	stats IncrementalStats
+	// store, when attached, backs the fragment/detect/facts families
+	// on disk (read-through on miss, write-through on clean build).
+	// See persist.go.
+	store *store.Store
 }
 
 // NewIncrementalState returns an empty per-package incremental state.
@@ -136,27 +155,142 @@ type detectResult struct {
 
 // StatePool hands out one IncrementalState per package name — the
 // shape corpus sweeps need (metrics.SweepGraphJS with
-// Options.IncrementalPool, graphjs -incremental).
+// Options.IncrementalPool, graphjs -incremental, graphjsd's process-
+// wide warm pool). A pool can be bounded (SetLimits) so a long-lived
+// daemon cannot grow without limit: least-recently-used package
+// states are evicted when the entry or estimated-byte cap is
+// exceeded. With a store attached (AttachStore), eviction is cheap to
+// recover from — the evicted state's fragments and detection results
+// live on disk and reload on the package's next scan.
 type StatePool struct {
 	mu     sync.Mutex
 	states map[string]*IncrementalState
+	// lastUse orders states for LRU eviction (tick is a logical clock:
+	// monotonic under mu, no wall-clock reads).
+	lastUse map[string]int64
+	tick    int64
+	store   *store.Store
+
+	maxStates int
+	maxBytes  int64
+
+	evictedStates int64
+	evictedBytes  int64
 }
 
-// NewStatePool returns an empty pool.
+// NewStatePool returns an empty, unbounded pool.
 func NewStatePool() *StatePool {
-	return &StatePool{states: make(map[string]*IncrementalState)}
+	return &StatePool{
+		states:  make(map[string]*IncrementalState),
+		lastUse: make(map[string]int64),
+	}
 }
 
-// Get returns the state for name, creating it on first use.
+// SetLimits bounds the pool: at most maxStates package states and (an
+// estimate of) maxBytes of retained cache memory; zero means
+// unlimited on that axis. Exceeding either evicts least-recently-used
+// states (never the one being returned).
+func (p *StatePool) SetLimits(maxStates int, maxBytes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.maxStates = maxStates
+	p.maxBytes = maxBytes
+}
+
+// AttachStore connects every state in the pool — present and future —
+// to the persistent store. nil detaches.
+func (p *StatePool) AttachStore(s *store.Store) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.store = s
+	for _, st := range p.states {
+		st.AttachStore(s)
+	}
+}
+
+// Store returns the attached persistent store (nil if none).
+func (p *StatePool) Store() *store.Store {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.store
+}
+
+// Save flushes the attached store to disk. Scans write through as
+// they go, so this is a group-commit point (drain, shutdown), not a
+// bulk dump.
+func (p *StatePool) Save() error {
+	s := p.Store()
+	if s == nil {
+		return nil
+	}
+	return s.Sync()
+}
+
+// Get returns the state for name, creating it on first use, and
+// enforces the pool's limits.
 func (p *StatePool) Get(name string) *IncrementalState {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	st := p.states[name]
 	if st == nil {
 		st = NewIncrementalState()
+		st.store = p.store
 		p.states[name] = st
 	}
+	p.tick++
+	p.lastUse[name] = p.tick
+	p.enforceLimits(name)
 	return st
+}
+
+// enforceLimits evicts least-recently-used states (never keep) until
+// both caps hold. Called under p.mu.
+func (p *StatePool) enforceLimits(keep string) {
+	if p.maxStates <= 0 && p.maxBytes <= 0 {
+		return
+	}
+	var total int64
+	sizes := make(map[string]int64, len(p.states))
+	if p.maxBytes > 0 {
+		for name, st := range p.states {
+			sz := st.EstimateBytes()
+			sizes[name] = sz
+			total += sz
+		}
+	}
+	for (p.maxStates > 0 && len(p.states) > p.maxStates) ||
+		(p.maxBytes > 0 && total > p.maxBytes) {
+		victim := ""
+		var oldest int64
+		for name := range p.states {
+			if name == keep {
+				continue
+			}
+			if t := p.lastUse[name]; victim == "" || t < oldest {
+				victim, oldest = name, t
+			}
+		}
+		if victim == "" {
+			return // only keep remains; it is never evicted
+		}
+		sz := sizes[victim]
+		if p.maxBytes > 0 && sz == 0 {
+			sz = p.states[victim].EstimateBytes()
+		}
+		delete(p.states, victim)
+		delete(p.lastUse, victim)
+		p.evictedStates++
+		p.evictedBytes += sz
+		total -= sz
+	}
+}
+
+// Evictions reports how many package states (and how many estimated
+// bytes) the pool's limits have evicted so far.
+func (p *StatePool) Evictions() (states int64, bytes int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.evictedStates, p.evictedBytes
 }
 
 // Len returns the number of package states in the pool.
@@ -175,6 +309,29 @@ func (p *StatePool) Stats() IncrementalStats {
 		out.Add(st.Stats())
 	}
 	return out
+}
+
+// EstimateBytes approximates the memory retained by this state's
+// caches. It is a sizing heuristic for pool limits, not an exact
+// accounting: fragments dominate (nodes and edges at struct size plus
+// slice overhead), front-end entries are charged per lowered
+// statement, facts and detection entries at flat rates.
+func (st *IncrementalState) EstimateBytes() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var b int64
+	for _, fe := range st.frags {
+		if fe.frag != nil {
+			b += int64(fe.frag.NumNodes())*112 + int64(fe.frag.NumEdges())*48
+		}
+		b += int64(len(fe.functions)) * 96
+		for _, dr := range fe.detect {
+			b += 128 + int64(len(dr.findings))*160
+		}
+	}
+	b += st.cache.EstimateBytes()
+	b += int64(len(st.facts)) * 256
+	return b
 }
 
 // scan is the incremental counterpart of scanFiles: same inputs, same
@@ -288,7 +445,12 @@ func (st *IncrementalState) scan(files []SourceFile, name string, opts Options, 
 		hashes[i] = it.entry.hash
 		fe := st.facts[it.rel]
 		if fe == nil || fe.hash != it.entry.hash {
-			fe = &factsEntry{hash: it.entry.hash, facts: extractFacts(it.entry.prog)}
+			facts, fromStore := st.loadFacts(it.entry.hash)
+			if !fromStore {
+				facts = extractFacts(it.entry.prog)
+				st.saveFacts(it.entry.hash, facts)
+			}
+			fe = &factsEntry{hash: it.entry.hash, facts: facts}
 			st.facts[it.rel] = fe
 		}
 		factsList[i] = fe.facts
@@ -323,6 +485,16 @@ func (st *IncrementalState) scan(files []SourceFile, name string, opts Options, 
 		currentKeys[ckey] = true
 		if fe, ok := st.frags[ckey]; ok {
 			st.stats.FragmentHits++
+			lives = append(lives, liveFrag{fe: fe, stored: true})
+			continue
+		}
+		// Warm restart: a fragment built by a previous process (or a
+		// replica sharing the directory) serves from the store instead
+		// of being rebuilt. Decode failure already quarantined and
+		// reported a miss, so the cold path below is the only fallback.
+		if fe, ok := st.loadFrag(ckey); ok {
+			st.stats.FragmentHits++
+			st.frags[ckey] = fe
 			lives = append(lives, liveFrag{fe: fe, stored: true})
 			continue
 		}
@@ -373,6 +545,7 @@ func (st *IncrementalState) scan(files []SourceFile, name string, opts Options, 
 		}
 		fe := newFragEntry(ckey, crels, res)
 		st.frags[ckey] = fe
+		st.saveFrag(fe)
 		lives = append(lives, liveFrag{fe: fe, res: res, stored: true})
 	}
 
@@ -412,6 +585,12 @@ func (st *IncrementalState) scan(files []SourceFile, name string, opts Options, 
 				mergeCachedDetect(rep, dr)
 				continue
 			}
+			if dr, ok := st.loadDetect(lv.fe.key, engine, fb, opts.Config); ok {
+				st.stats.DetectHits++
+				lv.fe.detect[dkey] = dr
+				mergeCachedDetect(rep, dr)
+				continue
+			}
 		}
 		st.stats.DetectMisses++
 		res := lv.res
@@ -426,7 +605,7 @@ func (st *IncrementalState) scan(files []SourceFile, name string, opts Options, 
 		detectInto(scratch, res, cfgq, engine, detb)
 		mergeScratch(rep, scratch)
 		if lv.stored && detb.Err() == nil && !scratch.Incomplete && !scratch.TimedOut {
-			lv.fe.detect[dkey] = &detectResult{
+			dr := &detectResult{
 				findings:    scratch.Findings,
 				truncated:   scratch.TruncatedSearches,
 				fellBack:    scratch.FellBack,
@@ -434,6 +613,8 @@ func (st *IncrementalState) scan(files []SourceFile, name string, opts Options, 
 				err:         scratch.Err,
 				failure:     scratch.Failure,
 			}
+			lv.fe.detect[dkey] = dr
+			st.saveDetect(lv.fe.key, engine, fb, opts.Config, dr)
 		}
 	}
 	rep.Findings = queries.SortFindings(rep.Findings)

@@ -124,6 +124,16 @@ type IncrStatsJSON struct {
 	DetectMisses     int `json:"detectMisses"`
 	EvictedFiles     int `json:"evictedFiles"`
 	EvictedFragments int `json:"evictedFragments"`
+	// Persistent-store traffic (zero unless the daemon runs with
+	// -cache-dir): decoded cache hits served from disk, misses, records
+	// written, and the degrade-to-cold counters — entries quarantined
+	// as undecodable and writes that failed (both are speed loss only,
+	// never finding loss).
+	StoreHits        int `json:"storeHits,omitempty"`
+	StoreMisses      int `json:"storeMisses,omitempty"`
+	StorePuts        int `json:"storePuts,omitempty"`
+	StoreQuarantined int `json:"storeQuarantined,omitempty"`
+	StoreErrors      int `json:"storeErrors,omitempty"`
 }
 
 func incrStatsJSON(s *scanner.IncrementalStats) *IncrStatsJSON {
@@ -135,6 +145,8 @@ func incrStatsJSON(s *scanner.IncrementalStats) *IncrStatsJSON {
 		FragmentHits: s.FragmentHits, FragmentRebuilds: s.Rebuilds(),
 		DetectHits: s.DetectHits, DetectMisses: s.DetectMisses,
 		EvictedFiles: s.EvictedFiles, EvictedFragments: s.EvictedFragments,
+		StoreHits: s.StoreHits, StoreMisses: s.StoreMisses, StorePuts: s.StorePuts,
+		StoreQuarantined: s.StoreQuarantined, StoreErrors: s.StoreErrors,
 	}
 }
 
@@ -199,6 +211,10 @@ type SweepRequest struct {
 	Resume bool `json:"resume,omitempty"`
 	// Requarantine re-scans quarantined targets on resume.
 	Requarantine bool `json:"requarantine,omitempty"`
+	// CompactJournal folds the journal's live entries into the daemon's
+	// persistent store and truncates the JSONL log after the sweep
+	// finishes. Requires Journal and a daemon started with -cache-dir.
+	CompactJournal bool `json:"compactJournal,omitempty"`
 
 	// Engine and budget knobs, clamped exactly like ScanRequest's.
 	Engine      string `json:"engine,omitempty"`
@@ -246,6 +262,36 @@ type StatusResponse struct {
 	// StatePackages is the number of packages with warm incremental
 	// state resident in the process-wide StatePool.
 	StatePackages int `json:"statePackages"`
+	// StateEvictedStates/StateEvictedBytes count LRU evictions from the
+	// StatePool since start (non-zero only when -state-max-entries or
+	// -state-max-bytes bounds the pool).
+	StateEvictedStates int64 `json:"stateEvictedStates"`
+	StateEvictedBytes  int64 `json:"stateEvictedBytes"`
+	// Store is the persistent on-disk cache snapshot; absent unless the
+	// daemon was started with -cache-dir.
+	Store *StoreJSON `json:"store,omitempty"`
+}
+
+// StoreJSON is the wire snapshot of the persistent store backing
+// -cache-dir (see internal/store.Stats).
+type StoreJSON struct {
+	Dir      string `json:"dir"`
+	ReadOnly bool   `json:"readOnly,omitempty"`
+	// Entries/Bytes describe the live index; Bytes is the log size on
+	// disk including superseded records (compaction reclaims it).
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Lifetime traffic counters for this process.
+	Puts int64 `json:"puts"`
+	Gets int64 `json:"gets"`
+	Hits int64 `json:"hits"`
+	// Quarantined counts records dropped for failing CRC or decode
+	// checks; TruncatedBytes counts torn-tail bytes repaired at open.
+	// Both degrade the affected keys to cold — findings never change.
+	Quarantined    int64 `json:"quarantined"`
+	TruncatedBytes int64 `json:"truncatedBytes"`
+	WriteErrors    int64 `json:"writeErrors"`
+	Compactions    int64 `json:"compactions"`
 }
 
 // MetricsResponse is the body of GET /v1/metrics: everything in

@@ -41,6 +41,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/queries"
 	"repro/internal/scanner"
+	"repro/internal/store"
 )
 
 // Options configures a Server. The zero value is usable: GOMAXPROCS
@@ -79,6 +80,21 @@ type Options struct {
 	// NoWarmState disables the process-wide incremental StatePool:
 	// every scan is cold. Useful for memory-constrained replicas.
 	NoWarmState bool
+	// StateMaxEntries/StateMaxBytes bound the StatePool: when either
+	// cap is exceeded the least-recently-used package states are
+	// evicted (0 = unbounded). Evicted packages re-scan cold — or
+	// store-warm when a Store is attached.
+	StateMaxEntries int
+	StateMaxBytes   int64
+
+	// Store, when non-nil, is the persistent on-disk cache behind
+	// -cache-dir: warm state survives restarts, and sweeps may compact
+	// their journals into it. The caller owns it (opens before New,
+	// closes after Drain).
+	Store *store.Store
+	// NoFsync disables per-append journal fsync for sweeps
+	// (benchmarks; a crash may lose acknowledged journal entries).
+	NoFsync bool
 }
 
 // withDefaults resolves the zero values documented on Options.
@@ -171,6 +187,10 @@ func New(opts Options) *Server {
 	s.idle = sync.NewCond(&s.mu)
 	if !o.NoWarmState {
 		s.pool = scanner.NewStatePool()
+		s.pool.SetLimits(o.StateMaxEntries, o.StateMaxBytes)
+		if o.Store != nil {
+			s.pool.AttachStore(o.Store)
+		}
 	}
 	s.mux.HandleFunc("/v1/scan", s.handleScan)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func openServerStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestCacheDirWarmRestart simulates a daemon restart: scan through one
+// server backed by a cache dir, tear it down, start a second server on
+// the same dir, and check the same scan comes back store-warm (no
+// fragment rebuilds) with identical findings.
+func TestCacheDirWarmRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	req := ScanRequest{Name: "restartpkg", Source: "module.exports = function(c){ require('child_process').exec(c) }\n"}
+
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newTestServer(t, Options{Workers: 2, Store: st1})
+	first := decodeResp[ScanResponse](t, postJSON(t, ts1.URL+"/v1/scan", req), http.StatusOK)
+	if first.Incremental == nil || first.Incremental.StorePuts == 0 {
+		t.Fatalf("first scan wrote nothing to the store: %+v", first.Incremental)
+	}
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openServerStore(t, dir)
+	_, ts2 := newTestServer(t, Options{Workers: 2, Store: st2})
+	second := decodeResp[ScanResponse](t, postJSON(t, ts2.URL+"/v1/scan", req), http.StatusOK)
+	if second.Incremental == nil {
+		t.Fatal("restarted scan reported no incremental stats")
+	}
+	if second.Incremental.StoreHits == 0 || second.Incremental.FragmentRebuilds != 0 {
+		t.Fatalf("restart was not store-warm: %+v", second.Incremental)
+	}
+	if len(second.Findings) != len(first.Findings) {
+		t.Fatalf("store-warm restart changed findings: %d vs %d",
+			len(second.Findings), len(first.Findings))
+	}
+
+	// The status snapshot must surface the store and its traffic.
+	status := decodeResp[StatusResponse](t, getURL(t, ts2.URL+"/v1/status"), http.StatusOK)
+	if status.Store == nil {
+		t.Fatal("status omitted the store block despite -cache-dir")
+	}
+	if status.Store.Entries == 0 || status.Store.Hits == 0 {
+		t.Fatalf("status store counters empty: %+v", status.Store)
+	}
+}
+
+// TestCorruptCacheDirDegradesToCold flips bytes across the second
+// server's store log: findings must match the cache-free scan exactly,
+// with the damage visible only as quarantine counters.
+func TestCorruptCacheDirDegradesToCold(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	req := ScanRequest{Name: "rotpkg", Source: "module.exports = function(c){ eval(c) }\n"}
+
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newTestServer(t, Options{Workers: 2, Store: st1})
+	baseline := decodeResp[ScanResponse](t, postJSON(t, ts1.URL+"/v1/scan", req), http.StatusOK)
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot the log body (header left intact so the file is recognized).
+	path := filepath.Join(dir, "store.dat")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 8; i < len(data); i += 11 {
+		data[i] ^= 0x5A
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := openServerStore(t, dir)
+	_, ts2 := newTestServer(t, Options{Workers: 2, Store: st2})
+	got := decodeResp[ScanResponse](t, postJSON(t, ts2.URL+"/v1/scan", req), http.StatusOK)
+	if len(got.Findings) != len(baseline.Findings) {
+		t.Fatalf("corrupted store changed findings: %d vs %d", len(got.Findings), len(baseline.Findings))
+	}
+	if gb, bb := string(encodeReport(got.ReportJSON)), string(encodeReport(baseline.ReportJSON)); gb != bb {
+		t.Fatalf("report diverged under corruption:\n%s\nvs\n%s", gb, bb)
+	}
+}
+
+// TestStatePoolEvictionCounters bounds the pool at one package and
+// checks /v1/status reports the LRU evictions.
+func TestStatePoolEvictionCounters(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2, StateMaxEntries: 1})
+	src := "module.exports = function(x){ return x }\n"
+	for _, name := range []string{"pkg-a", "pkg-b", "pkg-c"} {
+		resp := postJSON(t, ts.URL+"/v1/scan", ScanRequest{Name: name, Source: src})
+		decodeResp[ScanResponse](t, resp, http.StatusOK)
+	}
+	status := decodeResp[StatusResponse](t, getURL(t, ts.URL+"/v1/status"), http.StatusOK)
+	if status.StatePackages != 1 {
+		t.Fatalf("pool holds %d packages, want 1 (cap)", status.StatePackages)
+	}
+	if status.StateEvictedStates != 2 {
+		t.Fatalf("evicted %d states, want 2", status.StateEvictedStates)
+	}
+}
+
+// TestSweepCompactJournalValidation: compactJournal without a journal
+// or without a cache dir is a client error, not a silent no-op.
+func TestSweepCompactJournalValidation(t *testing.T) {
+	corpus := t.TempDir()
+	if err := os.WriteFile(filepath.Join(corpus, "a.js"),
+		[]byte("module.exports = 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Options{Workers: 1})
+	resp := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Path: corpus, CompactJournal: true})
+	decodeResp[ErrorJSON](t, resp, http.StatusBadRequest)
+	resp = postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Path: corpus, Journal: filepath.Join(t.TempDir(), "j.jsonl"), CompactJournal: true})
+	decodeResp[ErrorJSON](t, resp, http.StatusBadRequest)
+}
+
+// TestSweepCompactJournalThroughStore runs a journal-backed sweep with
+// compaction, checks the log is truncated, and that a resume on a
+// fresh server backed by the same store skips every target.
+func TestSweepCompactJournalThroughStore(t *testing.T) {
+	corpus := t.TempDir()
+	vuln := "module.exports = function(c){ require('child_process').exec(c) }\n"
+	for _, name := range []string{"a.js", "b.js"} {
+		if err := os.WriteFile(filepath.Join(corpus, name), []byte(vuln), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+	dir := filepath.Join(t.TempDir(), "cache")
+
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts1 := newTestServer(t, Options{Workers: 2, Store: st1})
+	sweep := decodeResp[SweepResponse](t, postJSON(t, ts1.URL+"/v1/sweep", SweepRequest{
+		Path: corpus, Journal: journal, CompactJournal: true,
+	}), http.StatusOK)
+	if sweep.Completed != 2 {
+		t.Fatalf("sweep completed %d targets, want 2", sweep.Completed)
+	}
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(journal); err != nil || fi.Size() != 0 {
+		t.Fatalf("journal not compacted away: size=%v err=%v", fi.Size(), err)
+	}
+
+	// A fresh daemon on the same store resumes from the compacted
+	// entries: every target skipped, nothing re-scanned.
+	st2 := openServerStore(t, dir)
+	_, ts2 := newTestServer(t, Options{Workers: 2, Store: st2})
+	resumed := decodeResp[SweepResponse](t, postJSON(t, ts2.URL+"/v1/sweep", SweepRequest{
+		Path: corpus, Journal: journal, Resume: true,
+	}), http.StatusOK)
+	if resumed.Resumed != 2 {
+		t.Fatalf("resumed %d targets from the compacted store, want 2", resumed.Resumed)
+	}
+}
+
+func getURL(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp
+}

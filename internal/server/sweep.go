@@ -37,6 +37,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "resume requires a journal")
 		return
 	}
+	if req.CompactJournal {
+		if req.Journal == "" {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "compactJournal requires a journal")
+			return
+		}
+		if s.opts.Store == nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				"compactJournal requires a daemon started with -cache-dir")
+			return
+		}
+	}
 	opts, _, err := s.scanOptions(req.Engine, req.TimeoutMs, req.MaxSteps,
 		req.MaxNodes, req.MaxEdges, req.NoReachGate)
 	if err != nil {
@@ -67,9 +78,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	gerr := budget.Guard("serve-sweep", func() error {
 		var serr error
 		sw, stats, serr = metrics.SuperviseGraphJSTargets(targets, opts, metrics.SuperviseOptions{
-			JournalPath:  req.Journal,
-			Resume:       req.Resume,
-			Requarantine: req.Requarantine,
+			JournalPath:    req.Journal,
+			Resume:         req.Resume,
+			Requarantine:   req.Requarantine,
+			Store:          s.opts.Store,
+			CompactJournal: req.CompactJournal,
+			NoFsync:        s.opts.NoFsync,
 		})
 		return serr
 	})
@@ -212,6 +226,17 @@ func (s *Server) status() StatusResponse {
 	}
 	if s.pool != nil {
 		st.StatePackages = s.pool.Len()
+		st.StateEvictedStates, st.StateEvictedBytes = s.pool.Evictions()
+	}
+	if s.opts.Store != nil {
+		ss := s.opts.Store.Stats()
+		st.Store = &StoreJSON{
+			Dir: s.opts.Store.Dir(), ReadOnly: s.opts.Store.ReadOnly(),
+			Entries: ss.Entries, Bytes: ss.Bytes,
+			Puts: ss.Puts, Gets: ss.Gets, Hits: ss.Hits,
+			Quarantined: ss.Quarantined, TruncatedBytes: ss.TruncatedBytes,
+			WriteErrors: ss.WriteErrors, Compactions: ss.Compactions,
+		}
 	}
 	return st
 }

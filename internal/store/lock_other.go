@@ -1,0 +1,41 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// lock on platforms without flock degrades to best-effort exclusive
+// lockfile creation. A stale lockfile from a killed writer must be
+// removed by the operator (documented in docs/OPERATIONS.md); the unix
+// build, which every deployment target uses, has no such failure mode.
+func (s *Store) lock() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, lockFile), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return fmt.Errorf("%w (%s)", ErrLocked, s.dir)
+		}
+		return fmt.Errorf("store: %w", err)
+	}
+	s.lockF = f
+	return nil
+}
+
+func (s *Store) unlock() error {
+	if s.lockF == nil {
+		return nil
+	}
+	f := s.lockF
+	s.lockF = nil
+	path := f.Name()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: unlock: %w", err)
+	}
+	if err := os.Remove(path); err != nil {
+		return fmt.Errorf("store: unlock: %w", err)
+	}
+	return nil
+}

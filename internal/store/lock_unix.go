@@ -1,0 +1,44 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lock takes the exclusive, non-blocking writer flock on the store
+// directory. flock is advisory but sufficient here: every writer in
+// this codebase goes through Open, and the lock lives exactly as long
+// as the open file descriptor, so a SIGKILL'd writer releases it
+// automatically — no stale-lockfile recovery dance.
+func (s *Store) lock() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, lockFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close() //lint:allow syncclose -- lock fd, nothing written
+		if err == syscall.EWOULDBLOCK {
+			return fmt.Errorf("%w (%s)", ErrLocked, s.dir)
+		}
+		return fmt.Errorf("store: flock: %w", err)
+	}
+	s.lockF = f
+	return nil
+}
+
+// unlock releases the writer flock (closing the fd drops it).
+func (s *Store) unlock() error {
+	if s.lockF == nil {
+		return nil
+	}
+	f := s.lockF
+	s.lockF = nil
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: unlock: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package sweepjournal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/store"
+)
+
+// Journal compaction
+//
+// A long-lived sweep service appends one JSONL line per package per
+// sweep, so the journal grows without bound even when the corpus does
+// not. Compact folds the journal's live state — the last-wins entry
+// per package — into the persistent store (one KindJournal record per
+// package, keyed by package name) and truncates the JSONL log, giving
+// the journal the same crash-safety story as the rest of the store:
+// CRC'd records, atomic compaction, quarantine on corruption.
+//
+// Ordering makes this crash-safe without a transaction: entries are
+// written and fsynced into the store *before* the log is truncated. A
+// crash before the truncate leaves every entry in both places — and
+// since LoadWithStore overlays the file over the store, the duplicate
+// is invisible. A crash during the store writes leaves the log
+// untouched and still authoritative.
+
+// Compact rewrites the journal's live entries into s and truncates the
+// JSONL log. It returns the number of entries now living in the store.
+// A torn final line is handled exactly as Load handles it; corruption
+// mid-file aborts the compaction with the log untouched.
+func Compact(path string, s *store.Store) (kept int, err error) {
+	entries, _, err := Load(path)
+	if err != nil {
+		return 0, err
+	}
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := entries[k]
+		body, merr := json.Marshal(&e)
+		if merr != nil {
+			return 0, fmt.Errorf("sweepjournal: compact marshal %s: %w", k, merr)
+		}
+		if perr := s.Put(store.KindJournal, k, body); perr != nil {
+			return 0, fmt.Errorf("sweepjournal: compact: %w", perr)
+		}
+	}
+	// Durability point: everything lives in the store before the log
+	// shrinks. Only then is dropping the log safe.
+	if serr := s.Sync(); serr != nil {
+		return 0, fmt.Errorf("sweepjournal: compact: %w", serr)
+	}
+	if terr := os.Truncate(path, 0); terr != nil && !os.IsNotExist(terr) {
+		return 0, fmt.Errorf("sweepjournal: compact truncate: %w", terr)
+	}
+	return len(s.Keys(store.KindJournal)), nil
+}
+
+// LoadWithStore replays compacted entries from s (when non-nil) and
+// overlays the live JSONL journal on top — file entries are newer by
+// construction, so they win. A store record that fails to decode is
+// quarantined and skipped: that package re-scans cold, findings
+// unchanged.
+func LoadWithStore(path string, s *store.Store) (entries map[string]Entry, torn bool, err error) {
+	fileEntries, torn, err := Load(path)
+	if err != nil {
+		return nil, torn, err
+	}
+	if s == nil {
+		return fileEntries, torn, nil
+	}
+	entries = make(map[string]Entry, len(fileEntries))
+	for _, k := range s.Keys(store.KindJournal) {
+		body, ok := s.Get(store.KindJournal, k)
+		if !ok {
+			continue // CRC failure: already quarantined by the store
+		}
+		var e Entry
+		if uerr := json.Unmarshal(body, &e); uerr != nil || e.Package == "" || e.Key() != k {
+			s.Quarantine(store.KindJournal, k)
+			continue
+		}
+		entries[k] = e
+	}
+	for k, e := range fileEntries {
+		entries[k] = e
+	}
+	return entries, torn, nil
+}

@@ -1,0 +1,302 @@
+package sweepjournal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	s, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestAppendIsDurablePerEntry: every acknowledged Append must already be
+// on disk — reading the file after Append (without Close) sees the
+// entry, which is what makes a SIGKILL lose at most unacknowledged
+// writes. This is the observable contract of fsync-on-append.
+func TestAppendIsDurablePerEntry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := CreateOpts(path, WriterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for i, pkg := range []string{"a", "b", "c"} {
+		if err := w.Append(entry(pkg, "h", "o", StateComplete)); err != nil {
+			t.Fatal(err)
+		}
+		// Re-open the file by path: Append returned, so the bytes must
+		// have been flushed out of the bufio layer and fsynced.
+		got, torn, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if torn {
+			t.Fatal("durable journal reported torn")
+		}
+		if len(got) != i+1 {
+			t.Fatalf("after append %d: loaded %d entries, want %d", i+1, len(got), i+1)
+		}
+		if _, ok := got[pkg]; !ok {
+			t.Fatalf("entry %q not visible after Append returned", pkg)
+		}
+	}
+}
+
+// TestNoFsyncStillFlushes: -no-fsync skips the fsync but must still
+// flush the buffered writer so a clean Close (or concurrent reader)
+// sees every entry.
+func TestNoFsyncStillFlushes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := CreateOpts(path, WriterOptions{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(entry("pkg", "h", "o", StateComplete)); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["pkg"]; !ok {
+		t.Fatal("entry not flushed under NoFsync")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompactRoundTrip: compaction moves the live state into the store,
+// truncates the log, and LoadWithStore reproduces exactly what Load saw
+// before the compaction.
+func TestCompactRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Superseded entry: compaction must keep only the live (last) one.
+	if err := w.Append(entry("pkg-a", "h1", "o", StateDegraded)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(entry("pkg-a", "h2", "o", StateComplete)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(entry("pkg-b", "h3", "o", StateComplete)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := openStore(t, filepath.Join(dir, "cache"))
+	kept, err := Compact(path, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 2 {
+		t.Fatalf("kept %d entries, want 2", kept)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != 0 {
+		t.Fatalf("log not truncated: size=%v err=%v", fi.Size(), err)
+	}
+	// Plain Load now sees nothing; LoadWithStore sees everything.
+	fileOnly, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fileOnly) != 0 {
+		t.Fatalf("truncated log still has %d entries", len(fileOnly))
+	}
+	after, torn, err := LoadWithStore(path, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn {
+		t.Error("compacted journal reported torn")
+	}
+	if len(after) != len(before) {
+		t.Fatalf("LoadWithStore: %d entries, want %d", len(after), len(before))
+	}
+	for k, want := range before {
+		got, ok := after[k]
+		if !ok {
+			t.Fatalf("entry %q lost in compaction", k)
+		}
+		if got.Hash != want.Hash || got.State != want.State {
+			t.Errorf("entry %q diverged: got %+v want %+v", k, got, want)
+		}
+	}
+}
+
+// TestLoadWithStoreFileWins: entries appended after a compaction are
+// newer than the store's copies and must shadow them on replay.
+func TestLoadWithStoreFileWins(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	s := openStore(t, filepath.Join(dir, "cache"))
+
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(entry("pkg", "old", "o", StateDegraded)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compact(path, s); err != nil {
+		t.Fatal(err)
+	}
+	// A later sweep re-scans the package and appends a fresh entry.
+	w, err = Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(entry("pkg", "new", "o", StateComplete)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadWithStore(path, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := got["pkg"]; e.Hash != "new" || e.State != StateComplete {
+		t.Errorf("file entry did not win over store: %+v", e)
+	}
+}
+
+// TestCompactCrashBeforeTruncate: the crash window between the store
+// sync and the log truncate leaves the entry in both places — replay
+// must see exactly one copy (the file's).
+func TestCompactCrashBeforeTruncate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	s := openStore(t, filepath.Join(dir, "cache"))
+
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(entry("pkg", "h", "o", StateComplete)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash by doing the store half of Compact by hand and
+	// never truncating: this is byte-for-byte the on-disk state a
+	// SIGKILL between Sync and Truncate leaves behind.
+	e := entry("pkg", "h", "o", StateComplete)
+	body, err := json.Marshal(&e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(store.KindJournal, "pkg", body); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadWithStore(path, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("duplicate visible after simulated crash: %d entries", len(got))
+	}
+	if got["pkg"].Hash != "h" {
+		t.Errorf("entry diverged: %+v", got["pkg"])
+	}
+	// Re-running the interrupted compaction converges.
+	if _, err := Compact(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = LoadWithStore(path, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got["pkg"].Hash != "h" {
+		t.Errorf("re-compaction diverged: %+v", got)
+	}
+}
+
+// TestLoadWithStoreQuarantinesBadRecord: a store record holding
+// undecodable or mis-keyed JSON is quarantined and skipped — the
+// package simply re-scans cold.
+func TestLoadWithStoreQuarantinesBadRecord(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	s := openStore(t, filepath.Join(dir, "cache"))
+	if err := s.Put(store.KindJournal, "pkg-bad", []byte("not json")); err != nil {
+		t.Fatal(err)
+	}
+	mismatched, err := json.Marshal(entry("other-pkg", "h", "o", StateComplete))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(store.KindJournal, "pkg-mismatch", mismatched); err != nil {
+		t.Fatal(err)
+	}
+	good, err := json.Marshal(entry("pkg-good", "h", "o", StateComplete))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(store.KindJournal, "pkg-good", good); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadWithStore(path, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("loaded %d entries, want only the good one", len(got))
+	}
+	if _, ok := got["pkg-good"]; !ok {
+		t.Fatal("good entry lost")
+	}
+	if q := s.Stats().Quarantined; q != 2 {
+		t.Errorf("quarantined %d records, want 2", q)
+	}
+}
+
+// TestLoadWithStoreNilStore: callers without a cache directory pass a
+// nil store and get plain Load semantics.
+func TestLoadWithStoreNilStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(entry("pkg", "h", "o", StateComplete)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := LoadWithStore(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("loaded %d entries, want 1", len(got))
+	}
+}

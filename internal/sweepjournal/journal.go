@@ -96,18 +96,46 @@ func (e *Entry) Matches(hash, opts string) bool {
 // Writer appends entries to a journal file. It is safe for concurrent
 // use: each entry is marshaled and written under a lock as a single
 // buffered write followed by a flush, so concurrently finishing
-// workers never interleave bytes within a line.
+// workers never interleave bytes within a line. By default every
+// Append is also fsynced before it returns — batched as a group
+// commit, so concurrently finishing workers share one Sync — making
+// an acknowledged entry durable, not merely handed to the OS.
+// WriterOptions.NoFsync is the escape hatch for benchmarks and
+// throwaway sweeps.
 type Writer struct {
 	mu sync.Mutex
 	f  *os.File
 	w  *bufio.Writer
+
+	noFsync bool
+	// Group commit: written counts flushed appends, synced the highest
+	// append known durable. An Append needing durability only issues
+	// its own Sync if a concurrent one didn't already cover it.
+	written int64
+	synced  int64
+	syncMu  sync.Mutex
 }
 
-// Create opens (creating or appending to) a journal file for writing.
-// A torn final line left by a kill mid-append is repaired first —
-// otherwise the next Append would concatenate onto the torn bytes and
-// corrupt a line in the middle of the file.
+// WriterOptions configures CreateOpts.
+type WriterOptions struct {
+	// NoFsync skips the per-append group-commit fsync. A kill can then
+	// lose acknowledged entries (the OS had the bytes, the disk did
+	// not); resume re-scans them, so this trades durability for
+	// throughput, never correctness.
+	NoFsync bool
+}
+
+// Create opens (creating or appending to) a journal file for writing
+// with default options (fsync on append).
 func Create(path string) (*Writer, error) {
+	return CreateOpts(path, WriterOptions{})
+}
+
+// CreateOpts opens (creating or appending to) a journal file for
+// writing. A torn final line left by a kill mid-append is repaired
+// first — otherwise the next Append would concatenate onto the torn
+// bytes and corrupt a line in the middle of the file.
+func CreateOpts(path string, opts WriterOptions) (*Writer, error) {
 	if err := repairTail(path); err != nil {
 		return nil, err
 	}
@@ -115,7 +143,7 @@ func Create(path string) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sweepjournal: %w", err)
 	}
-	return &Writer{f: f, w: bufio.NewWriter(f)}, nil
+	return &Writer{f: f, w: bufio.NewWriter(f), noFsync: opts.NoFsync}, nil
 }
 
 // repairTail fixes a journal whose final line has no terminating
@@ -144,10 +172,17 @@ func repairTail(path string) error {
 			return fmt.Errorf("sweepjournal: %w", err)
 		}
 		if _, err := f.Write([]byte("\n")); err != nil {
-			f.Close()
+			// The close error is secondary here — the write already
+			// failed — but it must not mask nor be masked silently.
+			if cerr := f.Close(); cerr != nil {
+				return fmt.Errorf("sweepjournal: repair %s: %w (and close: %v)", path, err, cerr)
+			}
 			return fmt.Errorf("sweepjournal: repair %s: %w", path, err)
 		}
-		return f.Close()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("sweepjournal: repair %s: close: %w", path, err)
+		}
+		return nil
 	}
 	if err := os.Truncate(path, int64(len(data)-len(tail))); err != nil {
 		return fmt.Errorf("sweepjournal: repair %s: %w", path, err)
@@ -164,8 +199,9 @@ func lastNewline(data []byte) int {
 	return -1
 }
 
-// Append writes one entry as a JSONL line and flushes it to the OS, so
-// a kill after Append returns cannot tear the line.
+// Append writes one entry as a JSONL line, flushes it, and (unless
+// NoFsync) group-commits it to disk, so an entry a worker saw
+// acknowledged survives not just a process kill but a machine crash.
 func (w *Writer) Append(e Entry) error {
 	if w == nil {
 		return nil
@@ -176,31 +212,65 @@ func (w *Writer) Append(e Entry) error {
 	}
 	data = append(data, '\n')
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if _, err := w.w.Write(data); err != nil {
+		w.mu.Unlock()
 		return fmt.Errorf("sweepjournal: append %s: %w", e.Package, err)
 	}
 	if err := w.w.Flush(); err != nil {
+		w.mu.Unlock()
 		return fmt.Errorf("sweepjournal: flush: %w", err)
 	}
+	w.written++
+	seq := w.written
+	w.mu.Unlock()
+
+	if w.noFsync {
+		return nil
+	}
+	return w.syncTo(seq)
+}
+
+// syncTo is the group commit: whoever acquires the sync lock first
+// fsyncs on behalf of every append flushed before it, so N workers
+// finishing together cost ~1 fsync, not N.
+func (w *Writer) syncTo(seq int64) error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.synced >= seq {
+		return nil
+	}
+	w.mu.Lock()
+	target := w.written
+	w.mu.Unlock()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("sweepjournal: sync: %w", err)
+	}
+	w.synced = target
 	return nil
 }
 
-// Close flushes and closes the underlying file.
+// Close flushes, syncs (unless NoFsync), and closes the underlying
+// file. Every error on the way out is reported — an unreported close
+// error on a writable file is a lost write.
 func (w *Writer) Close() error {
 	if w == nil {
 		return nil
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	var first error
 	if err := w.w.Flush(); err != nil {
-		w.f.Close()
-		return fmt.Errorf("sweepjournal: flush: %w", err)
+		first = fmt.Errorf("sweepjournal: flush: %w", err)
 	}
-	if err := w.f.Close(); err != nil {
-		return fmt.Errorf("sweepjournal: close: %w", err)
+	if first == nil && !w.noFsync {
+		if err := w.f.Sync(); err != nil {
+			first = fmt.Errorf("sweepjournal: sync: %w", err)
+		}
 	}
-	return nil
+	if err := w.f.Close(); err != nil && first == nil {
+		first = fmt.Errorf("sweepjournal: close: %w", err)
+	}
+	return first
 }
 
 // Load replays a journal into a per-package map (last complete entry
