@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench bench-all bench-faults bench-incremental bench-reach bench-resume bench-serve bench-store serve-check tables pathological mutate-check chaos fuzz-smoke
+.PHONY: check fmt vet lint build test race bench bench-all bench-deps bench-faults bench-incremental bench-reach bench-resume bench-serve bench-store serve-check tables pathological mutate-check chaos fuzz-smoke
 
 # check is the tier-1 gate: formatting, vet, the repo-invariant lint
 # suite, build, the race-enabled test suite, the crash-corpus
@@ -95,6 +95,16 @@ bench-store:
 		| $(GO) run ./cmd/benchjson -store -out BENCH_store.json
 	@tail -n 1 BENCH_store.json
 
+# bench-deps snapshots the dependency-tree rescan path into
+# BENCH_deps.json: a cold stitched tree scan vs a warm re-scan after
+# editing one dependency (only that package's fragment rebuilds).
+# benchjson -deps validates the metrics and gates the warm re-scan
+# speedup at ≥2×.
+bench-deps:
+	$(GO) test -run xxx -bench DepsRescan -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -deps -out BENCH_deps.json
+	@tail -n 1 BENCH_deps.json
+
 # serve-check is the scan-service gate: build the daemon, run the
 # race-enabled server lifecycle tests (concurrent-vs-sequential finding
 # identity, 429 shedding, warm resubmit, drain/journal replay), and
@@ -147,3 +157,5 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzIncrementalEquivalence -fuzztime 3s -fuzzminimizetime 5s ./internal/metrics
 	$(GO) test -run xxx -fuzz FuzzReachSoundness -fuzztime 3s -fuzzminimizetime 5s ./internal/scanner
 	$(GO) test -run xxx -fuzz FuzzStoreDecode -fuzztime 3s -fuzzminimizetime 5s ./internal/scanner
+	$(GO) test -run xxx -fuzz FuzzDepResolve -fuzztime 3s -fuzzminimizetime 5s ./internal/deptree
+	$(GO) test -run xxx -fuzz FuzzCrossStitch -fuzztime 3s -fuzzminimizetime 5s ./internal/scanner

@@ -23,6 +23,12 @@
 // must carry cold-ms, warm-ms and speedup, and a restart from a
 // populated -cache-dir must beat a cold sweep by at least 2× (the
 // warm-restart acceptance bar from the store design).
+//
+// -deps validates the dependency-tree snapshot (`make bench-deps` →
+// BENCH_deps.json): the BenchmarkDepsRescan result must carry
+// cold-ms, warm-ms and speedup, and a warm tree re-scan after editing
+// one dependency (only that package's fragment rebuilds) must beat the
+// cold tree scan by at least 2×.
 package main
 
 import (
@@ -51,6 +57,7 @@ func main() {
 	out := flag.String("out", "", "append JSON lines to this file (default stdout)")
 	serve := flag.Bool("serve", false, "validate the BenchmarkServeScan snapshot (cold/warm/percentile metrics, warm ≥2× cold)")
 	storeCheck := flag.Bool("store", false, "validate the BenchmarkStoreRestart snapshot (cold/warm metrics, store-warm restart ≥2× cold)")
+	depsCheck := flag.Bool("deps", false, "validate the BenchmarkDepsRescan snapshot (cold/warm metrics, one-dep-edited tree re-scan ≥2× cold)")
 	flag.Parse()
 
 	w := os.Stdout
@@ -116,6 +123,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *depsCheck {
+		if err := validateDeps(snaps); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -deps:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 // serveSpeedupFloor is the acceptance bar for the warm StatePool path:
@@ -169,6 +182,33 @@ func validateStore(snaps []Snapshot) error {
 		return nil
 	}
 	return fmt.Errorf("no BenchmarkStoreRestart result on stdin")
+}
+
+// depsSpeedupFloor is the acceptance bar for warm tree re-scans: after
+// editing one dependency, a re-scan that rebuilds only that package's
+// fragment must beat the cold whole-tree scan by at least this factor.
+const depsSpeedupFloor = 2.0
+
+// validateDeps checks the dependency-tree rescan benchmark produced
+// the metrics the BENCH_deps.json snapshot promises and that the warm
+// one-dep-edited re-scan clears the speedup floor.
+func validateDeps(snaps []Snapshot) error {
+	for _, s := range snaps {
+		if !strings.HasPrefix(s.Benchmark, "BenchmarkDepsRescan") {
+			continue
+		}
+		for _, m := range []string{"cold-ms", "warm-ms", "speedup"} {
+			if _, ok := s.Metrics[m]; !ok {
+				return fmt.Errorf("%s is missing metric %q", s.Benchmark, m)
+			}
+		}
+		if sp := s.Metrics["speedup"]; sp < depsSpeedupFloor {
+			return fmt.Errorf("warm tree re-scan speedup %.2fx below the %.1fx floor (cold %.3fms, warm %.3fms)",
+				sp, depsSpeedupFloor, s.Metrics["cold-ms"], s.Metrics["warm-ms"])
+		}
+		return nil
+	}
+	return fmt.Errorf("no BenchmarkDepsRescan result on stdin")
 }
 
 // parseBenchLine parses one `go test -bench` result line, e.g.

@@ -16,6 +16,9 @@
 //	-max-nodes N    per-target MDG node cap (0 = unlimited)
 //	-max-edges N    per-target MDG edge cap (0 = unlimited)
 //	-require-sink   treat dynamic require() as a code-injection sink
+//	-tree           scan package directories as dependency trees: resolve
+//	                node_modules, analyze each package as its own MDG
+//	                fragment, stitch, and link cross-package flows
 //	-incremental    reuse MDG fragments across scans of repeated targets
 //	-cache-dir DIR  persistent analysis store: cached fragments and results
 //	                survive across invocations (implies -incremental)
@@ -42,6 +45,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -66,6 +70,7 @@ func main() {
 	maxNodes := flag.Int("max-nodes", 0, "per-target MDG node cap (0 = unlimited)")
 	maxEdges := flag.Int("max-edges", 0, "per-target MDG edge cap (0 = unlimited)")
 	requireSink := flag.Bool("require-sink", false, "treat dynamic require() as a code-injection sink")
+	treeMode := flag.Bool("tree", false, "scan package directories as dependency trees: resolve node_modules, stitch per-package MDG fragments, and link cross-package flows")
 	incremental := flag.Bool("incremental", false, "reuse MDG fragments and detection results across scans of repeated targets; -stats prints hit/miss/rebuild counters")
 	cacheDir := flag.String("cache-dir", "", "persistent analysis store directory; cached work survives across invocations (implies -incremental)")
 	noFsync := flag.Bool("no-fsync", false, "skip store/journal fsyncs (benchmarks only; a crash may lose cached work)")
@@ -117,6 +122,7 @@ func main() {
 	opts := scanner.Options{
 		Config: cfg, Timeout: *timeout, Engine: engine,
 		MaxSteps: *maxSteps, MaxNodes: *maxNodes, MaxEdges: *maxEdges,
+		Tree: *treeMode,
 	}
 	var pool *scanner.StatePool
 	if *incremental || *cacheDir != "" {
@@ -269,6 +275,9 @@ func scanTarget(target string, opts scanner.Options) *scanner.Report {
 		return &scanner.Report{Name: target, Err: err}
 	}
 	if info.IsDir() {
+		if opts.Tree {
+			return scanner.ScanTreeDir(target, opts)
+		}
 		return scanner.ScanPackage(target, opts)
 	}
 	return scanner.ScanFile(target, opts)
@@ -291,9 +300,15 @@ func runSweep(targets []string, opts scanner.Options, pool *scanner.StatePool,
 		}
 		seen[target] = true
 		target := target
+		hash := func() string { return hashTarget(target) }
+		if opts.Tree {
+			// Tree scans depend on node_modules content and package.json
+			// manifests, so the resume hash must cover them too.
+			hash = func() string { return metrics.HashTreeTarget(target) }
+		}
 		units = append(units, metrics.Target{
 			Name: target,
-			Hash: func() string { return hashTarget(target) },
+			Hash: hash,
 			Scan: func(o scanner.Options) *scanner.Report {
 				if pool != nil {
 					o.Incremental = pool.Get(target)
@@ -381,6 +396,9 @@ func printHuman(rep *scanner.Report, stats, trace bool) {
 		if f.Provenance.Entry != "" {
 			fmt.Printf("    via %s\n", f.Provenance)
 		}
+		if len(f.Provenance.DepPath) > 0 {
+			fmt.Printf("    dependencies: %s\n", strings.Join(f.Provenance.DepPath, " -> "))
+		}
 		if trace && len(f.Path) > 0 {
 			fmt.Printf("    witness path: %d nodes (ids %v)\n", len(f.Path), f.Path)
 		}
@@ -388,6 +406,9 @@ func printHuman(rep *scanner.Report, stats, trace bool) {
 	if stats {
 		fmt.Printf("  stats: %d LoC, %d AST nodes, %d CFG nodes, %d MDG nodes, %d MDG edges\n",
 			rep.LoC, rep.ASTNodes, rep.CFGNodes, rep.MDGNodes, rep.MDGEdges)
+		if rep.TreePackages > 0 {
+			fmt.Printf("  tree: %d packages, node_modules depth %d\n", rep.TreePackages, rep.TreeDepth)
+		}
 		fmt.Printf("  time: graph %s, traversals %s (engine %s)\n", rep.GraphTime, rep.QueryTime, rep.Engine)
 		for _, ph := range rep.Phases {
 			fmt.Printf("  phase %s: %d steps, %d nodes, %d edges, %s\n",

@@ -85,6 +85,29 @@ type Result struct {
 	// currently in effect on this result (every function marked
 	// exported because none was really exported).
 	FallbackApplied bool
+
+	// Externals maps each unresolved require specifier to the
+	// synthetic placeholder module node allocated for it. The tree
+	// scanner's cross-package linker replaces these placeholders'
+	// flows with the real dependency's exports after stitching.
+	Externals map[string]mdg.Loc
+	// CalleeLocs and CallThis record, per call node, the abstract
+	// callee and `this` value sets the interpreter observed (only for
+	// calls that reached summary linking — require() and built-in
+	// models are excluded, matching what a combined whole-program
+	// analysis would link). The tree linker uses them to wire
+	// cross-package calls to dependency function summaries.
+	CalleeLocs map[mdg.Loc][]mdg.Loc
+	CallThis   map[mdg.Loc][]mdg.Loc
+	// ModuleEnv maps each module file to its CommonJS globals, so the
+	// linker can read a dependency's module.exports after stitching.
+	ModuleEnv map[string]ModuleLocs
+}
+
+// ModuleLocs is one module's CommonJS globals (see Result.ModuleEnv).
+type ModuleLocs struct {
+	Module  mdg.Loc
+	Exports mdg.Loc
 }
 
 // FuncSummary is the per-function summary used for call linking.
@@ -118,6 +141,11 @@ type analyzer struct {
 	curFile  string
 	modules  map[string]moduleGlobals
 	siteBase int
+
+	// Cross-package linker side tables (see Result).
+	externals  map[string]mdg.Loc
+	calleeLocs map[mdg.Loc][]mdg.Loc
+	callThis   map[mdg.Loc][]mdg.Loc
 }
 
 // moduleGlobals holds one module's CommonJS objects.
@@ -142,11 +170,14 @@ func AnalyzeModules(progs []*core.Program, opts Options) *Result {
 		opts.MaxLoopIter = 30
 	}
 	a := &analyzer{
-		g:       mdg.New(),
-		opts:    opts,
-		funcs:   make(map[string]*FuncSummary),
-		root:    mdg.NewStore(nil),
-		modules: make(map[string]moduleGlobals),
+		g:          mdg.New(),
+		opts:       opts,
+		funcs:      make(map[string]*FuncSummary),
+		root:       mdg.NewStore(nil),
+		modules:    make(map[string]moduleGlobals),
+		externals:  make(map[string]mdg.Loc),
+		calleeLocs: make(map[mdg.Loc][]mdg.Loc),
+		callThis:   make(map[mdg.Loc][]mdg.Loc),
 	}
 	a.g.SetBudget(opts.Budget)
 	res := &Result{Graph: a.g, Functions: a.funcs}
@@ -204,6 +235,13 @@ func AnalyzeModules(progs []*core.Program, opts Options) *Result {
 	}
 	res.Calls = a.calls
 	res.Steps = a.steps
+	res.Externals = a.externals
+	res.CalleeLocs = a.calleeLocs
+	res.CallThis = a.callThis
+	res.ModuleEnv = make(map[string]ModuleLocs, len(a.modules))
+	for file, mg := range a.modules {
+		res.ModuleEnv[file] = ModuleLocs{Module: mg.moduleLoc, Exports: mg.exportsLoc}
+	}
 	recomputeSources(res, opts.TreatAllFunctionsAsExported)
 	return res
 }
@@ -608,6 +646,7 @@ func (a *analyzer) call(x *core.Call, st *mdg.Store) {
 				return
 			}
 			ml := a.g.Alloc("module", 0, 0, lit.Value, mdg.KindObject, lit.Value, x.Ln)
+			a.externals[lit.Value] = ml
 			a.g.AddDep(cl, ml)
 			st.Set(x.X, []mdg.Loc{ml})
 			return
@@ -617,6 +656,16 @@ func (a *analyzer) call(x *core.Call, st *mdg.Store) {
 	// Built-in models (Object.assign, JSON.parse, push, ...).
 	if a.builtinCall(x, st, cl, argLocs, thisLocs) {
 		return
+	}
+
+	// Record the callee/this value sets for the cross-package linker:
+	// only calls that reach summary linking (require and built-in
+	// models returned above), accumulated across fixpoint passes.
+	if len(calleeLocs) > 0 {
+		a.calleeLocs[cl] = dedupeLocs(append(a.calleeLocs[cl], calleeLocs...))
+	}
+	if len(thisLocs) > 0 {
+		a.callThis[cl] = dedupeLocs(append(a.callThis[cl], thisLocs...))
 	}
 
 	// Link summaries of statically resolved callees.

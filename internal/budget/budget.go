@@ -36,14 +36,18 @@ type Class string
 const (
 	ClassNone    Class = ""
 	ClassParse   Class = "parse-error"
+	ClassResolve Class = "resolve-error"
 	ClassTimeout Class = "timeout"
 	ClassBudget  Class = "budget-exceeded"
 	ClassPanic   Class = "engine-panic"
 	ClassQuery   Class = "query-error"
 )
 
-// Classes lists the failure classes in reporting order.
-var Classes = []Class{ClassParse, ClassTimeout, ClassBudget, ClassPanic, ClassQuery}
+// Classes lists the failure classes in reporting order. ClassResolve
+// is a dependency-tree resolution failure (missing or broken
+// node_modules entry): like ClassParse it is deterministic — retrying
+// with a different engine or budget cannot fix the tree on disk.
+var Classes = []Class{ClassParse, ClassResolve, ClassTimeout, ClassBudget, ClassPanic, ClassQuery}
 
 // String renders the class for tables ("ok" for ClassNone).
 func (c Class) String() string {

@@ -1,0 +1,443 @@
+package dataset
+
+import (
+	"fmt"
+	"path"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/deptree"
+	"repro/internal/queries"
+)
+
+// Multi-package dependency-tree fixtures for the cross-package
+// scanner (scanner.Options.Tree). Each template is a small npm-style
+// tree — root package plus node_modules — with a cross-package
+// source→sink flow in the vulnerable variant and the same topology
+// with no tainted flow in the benign one. The //@sink markers carry
+// per-file ground truth, and FlattenTree rewrites every tree into a
+// single flat package (bare requires → relative requires) so the
+// tree-equivalence oracle can demand byte-identical findings from the
+// stitched and the flattened scan.
+
+// TreeFile is one file of a dependency-tree fixture (package.json
+// manifests included — the resolver needs them, the scanner's front
+// end ignores them).
+type TreeFile struct {
+	Rel string
+	Src string
+}
+
+// TreeAnnotation is file-qualified ground truth: tree sinks live in
+// dependency files, so the single-file Annotation line is not enough.
+type TreeAnnotation struct {
+	CWE  queries.CWE
+	File string
+	Line int
+}
+
+// TreeCase is one dependency-tree fixture.
+type TreeCase struct {
+	Name       string
+	Vulnerable bool
+	CWE        queries.CWE
+	// Files are sorted by Rel with ground-truth markers stripped.
+	Files []TreeFile
+	// Annotated lists the expected findings (empty when benign).
+	Annotated []TreeAnnotation
+	// Packages and Depth describe the expected resolved tree shape:
+	// package count and deepest node_modules nesting level.
+	Packages int
+	Depth    int
+}
+
+// TreeCases renders every tree template in both variants. The five
+// topologies cover the resolver's interesting axes: a direct
+// dependency, a transitive chain resolved by node_modules walk-up, a
+// diamond with a shared leaf, nested-node_modules version shadowing
+// (innermost wins), and a scoped package with a subpath require.
+func TreeCases() []TreeCase {
+	var out []TreeCase
+	for _, vulnerable := range []bool{true, false} {
+		out = append(out,
+			directTree(vulnerable),
+			chainTree(vulnerable),
+			diamondTree(vulnerable),
+			shadowedTree(vulnerable),
+			scopedTree(vulnerable),
+		)
+	}
+	return out
+}
+
+// finalizeTree strips //@sink markers, records annotations, and sorts
+// files into the scanner's canonical Rel order.
+func finalizeTree(c TreeCase) TreeCase {
+	sort.Slice(c.Files, func(i, j int) bool { return c.Files[i].Rel < c.Files[j].Rel })
+	for i, f := range c.Files {
+		lines := strings.Split(f.Src, "\n")
+		for ln, text := range lines {
+			if strings.Contains(text, sinkMarker) {
+				c.Annotated = append(c.Annotated, TreeAnnotation{
+					CWE:  c.CWE,
+					File: f.Rel,
+					Line: ln + 1,
+				})
+			}
+		}
+		c.Files[i].Src = strings.ReplaceAll(f.Src, sinkMarker, "")
+	}
+	return c
+}
+
+func manifest(name, version string, main string, deps map[string]string) string {
+	var b strings.Builder
+	b.WriteString("{\n")
+	fmt.Fprintf(&b, "  %q: %q,\n", "name", name)
+	fmt.Fprintf(&b, "  %q: %q", "version", version)
+	if main != "" {
+		fmt.Fprintf(&b, ",\n  %q: %q", "main", main)
+	}
+	if len(deps) > 0 {
+		names := make([]string, 0, len(deps))
+		for n := range deps {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString(",\n  \"dependencies\": {\n")
+		for i, n := range names {
+			fmt.Fprintf(&b, "    %q: %q", n, deps[n])
+			if i < len(names)-1 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("  }")
+	}
+	b.WriteString("\n}\n")
+	return b.String()
+}
+
+// directTree: root → dep. The dependency's exported function pipes its
+// argument into exec; the root package forwards its own API parameter
+// across the boundary.
+func directTree(vulnerable bool) TreeCase {
+	depBody := `const { exec } = require('child_process');
+function run(cmd) {
+	exec('echo build');
+}
+module.exports = { run: run };
+`
+	if vulnerable {
+		depBody = `const { exec } = require('child_process');
+function run(cmd) {
+	exec(cmd); //@sink
+}
+module.exports = { run: run };
+`
+	}
+	name := "tree-direct-benign"
+	if vulnerable {
+		name = "tree-direct"
+	}
+	return finalizeTree(TreeCase{
+		Name:       name,
+		Vulnerable: vulnerable,
+		CWE:        queries.CWECommandInjection,
+		Packages:   2,
+		Depth:      1,
+		Files: []TreeFile{
+			{Rel: "package.json", Src: manifest("root-direct", "1.0.0", "", map[string]string{"dep": "^1.2.0"})},
+			{Rel: "index.js", Src: `var dep = require('dep');
+function deploy(input) {
+	dep.run('deploy ' + input);
+}
+module.exports = deploy;
+`},
+			{Rel: "node_modules/dep/package.json", Src: manifest("dep", "1.2.3", "index.js", nil)},
+			{Rel: "node_modules/dep/index.js", Src: depBody},
+		},
+	})
+}
+
+// chainTree: root → wrap → decor, with the *sink in the root*: the
+// tainted value crosses two package boundaries through return values
+// (wrap.label returns decor.mark's result), so the finding exists only
+// if cross-package summary linking actually grafts return flows.
+func chainTree(vulnerable bool) TreeCase {
+	rootBody := `const { exec } = require('child_process');
+var wrap = require('wrap');
+function release(input) {
+	wrap.label(input);
+	exec('make release');
+}
+module.exports = release;
+`
+	if vulnerable {
+		rootBody = `const { exec } = require('child_process');
+var wrap = require('wrap');
+function release(input) {
+	var cmd = wrap.label(input);
+	exec(cmd); //@sink
+}
+module.exports = release;
+`
+	}
+	name := "tree-chain-benign"
+	if vulnerable {
+		name = "tree-chain"
+	}
+	return finalizeTree(TreeCase{
+		Name:       name,
+		Vulnerable: vulnerable,
+		CWE:        queries.CWECommandInjection,
+		Packages:   3,
+		Depth:      1,
+		Files: []TreeFile{
+			{Rel: "package.json", Src: manifest("root-chain", "1.0.0", "", map[string]string{"wrap": "^2.0.0"})},
+			{Rel: "index.js", Src: rootBody},
+			{Rel: "node_modules/wrap/package.json", Src: manifest("wrap", "2.0.1", "index.js", map[string]string{"decor": "^1.0.0"})},
+			{Rel: "node_modules/wrap/index.js", Src: `var decor = require('decor');
+function label(s) {
+	return decor.mark('v ' + s);
+}
+module.exports = { label: label };
+`},
+			{Rel: "node_modules/decor/package.json", Src: manifest("decor", "1.0.4", "index.js", nil)},
+			{Rel: "node_modules/decor/index.js", Src: `function mark(m) {
+	return 'run ' + m;
+}
+module.exports = { mark: mark };
+`},
+		},
+	})
+}
+
+// diamondTree: root → {left, right} → core. Both intermediates share
+// one leaf; the left edge carries taint, the right passes a constant.
+func diamondTree(vulnerable bool) TreeCase {
+	coreBody := `function render(t) {
+	eval('poll()');
+}
+module.exports = { render: render };
+`
+	if vulnerable {
+		coreBody = `function render(t) {
+	eval('fn(' + t + ')'); //@sink
+}
+module.exports = { render: render };
+`
+	}
+	name := "tree-diamond-benign"
+	if vulnerable {
+		name = "tree-diamond"
+	}
+	return finalizeTree(TreeCase{
+		Name:       name,
+		Vulnerable: vulnerable,
+		CWE:        queries.CWECodeInjection,
+		Packages:   4,
+		Depth:      1,
+		Files: []TreeFile{
+			{Rel: "package.json", Src: manifest("root-diamond", "1.0.0", "", map[string]string{"left": "^1.0.0", "right": "^1.0.0"})},
+			{Rel: "index.js", Src: `var left = require('left');
+var right = require('right');
+function view(input) {
+	left.prep(input);
+	right.report();
+}
+module.exports = view;
+`},
+			{Rel: "node_modules/left/package.json", Src: manifest("left", "1.1.0", "index.js", map[string]string{"core": "^3.0.0"})},
+			{Rel: "node_modules/left/index.js", Src: `var core = require('core');
+function prep(v) {
+	core.render(v);
+}
+module.exports = { prep: prep };
+`},
+			{Rel: "node_modules/right/package.json", Src: manifest("right", "1.2.0", "index.js", map[string]string{"core": "^3.0.0"})},
+			{Rel: "node_modules/right/index.js", Src: `var core = require('core');
+function report() {
+	core.render('0');
+}
+module.exports = { report: report };
+`},
+			{Rel: "node_modules/core/package.json", Src: manifest("core", "3.0.2", "index.js", nil)},
+			{Rel: "node_modules/core/index.js", Src: coreBody},
+		},
+	})
+}
+
+// shadowedTree: the root depends on helper and on filter v2 (benign);
+// helper ships its own nested node_modules/filter v1, which is the
+// vulnerable one. helper's require('filter') must resolve to the
+// nested copy — innermost wins — so the expected sink lives in
+// node_modules/helper/node_modules/filter/index.js, never in the
+// top-level filter.
+func shadowedTree(vulnerable bool) TreeCase {
+	nestedBody := `const { exec } = require('child_process');
+function fire(cmd) {
+	exec('echo v1');
+}
+module.exports = { fire: fire };
+`
+	if vulnerable {
+		nestedBody = `const { exec } = require('child_process');
+function fire(cmd) {
+	exec(cmd); //@sink
+}
+module.exports = { fire: fire };
+`
+	}
+	name := "tree-shadowed-benign"
+	if vulnerable {
+		name = "tree-shadowed"
+	}
+	return finalizeTree(TreeCase{
+		Name:       name,
+		Vulnerable: vulnerable,
+		CWE:        queries.CWECommandInjection,
+		Packages:   4,
+		Depth:      2,
+		Files: []TreeFile{
+			{Rel: "package.json", Src: manifest("root-shadowed", "1.0.0", "", map[string]string{"filter": "^2.0.0", "helper": "^1.0.0"})},
+			{Rel: "index.js", Src: `var helper = require('helper');
+var filter = require('filter');
+function go(input) {
+	helper.run(input);
+	filter.fire(input);
+}
+module.exports = go;
+`},
+			{Rel: "node_modules/helper/package.json", Src: manifest("helper", "1.0.0", "index.js", map[string]string{"filter": "^1.0.0"})},
+			{Rel: "node_modules/helper/index.js", Src: `var filter = require('filter');
+function run(x) {
+	filter.fire(x);
+}
+module.exports = { run: run };
+`},
+			{Rel: "node_modules/helper/node_modules/filter/package.json", Src: manifest("filter", "1.0.9", "index.js", nil)},
+			{Rel: "node_modules/helper/node_modules/filter/index.js", Src: nestedBody},
+			{Rel: "node_modules/filter/package.json", Src: manifest("filter", "2.1.0", "index.js", nil)},
+			{Rel: "node_modules/filter/index.js", Src: `const { exec } = require('child_process');
+function fire(cmd) {
+	exec('echo v2');
+}
+module.exports = { fire: fire };
+`},
+		},
+	})
+}
+
+// scopedTree: a scoped package (@org/toolkit) with a non-index main
+// and a subpath require (@org/toolkit/lib/extra) holding the sink.
+func scopedTree(vulnerable bool) TreeCase {
+	extraBody := `var fs = require('fs');
+function grab(p, cb) {
+	fs.readFile('/srv/fixed', cb);
+}
+module.exports = { grab: grab };
+`
+	if vulnerable {
+		extraBody = `var fs = require('fs');
+function grab(p, cb) {
+	fs.readFile('/srv/' + p, cb); //@sink
+}
+module.exports = { grab: grab };
+`
+	}
+	name := "tree-scoped-benign"
+	if vulnerable {
+		name = "tree-scoped"
+	}
+	return finalizeTree(TreeCase{
+		Name:       name,
+		Vulnerable: vulnerable,
+		CWE:        queries.CWEPathTraversal,
+		Packages:   2,
+		Depth:      1,
+		Files: []TreeFile{
+			{Rel: "package.json", Src: manifest("root-scoped", "1.0.0", "", map[string]string{"@org/toolkit": "^4.0.0"})},
+			{Rel: "index.js", Src: `var kit = require('@org/toolkit');
+var extra = require('@org/toolkit/lib/extra');
+function fetch(input, cb) {
+	kit.hello();
+	extra.grab(input, cb);
+}
+module.exports = fetch;
+`},
+			{Rel: "node_modules/@org/toolkit/package.json", Src: manifest("@org/toolkit", "4.2.0", "lib/main.js", nil)},
+			{Rel: "node_modules/@org/toolkit/lib/main.js", Src: `function hello() {
+	return 'kit';
+}
+module.exports = { hello: hello };
+`},
+			{Rel: "node_modules/@org/toolkit/lib/extra.js", Src: extraBody},
+		},
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Flattening (the differential oracle's reference scan)
+// ---------------------------------------------------------------------------
+
+var requireRe = regexp.MustCompile(`require\('([^']+)'\)`)
+
+// FlattenTree rewrites a dependency tree into one flat multi-file
+// package: every bare require that the resolver can resolve becomes a
+// relative require of the same target file, package.json manifests are
+// dropped, and every .js file keeps its Rel and line numbers. Scanning
+// the result as an ordinary package is the ground-truth reference for
+// the stitched tree scan.
+func FlattenTree(c TreeCase) []TreeFile {
+	fmap := make(map[string]string, len(c.Files))
+	for _, f := range c.Files {
+		fmap[f.Rel] = f.Src
+	}
+	tree := deptree.Build(fmap)
+	var out []TreeFile
+	for _, f := range c.Files {
+		if !strings.HasSuffix(f.Rel, ".js") {
+			continue
+		}
+		owner := tree.Owner(f.Rel)
+		src := requireRe.ReplaceAllStringFunc(f.Src, func(m string) string {
+			spec := requireRe.FindStringSubmatch(m)[1]
+			if strings.HasPrefix(spec, "./") || strings.HasPrefix(spec, "../") {
+				return m
+			}
+			target, err := tree.Resolve(owner, spec)
+			if err != nil {
+				return m // external (builtin) — stays bare
+			}
+			return fmt.Sprintf("require('%s')", relativeSpec(f.Rel, target))
+		})
+		out = append(out, TreeFile{Rel: f.Rel, Src: src})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rel < out[j].Rel })
+	return out
+}
+
+// relativeSpec renders target as a relative require specifier as seen
+// from the directory of from (both slash-separated Rel paths).
+func relativeSpec(from, target string) string {
+	dir := path.Dir(from)
+	if dir == "." {
+		dir = ""
+	}
+	dsegs := []string{}
+	if dir != "" {
+		dsegs = strings.Split(dir, "/")
+	}
+	tsegs := strings.Split(target, "/")
+	common := 0
+	for common < len(dsegs) && common < len(tsegs)-1 && dsegs[common] == tsegs[common] {
+		common++
+	}
+	rel := strings.Repeat("../", len(dsegs)-common) + strings.Join(tsegs[common:], "/")
+	if !strings.HasPrefix(rel, "../") {
+		rel = "./" + rel
+	}
+	return rel
+}

@@ -14,6 +14,41 @@ import (
 // node_modules, test dirs, and .git). Unreadable targets hash their
 // error text, so a target that starts failing re-runs instead of
 // resuming.
+// HashTreeTarget is HashTarget for dependency-tree scans (-tree): the
+// walk descends into node_modules and includes package.json manifests,
+// so editing one dependency (or the tree's layout) changes the hash
+// and defeats a stale resume.
+func HashTreeTarget(target string) string {
+	errHash := func(err error) string { return sweepjournal.ContentHash("error: " + err.Error()) }
+	files := map[string]string{}
+	err := filepath.Walk(target, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			base := filepath.Base(path)
+			if base == "test" || base == "tests" || base == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		isJS := strings.HasSuffix(path, ".js") && !strings.HasSuffix(path, ".min.js")
+		if !isJS && filepath.Base(path) != "package.json" {
+			return nil
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		files[path] = string(data)
+		return nil
+	})
+	if err != nil {
+		return errHash(err)
+	}
+	return sweepjournal.ContentHashFiles(files)
+}
+
 func HashTarget(target string) string {
 	errHash := func(err error) string { return sweepjournal.ContentHash("error: " + err.Error()) }
 	info, err := os.Stat(target)

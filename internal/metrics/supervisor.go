@@ -251,9 +251,11 @@ func runLadder(pkg, hash, fp string, ladder []rung, backoff time.Duration,
 		}
 
 		switch res.Failure {
-		case budget.ClassNone, budget.ClassParse:
+		case budget.ClassNone, budget.ClassParse, budget.ClassResolve:
 			// A clean result — or a deterministic content error no rung
-			// can fix. Full fidelity at the top rung is complete;
+			// can fix (a parse error, or a dependency tree whose
+			// node_modules layout is missing or broken). Full fidelity
+			// at the top rung is complete;
 			// anything lower is a degraded (but terminal) answer.
 			if ri == 0 {
 				return terminal(sweepjournal.StateComplete)

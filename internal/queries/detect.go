@@ -24,6 +24,11 @@ type Provenance struct {
 	Entry    string
 	Hops     []string
 	Fallback bool
+	// DepPath is the dependency-tree package chain the call path
+	// crosses, root package first ("name@version (dir)" labels). Only
+	// tree-mode scans fill it; like the rest of Provenance it is
+	// excluded from finding identity.
+	DepPath []string
 }
 
 // String renders the provenance as "entry → hop → … → hop".

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -134,6 +135,14 @@ type fragEntry struct {
 	realExported map[string]bool
 	hasReal      bool
 	detect       map[detectKey]*detectResult
+	// Cross-package linker side tables (tree mode): unresolved require
+	// placeholders, per-call callee/this value sets, and per-module
+	// CommonJS globals. Locations are fragment-local; ScanTree
+	// translates them through the stitch remap (see analysis.Result).
+	externals  map[string]mdg.Loc
+	calleeLocs map[mdg.Loc][]mdg.Loc
+	callThis   map[mdg.Loc][]mdg.Loc
+	modEnv     map[string]analysis.ModuleLocs
 }
 
 type detectKey struct {
@@ -638,6 +647,11 @@ func (st *IncrementalState) scan(files []SourceFile, name string, opts Options, 
 	// again without also reproducing the old content.
 	if !aborted {
 		for k := range st.frags {
+			// Tree-mode fragments live in their own key namespace and
+			// are invalidated by scanTree, never by a component scan.
+			if strings.HasPrefix(k, treeKeyPrefix) {
+				continue
+			}
 			if !currentKeys[k] {
 				delete(st.frags, k)
 				st.stats.EvictedFragments++
@@ -685,6 +699,10 @@ func partialFragEntry(key string, rels []string, res *analysis.Result) *fragEntr
 		realExported: make(map[string]bool, len(res.Functions)),
 		hasReal:      res.HasRealExports,
 		detect:       make(map[detectKey]*detectResult),
+		externals:    res.Externals,
+		calleeLocs:   res.CalleeLocs,
+		callThis:     res.CallThis,
+		modEnv:       res.ModuleEnv,
 	}
 	for name, fn := range res.Functions {
 		fe.realExported[name] = fn.Exported
@@ -699,7 +717,11 @@ func partialFragEntry(key string, rels []string, res *analysis.Result) *fragEntr
 // fallback applied if requested.
 func rehydrate(fe *fragEntry, fallback bool) *analysis.Result {
 	g, _ := mdg.Stitch(fe.frag)
-	res := &analysis.Result{Graph: g, Functions: fe.functions, HasRealExports: fe.hasReal}
+	res := &analysis.Result{
+		Graph: g, Functions: fe.functions, HasRealExports: fe.hasReal,
+		Externals: fe.externals, CalleeLocs: fe.calleeLocs,
+		CallThis: fe.callThis, ModuleEnv: fe.modEnv,
+	}
 	for name, fn := range fe.functions {
 		fn.Exported = fe.realExported[name]
 		if n := g.Node(fn.Loc); n != nil {

@@ -50,8 +50,11 @@ import (
 
 // persistVersion versions the scanner-level record bodies,
 // independently of the store's record framing and the mdg fragment
-// codec (each layer can evolve alone).
-const persistVersion = 1
+// codec (each layer can evolve alone). Version 2 added the
+// cross-package linker side tables (externals, callee/this sets,
+// module environments) to fragment entries; version-1 records decode-
+// fail into a quarantine + cold rebuild, the standard upgrade path.
+const persistVersion = 2
 
 // errPersistCodec wraps every scanner-level decode failure.
 var errPersistCodec = errors.New("scanner: persisted entry decode")
@@ -90,7 +93,53 @@ func encodeFragEntry(fe *fragEntry) []byte {
 		// mutated live bit: rehydrate resets from realExported anyway.
 		buf = appendBool(buf, fe.realExported[name])
 	}
+	// Cross-package linker side tables, each in sorted key order so
+	// equal entries encode identically.
+	specs := make([]string, 0, len(fe.externals))
+	for spec := range fe.externals {
+		specs = append(specs, spec)
+	}
+	sort.Strings(specs)
+	buf = binary.AppendUvarint(buf, uint64(len(specs)))
+	for _, spec := range specs {
+		buf = appendPString(buf, spec)
+		buf = binary.AppendUvarint(buf, uint64(fe.externals[spec]))
+	}
+	buf = appendLocTable(buf, fe.calleeLocs)
+	buf = appendLocTable(buf, fe.callThis)
+	files := make([]string, 0, len(fe.modEnv))
+	for file := range fe.modEnv {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	buf = binary.AppendUvarint(buf, uint64(len(files)))
+	for _, file := range files {
+		me := fe.modEnv[file]
+		buf = appendPString(buf, file)
+		buf = binary.AppendUvarint(buf, uint64(me.Module))
+		buf = binary.AppendUvarint(buf, uint64(me.Exports))
+	}
 	return append(buf, mdg.EncodeFragment(fe.frag)...)
+}
+
+// appendLocTable encodes a per-call location table in sorted key
+// order.
+func appendLocTable(buf []byte, m map[mdg.Loc][]mdg.Loc) []byte {
+	keys := make([]mdg.Loc, 0, len(m))
+	for l := range m {
+		keys = append(keys, l)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, l := range keys {
+		buf = binary.AppendUvarint(buf, uint64(l))
+		vals := m[l]
+		buf = binary.AppendUvarint(buf, uint64(len(vals)))
+		for _, v := range vals {
+			buf = binary.AppendUvarint(buf, uint64(v))
+		}
+	}
+	return buf
 }
 
 // decodeFragEntry parses a persisted fragment entry back into the
@@ -135,6 +184,38 @@ func decodeFragEntry(key string, data []byte) (*fragEntry, error) {
 		fe.functions[name] = fn
 		fe.realExported[name] = exported
 	}
+	ne := r.count(2)
+	if ne > 0 {
+		fe.externals = make(map[string]mdg.Loc, ne)
+	}
+	for i := 0; i < ne && r.err == nil; i++ {
+		spec := r.string()
+		l := mdg.Loc(r.uvarint())
+		if r.err != nil {
+			break
+		}
+		if _, dup := fe.externals[spec]; dup {
+			return nil, fmt.Errorf("%w: duplicate external %q", errPersistCodec, spec)
+		}
+		fe.externals[spec] = l
+	}
+	fe.calleeLocs = r.locTable()
+	fe.callThis = r.locTable()
+	nm := r.count(3)
+	if nm > 0 {
+		fe.modEnv = make(map[string]analysis.ModuleLocs, nm)
+	}
+	for i := 0; i < nm && r.err == nil; i++ {
+		file := r.string()
+		me := analysis.ModuleLocs{Module: mdg.Loc(r.uvarint()), Exports: mdg.Loc(r.uvarint())}
+		if r.err != nil {
+			break
+		}
+		if _, dup := fe.modEnv[file]; dup {
+			return nil, fmt.Errorf("%w: duplicate module env %q", errPersistCodec, file)
+		}
+		fe.modEnv[file] = me
+	}
 	if r.err != nil {
 		return nil, fmt.Errorf("%w: %w", errPersistCodec, r.err)
 	}
@@ -153,6 +234,28 @@ func decodeFragEntry(key string, data []byte) (*fragEntry, error) {
 			if !okLoc(p) {
 				return nil, fmt.Errorf("%w: function %q parameter references missing node", errPersistCodec, name)
 			}
+		}
+	}
+	for spec, l := range fe.externals {
+		if !okLoc(l) {
+			return nil, fmt.Errorf("%w: external %q references missing node", errPersistCodec, spec)
+		}
+	}
+	for _, m := range []map[mdg.Loc][]mdg.Loc{fe.calleeLocs, fe.callThis} {
+		for l, vals := range m {
+			if !okLoc(l) {
+				return nil, fmt.Errorf("%w: call table references missing node", errPersistCodec)
+			}
+			for _, v := range vals {
+				if !okLoc(v) {
+					return nil, fmt.Errorf("%w: call table value references missing node", errPersistCodec)
+				}
+			}
+		}
+	}
+	for file, me := range fe.modEnv {
+		if !okLoc(me.Module) || !okLoc(me.Exports) {
+			return nil, fmt.Errorf("%w: module env %q references missing node", errPersistCodec, file)
 		}
 	}
 	return fe, nil
@@ -487,6 +590,33 @@ func (r *pReader) count(minBytes int) int {
 		return 0
 	}
 	return int(v)
+}
+
+// locTable decodes a per-call location table written by
+// appendLocTable (nil for an empty table).
+func (r *pReader) locTable() map[mdg.Loc][]mdg.Loc {
+	n := r.count(2)
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	m := make(map[mdg.Loc][]mdg.Loc, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		l := mdg.Loc(r.uvarint())
+		nv := r.count(1)
+		vals := make([]mdg.Loc, 0, nv)
+		for j := 0; j < nv && r.err == nil; j++ {
+			vals = append(vals, mdg.Loc(r.uvarint()))
+		}
+		if r.err != nil {
+			break
+		}
+		if _, dup := m[l]; dup {
+			r.fail("duplicate loc-table key")
+			break
+		}
+		m[l] = vals
+	}
+	return m
 }
 
 func (r *pReader) string() string {

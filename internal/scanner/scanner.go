@@ -106,6 +106,12 @@ type Options struct {
 	// runtime.GOMAXPROCS(0); 1 forces a sequential sweep. A single
 	// ScanSource/ScanFile/ScanPackage call ignores it.
 	Workers int
+	// Tree treats the input as a dependency tree: node_modules
+	// packages are resolved (internal/deptree), analyzed as separate
+	// MDG fragments, stitched, and cross-package require edges are
+	// linked so taint flows into real dependency code. package.json
+	// files in the input feed the resolver. See ScanTreeDir.
+	Tree bool
 }
 
 func (o Options) limits() budget.Limits {
@@ -198,6 +204,11 @@ type Report struct {
 	// hit/miss/rebuild counters after an incremental scan (nil on cold
 	// scans).
 	IncrStats *IncrementalStats
+
+	// Tree-mode shape: how many packages the dependency tree resolved
+	// to and the deepest node_modules nesting level (0 = root only).
+	TreePackages int
+	TreeDepth    int
 }
 
 // TotalNodes returns the node count as Table 7 reports it.
@@ -717,6 +728,9 @@ func ScanFiles(files []SourceFile, name string, opts Options) *Report {
 // scanFiles is the shared package-scan body. preErr is a pre-existing
 // non-fatal error (e.g. an unreadable file) recorded on the report.
 func scanFiles(files []SourceFile, name string, opts Options, preErr error) *Report {
+	if opts.Tree {
+		return scanTree(files, name, opts, preErr)
+	}
 	if opts.Incremental != nil {
 		return opts.Incremental.scan(files, name, opts, preErr)
 	}

@@ -28,6 +28,10 @@ type FindingJSON struct {
 	Entry    string   `json:"entry,omitempty"`
 	Hops     []string `json:"hops,omitempty"`
 	Fallback bool     `json:"reachFallback,omitempty"`
+	// DepPath is the dependency-tree package chain the call path
+	// crosses (tree scans only): root package first, each hop labeled
+	// "name@version (node_modules dir)".
+	DepPath []string `json:"depPath,omitempty"`
 }
 
 // ReportJSON is the wire rendering of a scan outcome shared by the
@@ -53,7 +57,7 @@ func ReportToJSON(rep *scanner.Report) ReportJSON {
 			CWE: string(f.CWE), Sink: f.SinkName, File: f.SinkFile,
 			Line: f.SinkLine, Source: f.Source,
 			Entry: f.Provenance.Entry, Hops: f.Provenance.Hops,
-			Fallback: f.Provenance.Fallback,
+			Fallback: f.Provenance.Fallback, DepPath: f.Provenance.DepPath,
 		})
 	}
 	return out
@@ -102,6 +106,14 @@ type ScanRequest struct {
 	// Cold forces a stateless scan even when Name is set: the warm
 	// incremental state is neither consulted nor updated.
 	Cold bool `json:"cold,omitempty"`
+	// Tree scans Files as a dependency tree: node_modules packages are
+	// resolved, analyzed as separate MDG fragments, stitched, and
+	// cross-package require flows are linked. Include package.json
+	// manifests in Files — the resolver reads them. Requires Files
+	// (not Source). With Name set, per-package fragments stay warm, so
+	// re-submitting the tree after editing one dependency re-analyzes
+	// only that package.
+	Tree bool `json:"tree,omitempty"`
 }
 
 // PhaseJSON is one per-phase budget-usage row of a scan response.
@@ -164,6 +176,10 @@ type ScanStatsJSON struct {
 	ExportCount     int  `json:"exportCount"`
 	ReachFallback   bool `json:"reachFallback,omitempty"`
 	ProvenanceDepth int  `json:"provenanceDepth,omitempty"`
+	// Dependency-tree shape (tree scans only): resolved package count
+	// and deepest node_modules nesting level.
+	TreePackages int `json:"treePackages,omitempty"`
+	TreeDepth    int `json:"treeDepth,omitempty"`
 }
 
 // EffectiveJSON records the budget/engine values the scan actually ran

@@ -32,12 +32,17 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, errMsg)
 		return
 	}
+	if req.Tree && req.Source != "" {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "tree scans require files (a package tree), not source")
+		return
+	}
 	opts, eff, err := s.scanOptions(req.Engine, req.TimeoutMs, req.MaxSteps,
 		req.MaxNodes, req.MaxEdges, req.NoReachGate)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
+	opts.Tree = req.Tree
 
 	release, ok := s.admit(w)
 	if !ok {
@@ -171,6 +176,7 @@ func scanResponse(rep *scanner.Report, eff EffectiveJSON) ScanResponse {
 			FuncsTotal: rep.FuncsTotal, FuncsPruned: rep.FuncsPruned,
 			SkippedByReach: rep.SkippedByReach, ExportCount: rep.ExportCount,
 			ReachFallback: rep.ReachFallback, ProvenanceDepth: rep.ProvenanceDepth,
+			TreePackages: rep.TreePackages, TreeDepth: rep.TreeDepth,
 		},
 	}
 	if rep.Err != nil {

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// treeRequest renders a dataset tree fixture as a /v1/scan tree body.
+func treeRequest(name string, files []dataset.TreeFile) ScanRequest {
+	req := ScanRequest{Name: name, Tree: true}
+	for _, f := range files {
+		req.Files = append(req.Files, SourceFileJSON{Rel: f.Rel, Src: f.Src})
+	}
+	return req
+}
+
+// TestScanTree: a dependency-tree upload yields the documented
+// response shape — sink in the dependency file, package-qualified
+// hops, a dependency path, and the tree-shape stats — and re-uploading
+// after editing one dependency re-analyzes only that package's
+// fragment.
+func TestScanTree(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	var tc dataset.TreeCase
+	for _, c := range dataset.TreeCases() {
+		if c.Name == "tree-direct" {
+			tc = c
+		}
+	}
+
+	resp := decodeResp[ScanResponse](t, postJSON(t, ts.URL+"/v1/scan", treeRequest("treedemo", tc.Files)), http.StatusOK)
+	if resp.Failure != "" || len(resp.Findings) != 1 {
+		t.Fatalf("failure=%q findings=%d, want clean with 1", resp.Failure, len(resp.Findings))
+	}
+	f := resp.Findings[0]
+	if f.File != "node_modules/dep/index.js" {
+		t.Errorf("sink file %q, want the dependency's", f.File)
+	}
+	if len(f.DepPath) == 0 || !strings.Contains(strings.Join(f.DepPath, " "), "dep@1.2.3 (node_modules/dep)") {
+		t.Errorf("depPath %v does not name the dependency", f.DepPath)
+	}
+	for _, h := range f.Hops {
+		if strings.Count(h, ":") < 2 {
+			t.Errorf("hop %q is not pkg:file:name qualified", h)
+		}
+	}
+	if resp.Stats.TreePackages != 2 || resp.Stats.TreeDepth != 1 {
+		t.Errorf("tree stats %d/%d, want 2 packages at depth 1", resp.Stats.TreePackages, resp.Stats.TreeDepth)
+	}
+	if resp.Incremental == nil || resp.Incremental.FragmentRebuilds != 2 {
+		t.Fatalf("cold tree scan incremental stats %+v, want 2 rebuilds", resp.Incremental)
+	}
+
+	// Edit the dependency (defuse the sink) and re-submit under the
+	// same name: only dep's fragment rebuilds, the finding disappears.
+	edited := make([]dataset.TreeFile, len(tc.Files))
+	copy(edited, tc.Files)
+	for i, fl := range edited {
+		if fl.Rel == "node_modules/dep/index.js" {
+			edited[i].Src = strings.ReplaceAll(fl.Src, "exec(cmd)", "exec('echo ok')")
+		}
+	}
+	resp2 := decodeResp[ScanResponse](t, postJSON(t, ts.URL+"/v1/scan", treeRequest("treedemo", edited)), http.StatusOK)
+	if len(resp2.Findings) != 0 {
+		t.Fatalf("defused dependency still yields %d findings", len(resp2.Findings))
+	}
+	if resp2.Incremental.FragmentRebuilds != 3 {
+		t.Fatalf("one-dep edit: cumulative rebuilds %d, want 3 (one new)", resp2.Incremental.FragmentRebuilds)
+	}
+
+	// A broken tree is a structured resolve-error, not a 500.
+	broken := ScanRequest{Name: "brokentree", Tree: true, Files: []SourceFileJSON{
+		{Rel: "package.json", Src: `{"name":"broken","version":"1.0.0","dependencies":{"gone":"^1.0.0"}}`},
+		{Rel: "index.js", Src: "var g = require('gone');\nmodule.exports = function (x) { g.run(x); };\n"},
+	}}
+	resp3 := decodeResp[ScanResponse](t, postJSON(t, ts.URL+"/v1/scan", broken), http.StatusOK)
+	if resp3.Failure != "resolve-error" || !strings.Contains(resp3.ScanError, "gone") {
+		t.Fatalf("broken tree: failure=%q err=%q, want resolve-error naming the dep", resp3.Failure, resp3.ScanError)
+	}
+
+	// tree with inline source is a validation error.
+	bad := ScanRequest{Tree: true, Source: "1"}
+	resp4 := postJSON(t, ts.URL+"/v1/scan", bad)
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("tree+source returned %d, want 400", resp4.StatusCode)
+	}
+}
