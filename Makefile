@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check fmt vet lint build test race bench bench-all bench-deps bench-faults bench-incremental bench-reach bench-resume bench-serve bench-store serve-check tables pathological mutate-check chaos fuzz-smoke
+.PHONY: check fmt vet lint build test race bench bench-all bench-deps bench-faults bench-incremental bench-reach bench-resilience bench-resume bench-serve bench-store serve-check tables pathological mutate-check chaos chaos-serve fuzz-smoke
 
 # check is the tier-1 gate: formatting, vet, the repo-invariant lint
-# suite, build, the race-enabled test suite, the crash-corpus
-# regression, the incremental-scan mutation-equivalence harness, the
-# chaos harness, the scan-service lifecycle gate, and a short fuzz
-# smoke. CI and pre-commit both run this target.
-check: fmt vet lint build race pathological mutate-check chaos serve-check fuzz-smoke
+# suite (including the ctxdrop cancellation check), build, the
+# race-enabled test suite, the crash-corpus regression, the
+# incremental-scan mutation-equivalence harness, the chaos harnesses
+# (library-level and live-server), the scan-service lifecycle gate, and
+# a short fuzz smoke. CI and pre-commit both run this target.
+check: fmt vet lint build race pathological mutate-check chaos chaos-serve serve-check fuzz-smoke
 
 # lint runs the custom repo-invariant analyzers (naked panics outside
 # Guard fences, budget-carrying loops without cooperative checks,
@@ -147,6 +148,28 @@ chaos:
 	$(GO) test -race -count=1 -run 'TestStoreCorruptionDegradesToCold|TestStoreUndecodableEntryQuarantined' \
 		./internal/scanner
 	$(GO) test -race -count=1 -run 'TestCorruptCacheDirDegradesToCold' ./internal/server
+
+# chaos-serve is the live-daemon resilience harness, under the race
+# detector at Workers=4: a real listener behind the production
+# transport timeouts takes slowloris connections, mid-body disconnects,
+# oversized uploads, abandoned scans, panic bombs, and an injected disk
+# fault — while healthy clients must see unchanged findings — then the
+# daemon is killed abruptly and a restart on the same cache dir must
+# sweep to a journal finding-equivalent to the pre-chaos baseline. The
+# cancellation, breaker, and health-machine regressions ride along.
+chaos-serve:
+	$(GO) test -race -count=1 -run 'TestChaosServe|TestSlowloris|TestClientDisconnect|TestCanceled|TestOversizedBody|TestOffender|TestEngineBreaker|TestHealthz|TestStoreWriteFault|TestPoolEviction' \
+		./internal/server
+
+# bench-resilience snapshots what hostile traffic costs honest clients
+# into BENCH_resilience.json: p95 healthy-scan latency alone vs with
+# 25% of clients hostile (slowloris, oversized uploads, mid-scan
+# disconnects). benchjson -resilience validates the metrics and gates
+# the degradation ratio at ≤2×.
+bench-resilience:
+	$(GO) test -run xxx -bench ServeResilience -benchtime 3x . \
+		| $(GO) run ./cmd/benchjson -resilience -out BENCH_resilience.json
+	@tail -n 1 BENCH_resilience.json
 
 # fuzz-smoke gives each fuzz target a few seconds — enough to catch
 # newly introduced panics on the seeded pathological shapes.

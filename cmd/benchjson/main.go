@@ -29,6 +29,13 @@
 // cold-ms, warm-ms and speedup, and a warm tree re-scan after editing
 // one dependency (only that package's fragment rebuilds) must beat the
 // cold tree scan by at least 2×.
+//
+// -resilience validates the hostile-traffic snapshot (`make
+// bench-resilience` → BENCH_resilience.json): the
+// BenchmarkServeResilience result must carry healthy-p95-ms,
+// hostile-p95-ms and degradation, and the p95 latency of healthy
+// clients while 25% of the fleet is hostile must stay within 2× of the
+// all-healthy baseline (the daemon-resilience acceptance bar).
 package main
 
 import (
@@ -58,6 +65,7 @@ func main() {
 	serve := flag.Bool("serve", false, "validate the BenchmarkServeScan snapshot (cold/warm/percentile metrics, warm ≥2× cold)")
 	storeCheck := flag.Bool("store", false, "validate the BenchmarkStoreRestart snapshot (cold/warm metrics, store-warm restart ≥2× cold)")
 	depsCheck := flag.Bool("deps", false, "validate the BenchmarkDepsRescan snapshot (cold/warm metrics, one-dep-edited tree re-scan ≥2× cold)")
+	resilience := flag.Bool("resilience", false, "validate the BenchmarkServeResilience snapshot (healthy/hostile p95 metrics, degradation ≤2×)")
 	flag.Parse()
 
 	w := os.Stdout
@@ -126,6 +134,12 @@ func main() {
 	if *depsCheck {
 		if err := validateDeps(snaps); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson: -deps:", err)
+			os.Exit(1)
+		}
+	}
+	if *resilience {
+		if err := validateResilience(snaps); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson: -resilience:", err)
 			os.Exit(1)
 		}
 	}
@@ -209,6 +223,33 @@ func validateDeps(snaps []Snapshot) error {
 		return nil
 	}
 	return fmt.Errorf("no BenchmarkDepsRescan result on stdin")
+}
+
+// degradationCeiling is the acceptance bar for daemon resilience: the
+// p95 latency healthy clients see while a quarter of the fleet is
+// hostile may be at most this multiple of the all-healthy baseline.
+const degradationCeiling = 2.0
+
+// validateResilience checks the hostile-traffic benchmark produced the
+// metrics the BENCH_resilience.json snapshot promises and that hostile
+// neighbors stayed under the degradation ceiling.
+func validateResilience(snaps []Snapshot) error {
+	for _, s := range snaps {
+		if !strings.HasPrefix(s.Benchmark, "BenchmarkServeResilience") {
+			continue
+		}
+		for _, m := range []string{"healthy-p95-ms", "hostile-p95-ms", "degradation"} {
+			if _, ok := s.Metrics[m]; !ok {
+				return fmt.Errorf("%s is missing metric %q", s.Benchmark, m)
+			}
+		}
+		if d := s.Metrics["degradation"]; d > degradationCeiling {
+			return fmt.Errorf("hostile-traffic p95 degradation %.2fx above the %.1fx ceiling (healthy %.3fms, hostile %.3fms)",
+				d, degradationCeiling, s.Metrics["healthy-p95-ms"], s.Metrics["hostile-p95-ms"])
+		}
+		return nil
+	}
+	return fmt.Errorf("no BenchmarkServeResilience result on stdin")
 }
 
 // parseBenchLine parses one `go test -bench` result line, e.g.

@@ -31,6 +31,30 @@
 //	-cache-read-only        open -cache-dir as a lock-free read-only replica
 //	-no-fsync               skip journal/store fsyncs (benchmarks only)
 //
+// Transport hardening (negative duration / size disables; see
+// docs/OPERATIONS.md for tuning):
+//
+//	-read-header-timeout dur  close clients that dribble headers
+//	                          (slowloris defense; default 10s)
+//	-read-timeout dur         full-request read bound (default 2m)
+//	-write-timeout dur        response write bound (default
+//	                          max-timeout+30s; sweeps exempt themselves)
+//	-idle-timeout dur         keep-alive idle bound (default 2m)
+//	-max-header-bytes int     request header cap (default 64 KiB)
+//
+// Resilience (see docs/OPERATIONS.md for the runbook):
+//
+//	-breaker-strikes int    panic/timeout strikes before a content hash
+//	                        is quarantined (default 3; negative disables)
+//	-breaker-cooldown dur   quarantine window before a half-open probe
+//	                        (default 30s)
+//	-engine-break-window int  rolling native-outcome sample window
+//	                          (default 20)
+//	-engine-break-rate float  native panic rate that pins the fallback
+//	                          engine (default 0.5; negative disables)
+//	-degraded-cooldown dur  how long degraded mode lingers after the
+//	                        last substrate fault (default 30s)
+//
 // SIGINT/SIGTERM stop the listener, drain in-flight scans (new
 // requests get 503), flush journals, sync and close the store, and
 // exit 0.
@@ -74,6 +98,18 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "persistent analysis store directory (empty = memory-only)")
 		cacheRO    = flag.Bool("cache-read-only", false, "open -cache-dir as a read-only replica (no writer lock)")
 		noFsync    = flag.Bool("no-fsync", false, "skip journal/store fsyncs (benchmarks only; crash may lose cache entries)")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 0, "bound on reading request headers (0 = 10s; negative disables)")
+		readTimeout       = flag.Duration("read-timeout", 0, "bound on reading the full request (0 = 2m; negative disables)")
+		writeTimeout      = flag.Duration("write-timeout", 0, "bound on writing the response (0 = max-timeout+30s; negative disables)")
+		idleTimeout       = flag.Duration("idle-timeout", 0, "bound on idle keep-alive connections (0 = 2m; negative disables)")
+		maxHeaderBytes    = flag.Int("max-header-bytes", 0, "request header size cap (0 = 64 KiB; negative = stdlib default)")
+
+		breakerStrikes    = flag.Int("breaker-strikes", 0, "panic/timeout strikes before content is quarantined (0 = 3; negative disables)")
+		breakerCooldown   = flag.Duration("breaker-cooldown", 0, "quarantine window before a half-open probe (0 = 30s)")
+		engineBreakWindow = flag.Int("engine-break-window", 0, "rolling native-engine outcome window (0 = 20)")
+		engineBreakRate   = flag.Float64("engine-break-rate", 0, "native panic rate that pins the fallback engine (0 = 0.5; negative disables)")
+		degradedCooldown  = flag.Duration("degraded-cooldown", 0, "degraded-mode linger after the last substrate fault (0 = 30s)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -115,8 +151,20 @@ func main() {
 		StateMaxBytes:   *stateBytes,
 		Store:           st,
 		NoFsync:         *noFsync,
+
+		BreakerStrikes:    *breakerStrikes,
+		BreakerCooldown:   *breakerCooldown,
+		EngineBreakWindow: *engineBreakWindow,
+		EngineBreakRate:   *engineBreakRate,
+		DegradedCooldown:  *degradedCooldown,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := srv.NewHTTPServer(*addr, server.HTTPOptions{
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+		MaxHeaderBytes:    *maxHeaderBytes,
+	})
 
 	done := make(chan struct{})
 	sig := make(chan os.Signal, 1)

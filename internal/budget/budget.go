@@ -19,6 +19,7 @@
 package budget
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -41,13 +42,20 @@ const (
 	ClassBudget  Class = "budget-exceeded"
 	ClassPanic   Class = "engine-panic"
 	ClassQuery   Class = "query-error"
+	// ClassCanceled means the request context attached via WithContext
+	// was done (client disconnected, server shutdown) before the scan
+	// finished. Unlike ClassTimeout it says nothing about the package:
+	// the same input scanned again with a live client is expected to
+	// succeed, so supervisors journal it as retryable and caches must
+	// never store a canceled result as a clean one.
+	ClassCanceled Class = "canceled"
 )
 
 // Classes lists the failure classes in reporting order. ClassResolve
 // is a dependency-tree resolution failure (missing or broken
 // node_modules entry): like ClassParse it is deterministic — retrying
 // with a different engine or budget cannot fix the tree on disk.
-var Classes = []Class{ClassParse, ClassResolve, ClassTimeout, ClassBudget, ClassPanic, ClassQuery}
+var Classes = []Class{ClassParse, ClassResolve, ClassTimeout, ClassBudget, ClassPanic, ClassQuery, ClassCanceled}
 
 // String renders the class for tables ("ok" for ClassNone).
 func (c Class) String() string {
@@ -95,6 +103,13 @@ type Budget struct {
 	// derived via DeadlineOnly/Derive so grace and retry phases land in
 	// the same report.
 	plog *phaseLog
+
+	// done is the request context's cancellation channel (nil when no
+	// context is attached). It is polled — never blocked on — at the
+	// same cooperative checkpoints as the deadline, so cancellation
+	// costs nothing extra on the hot path and needs no watcher
+	// goroutine.
+	done <-chan struct{}
 }
 
 // New starts a budget: the deadline clock begins now.
@@ -114,6 +129,19 @@ func (b *Budget) SetLabel(label string) {
 	}
 }
 
+// WithContext attaches a request context: once ctx is done, the next
+// cooperative checkpoint (Step's every-deadlineEvery tick, or any
+// CheckDeadline at a phase boundary) records a ClassCanceled failure
+// and every later budget call keeps returning it, unwinding the scan
+// exactly the way an expired deadline does. A nil ctx (or nil
+// receiver) is a no-op; the returned budget is b, for chaining.
+func (b *Budget) WithContext(ctx context.Context) *Budget {
+	if b != nil && ctx != nil {
+		b.done = ctx.Done()
+	}
+	return b
+}
+
 // DeadlineOnly derives a budget that keeps this one's wall-clock
 // deadline but drops the step/node/edge caps and the recorded failure.
 // The scanner uses it to compute findings-so-far on a partial MDG
@@ -124,7 +152,7 @@ func (b *Budget) DeadlineOnly() *Budget {
 		return nil
 	}
 	return &Budget{deadline: b.deadline, limits: Limits{Timeout: b.limits.Timeout},
-		label: b.label, plog: b.plog}
+		label: b.label, plog: b.plog, done: b.done}
 }
 
 // Derive starts a fresh budget with new caps but this budget's
@@ -136,7 +164,7 @@ func (b *Budget) Derive(l Limits) *Budget {
 	if b == nil {
 		return New(l)
 	}
-	nb := &Budget{limits: l, deadline: b.deadline, label: b.label, plog: b.plog}
+	nb := &Budget{limits: l, deadline: b.deadline, label: b.label, plog: b.plog, done: b.done}
 	if b.deadline.IsZero() && l.Timeout > 0 {
 		nb.deadline = time.Now().Add(l.Timeout)
 	}
@@ -161,8 +189,8 @@ func (b *Budget) Step() error {
 		if err := b.maybeInject(); err != nil {
 			return err
 		}
-		if !b.deadline.IsZero() {
-			return b.checkDeadline()
+		if b.done != nil || !b.deadline.IsZero() {
+			return b.checkWall()
 		}
 	}
 	return nil
@@ -198,9 +226,10 @@ func (b *Budget) AddEdge() error {
 	return nil
 }
 
-// CheckDeadline reads the wall clock unconditionally (phase
-// boundaries call this so even a scan that never ticks a hot loop
-// notices an expired deadline).
+// CheckDeadline reads the wall clock — and polls the attached
+// context, if any — unconditionally (phase boundaries call this so
+// even a scan that never ticks a hot loop notices an expired deadline
+// or a gone client).
 func (b *Budget) CheckDeadline() error {
 	if b == nil {
 		return nil
@@ -211,13 +240,24 @@ func (b *Budget) CheckDeadline() error {
 	if err := b.maybeInject(); err != nil {
 		return err
 	}
-	if b.deadline.IsZero() {
+	if b.done == nil && b.deadline.IsZero() {
 		return nil
 	}
-	return b.checkDeadline()
+	return b.checkWall()
 }
 
-func (b *Budget) checkDeadline() error {
+// checkWall is the shared wall-clock checkpoint: cancellation is
+// consulted before the deadline so a request that is both expired and
+// abandoned classifies as canceled (the client is gone; nothing about
+// the package is learned).
+func (b *Budget) checkWall() error {
+	if b.done != nil {
+		select {
+		case <-b.done:
+			return b.fail(ClassCanceled, "request context", 0)
+		default:
+		}
+	}
 	if !b.deadline.IsZero() && !time.Now().Before(b.deadline) {
 		return b.fail(ClassTimeout, "wall clock", int(b.limits.Timeout/time.Millisecond))
 	}
@@ -294,6 +334,9 @@ func (e *Error) Error() string {
 	}
 	if e.Class == ClassTimeout {
 		return fmt.Sprintf("budget: wall-clock deadline exceeded%s (%dms)", in, e.Limit)
+	}
+	if e.Class == ClassCanceled {
+		return fmt.Sprintf("budget: scan canceled%s (request context done)", in)
 	}
 	return fmt.Sprintf("budget: %s limit exceeded%s (%d)", e.Resource, in, e.Limit)
 }

@@ -19,6 +19,13 @@
 //     surface only at close/fsync time; discarding it turns silent
 //     data loss into a "successful" run — exactly the failure mode the
 //     persistent store and sweep journal are built to prevent.
+//   - ctxdrop: a function that receives a context.Context (or an
+//     *http.Request carrying one) must thread it into any budget it
+//     creates — a budget.New call wants a .WithContext, and a
+//     scanner.Options literal wants a Context: key (or a later
+//     .Context assignment). Dropping the context silently re-creates
+//     the bug this check was born from: a disconnected client whose
+//     scan runs to completion, holding a worker slot nobody will read.
 //
 // The analyzers are plain go/ast walks (no go/analysis dependency) so
 // the lint suite builds with the standard library alone. A finding is
@@ -108,6 +115,7 @@ func File(path string, src any) ([]Finding, error) {
 		if !strings.Contains(l.path, "internal/budget/") {
 			l.budgetLoop(file)
 		}
+		l.ctxDrop(file)
 	}
 	l.fragMutate(file)
 	l.syncClose(file)
@@ -501,6 +509,120 @@ func isWritableOpen(call *ast.CallExpr) bool {
 			return !found
 		})
 		return found
+	}
+	return false
+}
+
+// ctxDrop flags functions that have a context available — a
+// context.Context parameter or an *http.Request (whose .Context() is
+// one call away) — yet build a budget that cannot observe it: a
+// budget.New(...) call in a body with no .WithContext(...) call, or a
+// scanner.Options composite literal with no Context: key in a body
+// that never assigns a .Context field afterwards. The check is
+// syntactic and per-function, like budgetloop: it cannot prove the
+// right context reaches the right budget, only that cancellation was
+// wired at all.
+func (l *linter) ctxDrop(file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || !hasContextParam(fn) {
+			continue
+		}
+		withContext, ctxAssign := false, false
+		ast.Inspect(fn.Body, func(node ast.Node) bool {
+			switch n := node.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "WithContext" {
+					withContext = true
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "Context" {
+						ctxAssign = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(fn.Body, func(node ast.Node) bool {
+			switch n := node.(type) {
+			case *ast.CallExpr:
+				if !withContext && isPkgCall(n, "budget", "New") {
+					l.report(n.Pos(), "ctxdrop",
+						fmt.Sprintf("%s has a context available but budget.New is never given it; chain .WithContext or waive with the reason", fn.Name.Name))
+				}
+			case *ast.CompositeLit:
+				if !ctxAssign && l.isScannerOptions(n.Type) && !hasCompositeKey(n, "Context") {
+					l.report(n.Pos(), "ctxdrop",
+						fmt.Sprintf("%s has a context available but the scanner.Options literal drops it; set Context: or waive with the reason", fn.Name.Name))
+				}
+			}
+			return true
+		})
+	}
+}
+
+// hasContextParam reports whether fn receives a context.Context or an
+// *http.Request parameter.
+func hasContextParam(fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		t := field.Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		sel, ok := t.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if (pkg.Name == "context" && sel.Sel.Name == "Context") ||
+			(pkg.Name == "http" && sel.Sel.Name == "Request") {
+			return true
+		}
+	}
+	return false
+}
+
+// isPkgCall matches pkg.Fn(...) calls.
+func isPkgCall(call *ast.CallExpr, pkg, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg
+}
+
+// isScannerOptions matches scanner.Options composite-literal types —
+// and the bare Options spelling inside internal/scanner itself.
+func (l *linter) isScannerOptions(t ast.Expr) bool {
+	switch tt := t.(type) {
+	case *ast.SelectorExpr:
+		pkg, ok := tt.X.(*ast.Ident)
+		return ok && pkg.Name == "scanner" && tt.Sel.Name == "Options"
+	case *ast.Ident:
+		return tt.Name == "Options" && strings.Contains(l.path, "internal/scanner/")
+	}
+	return false
+}
+
+// hasCompositeKey reports whether a composite literal sets the named
+// field.
+func hasCompositeKey(lit *ast.CompositeLit, name string) bool {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == name {
+			return true
+		}
 	}
 	return false
 }

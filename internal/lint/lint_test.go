@@ -280,3 +280,109 @@ func f() {
 		t.Fatalf("waived close flagged: %v", fs)
 	}
 }
+
+func TestCtxDropBudgetNewFlagged(t *testing.T) {
+	src := `package x
+import (
+	"context"
+	"repro/internal/budget"
+)
+func f(ctx context.Context) *budget.Budget {
+	return budget.New(budget.Limits{})
+}
+`
+	fs := findings(t, "internal/x/x.go", src)
+	if len(fs) != 1 || fs[0].Check != "ctxdrop" {
+		t.Fatalf("findings = %v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "budget.New is never given it") {
+		t.Fatalf("msg = %q", fs[0].Msg)
+	}
+}
+
+func TestCtxDropWithContextNotFlagged(t *testing.T) {
+	src := `package x
+import (
+	"context"
+	"repro/internal/budget"
+)
+func f(ctx context.Context) *budget.Budget {
+	return budget.New(budget.Limits{}).WithContext(ctx)
+}
+`
+	if fs := findings(t, "internal/x/x.go", src); len(fs) != 0 {
+		t.Fatalf("WithContext call still flagged: %v", fs)
+	}
+}
+
+func TestCtxDropOptionsLiteralFlagged(t *testing.T) {
+	src := `package x
+import (
+	"net/http"
+	"repro/internal/scanner"
+)
+func handle(w http.ResponseWriter, r *http.Request) {
+	opts := scanner.Options{Workers: 2}
+	_ = opts
+}
+`
+	fs := findings(t, "internal/x/x.go", src)
+	if len(fs) != 1 || fs[0].Check != "ctxdrop" {
+		t.Fatalf("findings = %v", fs)
+	}
+	if !strings.Contains(fs[0].Msg, "scanner.Options literal drops it") {
+		t.Fatalf("msg = %q", fs[0].Msg)
+	}
+}
+
+func TestCtxDropOptionsAssignedLaterNotFlagged(t *testing.T) {
+	src := `package x
+import (
+	"net/http"
+	"repro/internal/scanner"
+)
+func handle(w http.ResponseWriter, r *http.Request) {
+	opts := scanner.Options{Workers: 2}
+	opts.Context = r.Context()
+	_ = opts
+}
+func keyed(w http.ResponseWriter, r *http.Request) {
+	_ = scanner.Options{Context: r.Context()}
+}
+`
+	if fs := findings(t, "internal/x/x.go", src); len(fs) != 0 {
+		t.Fatalf("threaded contexts still flagged: %v", fs)
+	}
+}
+
+func TestCtxDropNoContextNoObligation(t *testing.T) {
+	src := `package x
+import (
+	"repro/internal/budget"
+	"repro/internal/scanner"
+)
+func f() *budget.Budget {
+	_ = scanner.Options{}
+	return budget.New(budget.Limits{})
+}
+`
+	if fs := findings(t, "internal/x/x.go", src); len(fs) != 0 {
+		t.Fatalf("context-free functions have no obligation: %v", fs)
+	}
+}
+
+func TestCtxDropWaived(t *testing.T) {
+	src := `package x
+import (
+	"context"
+	"repro/internal/budget"
+)
+func f(ctx context.Context) *budget.Budget {
+	//lint:allow ctxdrop -- background maintenance budget, outlives the request
+	return budget.New(budget.Limits{})
+}
+`
+	if fs := findings(t, "internal/x/x.go", src); len(fs) != 0 {
+		t.Fatalf("waived ctxdrop still flagged: %v", fs)
+	}
+}

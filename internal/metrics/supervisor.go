@@ -82,6 +82,7 @@ type SuperviseStats struct {
 	Completed   int  // full-fidelity terminal results
 	Degraded    int  // results produced by a lower ladder rung
 	Quarantined int  // packages that failed every rung
+	Canceled    int  // packages abandoned because the request context died
 	Torn        bool // the loaded journal ended in a torn line
 	// Entries holds each package's terminal journal entry in corpus
 	// order (resumed packages keep their prior entry), so callers can
@@ -97,6 +98,8 @@ func (s *SuperviseStats) tally(state string) {
 		s.Degraded++
 	case sweepjournal.StateQuarantined:
 		s.Quarantined++
+	case sweepjournal.StateCanceled:
+		s.Canceled++
 	}
 }
 
@@ -261,6 +264,14 @@ func runLadder(pkg, hash, fp string, ladder []rung, backoff time.Duration,
 				return terminal(sweepjournal.StateComplete)
 			}
 			return terminal(sweepjournal.StateDegraded)
+
+		case budget.ClassCanceled:
+			// The request driving this sweep is gone. No rung can help —
+			// every remaining attempt would cancel at its first budget
+			// checkpoint — so journal the package as retryable: resume
+			// re-scans canceled entries unconditionally, and the result is
+			// never mistaken for a verdict about the package.
+			return terminal(sweepjournal.StateCanceled)
 
 		case budget.ClassPanic, budget.ClassQuery:
 			// Transient: one retry (engines with a fallback switch to it),
@@ -497,7 +508,9 @@ func supervise(c *dataset.Corpus, workers int, fp string, ladder []rung, sup Sup
 	sw := fillPackages(runCorpus(len(c.Packages), workers, func(i int) PackageResult {
 		p := c.Packages[i]
 		h := hash(p)
-		if e, ok := prior[p.Name]; ok && e.Matches(h, fp) {
+		// Canceled entries never satisfy a resume: they record that a
+		// client went away, not anything about the package.
+		if e, ok := prior[p.Name]; ok && e.Matches(h, fp) && e.State != sweepjournal.StateCanceled {
 			quarantined := e.State == sweepjournal.StateQuarantined
 			if !quarantined || !sup.Requarantine {
 				stats.Entries[i] = e

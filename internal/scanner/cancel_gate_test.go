@@ -1,0 +1,60 @@
+package scanner
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCancelDuringReachGateClassifiesCanceled pins the one scan path
+// where a mid-scan cancellation used to vanish: a cancel observed
+// inside the reach gate of a package the gate then decides to skip.
+// The gate degrades budget trips to the keep-everything fallback, so
+// without a re-check the skip early-return reported a clean "ok"
+// completion — which the daemon would count as a success and a sweep
+// journal would record as terminal — for a scan whose client was gone.
+func TestCancelDuringReachGateClassifiesCanceled(t *testing.T) {
+	// A long aliased-object chain with no sinks: cheap to parse, clean
+	// (so the gate skips), and expensive enough in the export fixpoint
+	// that a cancellation landing mid-gate is near-certain.
+	var sb strings.Builder
+	sb.WriteString("module.exports = function(v){ var o = {}; ")
+	for i := 0; i < 3000; i++ {
+		fmt.Fprintf(&sb, "var t%d = {}; t%d.a = v; t%d.b = o; o.x = t%d; o = t%d; ", i, i, i, i, i)
+	}
+	sb.WriteString(" return o; };")
+	files := []SourceFile{{Rel: "index.js", Src: sb.String()}}
+
+	const cancelAfter = 500 * time.Millisecond
+	for _, warm := range []bool{false, true} {
+		t.Run(fmt.Sprintf("incremental=%v", warm), func(t *testing.T) {
+			opts := Options{}
+			if warm {
+				opts.Incremental = NewStatePool().Get("ghost")
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			go func() { time.Sleep(cancelAfter); cancel() }()
+			opts.Context = ctx
+			t0 := time.Now()
+			rep := ScanFiles(files, "ghost", opts)
+			elapsed := time.Since(t0)
+			if rep.Failure == "ok" && elapsed < cancelAfter {
+				// The whole scan legitimately beat the cancellation; the
+				// race this test needs did not happen on this machine.
+				t.Skipf("scan completed in %v, before the %v cancel", elapsed, cancelAfter)
+			}
+			if got := rep.Failure.String(); got != "canceled" {
+				t.Fatalf("mid-gate cancel classified %q (after %v), want canceled", got, elapsed)
+			}
+			if !rep.Incomplete {
+				t.Error("canceled scan not marked incomplete")
+			}
+			if rep.SkippedByReach {
+				t.Error("canceled scan still claims a reach-gate skip")
+			}
+		})
+	}
+}

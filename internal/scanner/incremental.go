@@ -365,7 +365,7 @@ func (st *IncrementalState) scan(files []SourceFile, name string, opts Options, 
 		return rep
 	}
 	rep.Engine = engine
-	b := budget.New(opts.limits())
+	b := newBudget(opts, name)
 	start := time.Now()
 
 	// Front end, through the state's cache.
@@ -381,7 +381,7 @@ func (st *IncrementalState) scan(files []SourceFile, name string, opts Options, 
 			entry, feErr := st.cache.frontEnd(f.Rel, f.Src, b)
 			if feErr != nil {
 				switch budget.ClassOf(feErr) {
-				case budget.ClassTimeout, budget.ClassBudget:
+				case budget.ClassTimeout, budget.ClassBudget, budget.ClassCanceled:
 					return feErr
 				}
 				if rep.Err == nil {
@@ -434,6 +434,11 @@ func (st *IncrementalState) scan(files []SourceFile, name string, opts Options, 
 		return nil
 	}); gerr != nil {
 		setFailure(rep, gerr, budget.ClassPanic)
+		rep.GraphTime = time.Since(start)
+		rep.IncrStats = st.statsPtr()
+		return rep
+	}
+	if gateCanceled(rep, b) {
 		rep.GraphTime = time.Since(start)
 		rep.IncrStats = st.statsPtr()
 		return rep
@@ -536,9 +541,13 @@ func (st *IncrementalState) scan(files []SourceFile, name string, opts Options, 
 		}
 		b.CheckDeadline()
 		if berr := b.Err(); berr != nil {
-			if budget.ClassOf(berr) == budget.ClassTimeout {
-				rep.Failure = budget.ClassTimeout
-				rep.TimedOut = true
+			if c := budget.ClassOf(berr); c == budget.ClassTimeout || c == budget.ClassCanceled {
+				// Terminal for the whole scan; returning before
+				// newFragEntry guarantees nothing half-built — and no
+				// canceled result — ever enters the fragment cache.
+				rep.Failure = c
+				rep.TimedOut = c == budget.ClassTimeout
+				rep.Incomplete = c == budget.ClassCanceled
 				rep.GraphTime = time.Since(start)
 				rep.IncrStats = st.statsPtr()
 				return rep
@@ -633,11 +642,17 @@ func (st *IncrementalState) scan(files []SourceFile, name string, opts Options, 
 	annotateProvenance(rep, rr)
 
 	b.CheckDeadline()
-	if budget.ClassOf(b.Err()) == budget.ClassTimeout {
+	switch budget.ClassOf(b.Err()) {
+	case budget.ClassTimeout:
 		rep.TimedOut = true
 		rep.Incomplete = true
 		if rep.Failure == budget.ClassNone {
 			rep.Failure = budget.ClassTimeout
+		}
+	case budget.ClassCanceled:
+		rep.Incomplete = true
+		if rep.Failure == budget.ClassNone {
+			rep.Failure = budget.ClassCanceled
 		}
 	}
 

@@ -5,6 +5,7 @@
 package scanner
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -68,6 +69,12 @@ type Options struct {
 	// Timeout aborts the scan (0 = no timeout), enforced by a shared
 	// budget checked cooperatively in every pipeline phase.
 	Timeout time.Duration
+	// Context, when set, cancels the scan cooperatively: the budget
+	// polls ctx.Done() at the same checkpoints as the deadline and the
+	// scan unwinds with budget.ClassCanceled. The server threads each
+	// request's context here so a disconnected client frees its run
+	// slot mid-scan. Canceled results are never cached.
+	Context context.Context
 	// MaxSteps, MaxNodes and MaxEdges cap the scan's total abstract
 	// steps and MDG size (0 = unlimited). Unlike Timeout, hitting a
 	// cap still runs detection over the partial graph, so the report
@@ -228,7 +235,7 @@ var testHookNative func(name string, b *budget.Budget)
 // newBudget builds the scan budget and labels it for fault injection
 // and phase-stamped diagnostics.
 func newBudget(opts Options, name string) *budget.Budget {
-	b := budget.New(opts.limits())
+	b := budget.New(opts.limits()).WithContext(opts.Context)
 	if opts.FaultLabel != "" {
 		b.SetLabel(opts.FaultLabel)
 	} else {
@@ -258,6 +265,11 @@ func setFailure(rep *Report, err error, def budget.Class) {
 		rep.TimedOut = true
 	case budget.ClassBudget:
 		rep.Incomplete = true
+	case budget.ClassCanceled:
+		// The client is gone; whatever was computed is a best-effort
+		// subset, and like timeout/cap this is a classified outcome,
+		// not an error.
+		rep.Incomplete = true
 	default:
 		rep.Err = err
 	}
@@ -273,6 +285,9 @@ func frontEndFailure(rep *Report, err error, name string) {
 		rep.TimedOut = true
 	case budget.ClassBudget:
 		rep.Failure = budget.ClassBudget
+		rep.Incomplete = true
+	case budget.ClassCanceled:
+		rep.Failure = budget.ClassCanceled
 		rep.Incomplete = true
 	case budget.ClassPanic:
 		rep.Failure = budget.ClassPanic
@@ -357,6 +372,10 @@ func finishScan(rep *Report, progs []*core.Program, analyze func(analysis.Option
 		rep.GraphTime = time.Since(start)
 		return rep
 	}
+	if gateCanceled(rep, b) {
+		rep.GraphTime = time.Since(start)
+		return rep
+	}
 	if skip {
 		rep.GraphTime = time.Since(start)
 		return rep
@@ -404,6 +423,13 @@ func finishScan(rep *Report, progs []*core.Program, analyze func(analysis.Option
 			rep.GraphTime = time.Since(start)
 			return rep
 		}
+		if rep.Failure == budget.ClassCanceled {
+			// Nobody is waiting for findings-so-far; skip the grace
+			// detection pass entirely.
+			rep.Incomplete = true
+			rep.GraphTime = time.Since(start)
+			return rep
+		}
 		// A cap (steps/nodes/edges) tripped: still report the findings
 		// the partial graph supports, under the remaining wall clock.
 		rep.Incomplete = true
@@ -441,6 +467,24 @@ func gateSkips(rep *Report, progs []*core.Program, cfgq *queries.Config, opts Op
 		return rr, true
 	}
 	return rr, false
+}
+
+// gateCanceled reports whether the request was canceled while the
+// reach gate ran, classifying the report if so. The gate absorbs
+// budget trips by degrading to the keep-everything fallback — its skip
+// answer stays sound — so the skip early-return is the one place a
+// latched cancellation would never be re-observed by a later phase
+// guard, misreporting a canceled scan as a clean completion that
+// journals would record and callers would trust.
+func gateCanceled(rep *Report, b *budget.Budget) bool {
+	b.CheckDeadline()
+	if budget.ClassOf(b.Err()) != budget.ClassCanceled {
+		return false
+	}
+	rep.Failure = budget.ClassCanceled
+	rep.Incomplete = true
+	rep.SkippedByReach = false
+	return true
 }
 
 // annotateProvenance attaches call-path provenance to every finding:
@@ -566,9 +610,9 @@ func detectInto(rep *Report, res *analysis.Result, cfgq *queries.Config, engine 
 			return
 		}
 		switch budget.ClassOf(err) {
-		case budget.ClassTimeout:
-			// The wall clock is shared by every retry; it ran out, so the
-			// fallback would be dead on arrival.
+		case budget.ClassTimeout, budget.ClassCanceled:
+			// The wall clock is shared by every retry; it ran out (or the
+			// client is gone), so the fallback would be dead on arrival.
 			setFailure(rep, err, budget.ClassQuery)
 			return
 		case budget.ClassBudget:
@@ -763,7 +807,7 @@ func scanFiles(files []SourceFile, name string, opts Options, preErr error) *Rep
 			entry, feErr := frontEnd(f.Rel, f.Src, b)
 			if feErr != nil {
 				switch budget.ClassOf(feErr) {
-				case budget.ClassTimeout, budget.ClassBudget:
+				case budget.ClassTimeout, budget.ClassBudget, budget.ClassCanceled:
 					return feErr // the whole package's budget is gone
 				}
 				// A parse error in one file does not doom the package;

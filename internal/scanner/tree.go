@@ -164,7 +164,7 @@ func (st *IncrementalState) scanTree(files []SourceFile, name string, opts Optio
 			entry, feErr := st.cache.frontEnd(f.Rel, f.Src, b)
 			if feErr != nil {
 				switch budget.ClassOf(feErr) {
-				case budget.ClassTimeout, budget.ClassBudget:
+				case budget.ClassTimeout, budget.ClassBudget, budget.ClassCanceled:
 					return feErr
 				}
 				if rep.Err == nil {
@@ -213,6 +213,11 @@ func (st *IncrementalState) scanTree(files []SourceFile, name string, opts Optio
 		return nil
 	}); gerr != nil {
 		setFailure(rep, gerr, budget.ClassPanic)
+		rep.GraphTime = time.Since(start)
+		rep.IncrStats = st.statsPtr()
+		return rep
+	}
+	if gateCanceled(rep, b) {
 		rep.GraphTime = time.Since(start)
 		rep.IncrStats = st.statsPtr()
 		return rep
@@ -301,9 +306,10 @@ func (st *IncrementalState) scanTree(files []SourceFile, name string, opts Optio
 		}
 		b.CheckDeadline()
 		if berr := b.Err(); berr != nil {
-			if budget.ClassOf(berr) == budget.ClassTimeout {
-				rep.Failure = budget.ClassTimeout
-				rep.TimedOut = true
+			if c := budget.ClassOf(berr); c == budget.ClassTimeout || c == budget.ClassCanceled {
+				rep.Failure = c
+				rep.TimedOut = c == budget.ClassTimeout
+				rep.Incomplete = c == budget.ClassCanceled
 				rep.GraphTime = time.Since(start)
 				rep.IncrStats = st.statsPtr()
 				return rep
@@ -376,11 +382,17 @@ func (st *IncrementalState) scanTree(files []SourceFile, name string, opts Optio
 	annotateTreeProvenance(rep, rr, tree, ln)
 
 	b.CheckDeadline()
-	if budget.ClassOf(b.Err()) == budget.ClassTimeout {
+	switch budget.ClassOf(b.Err()) {
+	case budget.ClassTimeout:
 		rep.TimedOut = true
 		rep.Incomplete = true
 		if rep.Failure == budget.ClassNone {
 			rep.Failure = budget.ClassTimeout
+		}
+	case budget.ClassCanceled:
+		rep.Incomplete = true
+		if rep.Failure == budget.ClassNone {
+			rep.Failure = budget.ClassCanceled
 		}
 	}
 

@@ -193,6 +193,10 @@ type EffectiveJSON struct {
 	// Warm reports whether the scan used (and updated) the shared
 	// incremental StatePool.
 	Warm bool `json:"warm"`
+	// EnginePinned reports that the engine-level circuit breaker
+	// overrode the requested native/differential engine with fallback
+	// because the native engine's rolling panic rate tripped it.
+	EnginePinned bool `json:"enginePinned,omitempty"`
 }
 
 // ScanResponse is the body of a successful POST /v1/scan: the shared
@@ -247,10 +251,14 @@ type SweepRequest struct {
 type SweepResponse struct {
 	Path    string `json:"path"`
 	Targets int    `json:"targets"`
-	// Terminal-state tallies (see internal/sweepjournal).
+	// Terminal-state tallies (see internal/sweepjournal). Canceled
+	// counts targets abandoned because the request context died
+	// mid-sweep; their journal entries are retryable (a resumed sweep
+	// re-scans them).
 	Completed   int     `json:"completed"`
 	Degraded    int     `json:"degraded"`
 	Quarantined int     `json:"quarantined"`
+	Canceled    int     `json:"canceled,omitempty"`
 	Resumed     int     `json:"resumed"`
 	Torn        bool    `json:"torn,omitempty"`
 	Findings    int     `json:"findings"`
@@ -271,10 +279,20 @@ type StatusResponse struct {
 	Running  int  `json:"running"`
 	Queued   int  `json:"queued"`
 	Draining bool `json:"draining"`
-	// Scans/Sweeps/Rejected are lifetime request counters.
+	// Health is the server's explicit state-machine state: "healthy",
+	// "degraded" (cold scans only — the store reported corruption or
+	// write errors, or the StatePool hit its byte ceiling), or
+	// "draining". HealthReason names the signal that forced the last
+	// degraded transition.
+	Health       string `json:"health"`
+	HealthReason string `json:"healthReason,omitempty"`
+	// Scans/Sweeps/Rejected are lifetime request counters. Canceled
+	// counts requests whose client disconnected before their scan
+	// finished (answered 499; the freed slot re-admits waiting work).
 	Scans    int64 `json:"scans"`
 	Sweeps   int64 `json:"sweeps"`
 	Rejected int64 `json:"rejected"`
+	Canceled int64 `json:"canceled"`
 	// StatePackages is the number of packages with warm incremental
 	// state resident in the process-wide StatePool.
 	StatePackages int `json:"statePackages"`
@@ -321,6 +339,51 @@ type MetricsResponse struct {
 	// StatePool aggregates the incremental counters over every
 	// package's warm state.
 	StatePool IncrStatsJSON `json:"statePool"`
+	// HealthTransitions counts state-machine transitions since start,
+	// keyed "from->to" (e.g. "healthy->degraded").
+	HealthTransitions map[string]int64 `json:"healthTransitions"`
+	// Breakers snapshots the per-content-hash offender ledger and the
+	// engine-level circuit breaker.
+	Breakers BreakersJSON `json:"breakers"`
+}
+
+// BreakersJSON is the circuit-breaker snapshot in /v1/metrics.
+type BreakersJSON struct {
+	// Offender ledger: content hashes currently tracked, hashes
+	// currently quarantined (open), lifetime quarantine trips, requests
+	// shed with the cached quarantined verdict, and hashes recovered
+	// through a half-open probe.
+	OffenderTracked   int   `json:"offenderTracked"`
+	OffenderOpen      int   `json:"offenderOpen"`
+	OffenderTrips     int64 `json:"offenderTrips"`
+	OffenderShed      int64 `json:"offenderShed"`
+	OffenderRecovered int64 `json:"offenderRecovered"`
+	// Engine breaker: whether the fallback engine is currently pinned,
+	// the native engine's rolling panic rate, and pin/unpin transitions.
+	EnginePinned    bool    `json:"enginePinned"`
+	EnginePanicRate float64 `json:"enginePanicRate"`
+	EnginePins      int64   `json:"enginePins"`
+	EngineUnpins    int64   `json:"engineUnpins"`
+}
+
+// HealthResponse is the body of GET /healthz: pure liveness. It
+// answers 200 whenever the process can serve HTTP at all — degraded
+// and draining states included — so orchestrators restart the process
+// only when it is truly wedged.
+type HealthResponse struct {
+	Status   string  `json:"status"` // always "ok" when the handler runs
+	Health   string  `json:"health"`
+	UptimeMs float64 `json:"uptimeMs"`
+}
+
+// ReadyResponse is the body of GET /readyz: readiness for new work.
+// Ready is false (and the status 503) only while draining; a degraded
+// server still serves scans (cold only) and stays ready.
+type ReadyResponse struct {
+	Ready  bool   `json:"ready"`
+	Health string `json:"health"`
+	// Reason names the signal behind a degraded state ("" when healthy).
+	Reason string `json:"reason,omitempty"`
 }
 
 // ErrorJSON is the error envelope every non-2xx response carries.
@@ -339,4 +402,19 @@ const (
 	CodeOverloaded   = "overloaded"    // admission control shed the request (429)
 	CodeShuttingDown = "shutting_down" // server is draining (503)
 	CodeInternal     = "internal"      // recovered panic or I/O failure (500)
+	// CodePayloadTooLarge: the request body exceeded the 16 MiB bound
+	// (413, structured JSON instead of the stdlib plain-text error).
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeQuarantined: the offender ledger has circuit-broken this exact
+	// content after repeated panics/timeouts; the cached verdict is
+	// served with Retry-After until a half-open probe clears it (429).
+	CodeQuarantined = "quarantined"
+	// CodeCanceled: the client went away before the scan finished (499,
+	// the de-facto client-closed-request status). Mostly diagnostic —
+	// the client that would read it is gone.
+	CodeCanceled = "canceled"
 )
+
+// StatusClientClosedRequest is the de-facto (nginx) status for a
+// request whose client disconnected before the response was ready.
+const StatusClientClosedRequest = 499

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// heavySource is an analysis-heavy module: the nested object churn
+// drives the abstract-interpretation fixpoint long enough (tens of
+// milliseconds) that a scan cannot finish before the server notices
+// its client disconnected.
+func heavySource() string {
+	var sb strings.Builder
+	for i := 0; i < 3; i++ {
+		fmt.Fprintf(&sb, "function helper%d(v) { var o = {}; for (var i = 0; i < 7; i++) { for (var j = 0; j < 7; j++) { var t = {}; t.a = v; t.b = o; o.x = t; o = t; } } return o; }\n", i)
+	}
+	sb.WriteString("module.exports = helper0;\n")
+	return sb.String()
+}
+
+// cancelableScan fires a /v1/scan request whose context the test
+// controls, returning a channel that yields the client-side error once
+// the request finishes (context.Canceled for an abandoned request).
+func cancelableScan(t *testing.T, ctx context.Context, url string, req ScanRequest) <-chan error {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/scan", bytes.NewReader(data))
+		if err != nil {
+			done <- err
+			return
+		}
+		resp, err := http.DefaultClient.Do(hr)
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	return done
+}
+
+// The satellite regression for run-slot release: a client that
+// disconnects mid-scan frees its slot, so the next request is admitted
+// instead of shed with 429.
+func TestClientDisconnectFreesRunSlot(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: -1})
+
+	started := make(chan struct{}, 1)
+	unblock := make(chan struct{})
+	testHookScanning = func(name string, ctx context.Context) {
+		if name == "blocker" {
+			started <- struct{}{}
+			<-unblock
+			// Release the scan only once the SERVER has observed the
+			// disconnect — the client's Do returning does not mean the
+			// server's connection reader has noticed yet.
+			select {
+			case <-ctx.Done():
+			case <-time.After(10 * time.Second):
+			}
+		}
+	}
+	defer func() { testHookScanning = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	clientDone := cancelableScan(t, ctx, ts.URL, ScanRequest{Name: "blocker", Source: heavySource()})
+	<-started
+
+	// The only slot is held and there is no waiting room: a second
+	// request must be shed.
+	resp := postJSON(t, ts.URL+"/v1/scan", ScanRequest{Name: "other", Source: "module.exports = 2;"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("while slot held: status %d, want 429", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Client walks away; the scan observes the dead context at a budget
+	// checkpoint and the slot comes back.
+	cancel()
+	if err := <-clientDone; err == nil {
+		t.Fatal("canceled client request unexpectedly succeeded")
+	}
+	close(unblock)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := postJSON(t, ts.URL+"/v1/scan", ScanRequest{Name: "other", Source: "module.exports = 2;"})
+		if resp.StatusCode == http.StatusOK {
+			resp.Body.Close()
+			break
+		}
+		resp.Body.Close()
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed after client disconnect (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	for {
+		st := decodeResp[StatusResponse](t, getURL(t, ts.URL+"/v1/status"), http.StatusOK)
+		if st.Canceled >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scan was never classified canceled (canceled=%d)", st.Canceled)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	m := decodeResp[MetricsResponse](t, getURL(t, ts.URL+"/v1/metrics"), http.StatusOK)
+	if m.Failures["canceled"] < 1 {
+		t.Fatalf("failures[canceled] = %d, want >= 1", m.Failures["canceled"])
+	}
+}
+
+// A request canceled while waiting for a run slot gives its queue
+// token back immediately (the ctx-aware slot wait in admit), so a
+// later request is admitted rather than shed.
+func TestCanceledWhileQueuedFreesQueueToken(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+
+	started := make(chan struct{}, 1)
+	unblock := make(chan struct{})
+	testHookScanning = func(name string, _ context.Context) {
+		if name == "blocker" {
+			started <- struct{}{}
+			<-unblock
+		}
+	}
+	defer func() { testHookScanning = nil }()
+
+	blockerDone := cancelableScan(t, context.Background(), ts.URL, ScanRequest{Name: "blocker", Source: "module.exports = 1;", TimeoutMs: 60000})
+	<-started
+
+	// B takes the one queue token and blocks on the slot, then its
+	// client walks away.
+	ctx, cancel := context.WithCancel(context.Background())
+	bDone := cancelableScan(t, ctx, ts.URL, ScanRequest{Name: "queued", Source: "module.exports = 2;"})
+	time.Sleep(50 * time.Millisecond) // let B reach the slot wait
+	cancel()
+	if err := <-bDone; err == nil {
+		t.Fatal("canceled queued request unexpectedly succeeded")
+	}
+
+	// The queue token must come back without the blocker finishing:
+	// the queued count drops to zero while the blocker still runs.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := decodeResp[StatusResponse](t, getURL(t, ts.URL+"/v1/status"), http.StatusOK)
+		if st.Queued == 0 && st.Canceled >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("queue token never returned after queued client disconnect (queued=%d canceled=%d)",
+				st.Queued, st.Canceled)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	close(unblock)
+	<-blockerDone
+
+	st := decodeResp[StatusResponse](t, getURL(t, ts.URL+"/v1/status"), http.StatusOK)
+	if st.Canceled < 1 {
+		t.Fatalf("status canceled = %d, want >= 1", st.Canceled)
+	}
+}
+
+// A canceled scan must leave nothing behind in the warm state: the
+// next scan of the same content starts from scratch (no fragment
+// hits), while a clean scan does populate the cache (the contrast that
+// proves the first assertion is testing the right thing).
+func TestCanceledScanNotCached(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	req := ScanRequest{Name: "cc", Files: []SourceFileJSON{
+		{Rel: "heavy.js", Src: heavySource()},
+		{Rel: "index.js", Src: "var r = require('./lib');\nrequire('./heavy');\nmodule.exports = function(x){ return r(x); };\n"},
+		{Rel: "lib.js", Src: "const { exec } = require('child_process');\nmodule.exports = function(c){ exec(c); };\n"},
+	}}
+
+	started := make(chan struct{}, 1)
+	unblock := make(chan struct{})
+	testHookScanning = func(name string, ctx context.Context) {
+		if name == "cc" {
+			select {
+			case started <- struct{}{}:
+				<-unblock
+				// Run the scan only after the server has observed the
+				// disconnect, so the cancellation is deterministic.
+				select {
+				case <-ctx.Done():
+				case <-time.After(10 * time.Second):
+				}
+			default:
+			}
+		}
+	}
+	defer func() { testHookScanning = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	clientDone := cancelableScan(t, ctx, ts.URL, req)
+	<-started
+	cancel()
+	<-clientDone
+	close(unblock)
+	// Wait for the canceled scan to release its slot before re-scanning.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := decodeResp[StatusResponse](t, getURL(t, ts.URL+"/v1/status"), http.StatusOK)
+		if st.Running == 0 && st.Scans >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("canceled scan never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	testHookScanning = nil
+
+	// Second scan: the canceled first scan must not have cached
+	// fragments or detection results.
+	second := decodeResp[ScanResponse](t, postJSON(t, ts.URL+"/v1/scan", req), http.StatusOK)
+	if second.Incremental != nil && (second.Incremental.FragmentHits > 0 || second.Incremental.DetectHits > 0) {
+		t.Fatalf("canceled scan leaked into the cache: %+v", *second.Incremental)
+	}
+
+	// Third scan: the clean second scan DOES cache — proving the
+	// counters above would have caught a leak.
+	third := decodeResp[ScanResponse](t, postJSON(t, ts.URL+"/v1/scan", req), http.StatusOK)
+	if third.Incremental == nil || third.Incremental.FragmentHits == 0 {
+		t.Fatalf("clean scan did not warm the cache (fragment hits = %+v); the leak assertion is vacuous", third.Incremental)
+	}
+}
+
+// The satellite regression for oversized uploads: exceeding the body
+// bound answers a structured JSON 413, not the stdlib's plain-text
+// "http: request body too large".
+func TestOversizedBodyStructured413(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	// A syntactically valid request whose source field alone exceeds the
+	// bound, so the decoder keeps reading until MaxBytesReader trips
+	// (garbage bytes would fail as a JSON syntax error at byte one).
+	var big bytes.Buffer
+	big.WriteString(`{"name":"big","source":"`)
+	big.Write(bytes.Repeat([]byte("a"), maxBodyBytes+1024))
+	big.WriteString(`"}`)
+	resp, err := http.Post(ts.URL+"/v1/scan", "application/json", bytes.NewReader(big.Bytes()))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("Content-Type %q, want application/json", ct)
+	}
+	var e ErrorJSON
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatalf("413 body is not the JSON error envelope: %v", err)
+	}
+	if e.Error.Code != CodePayloadTooLarge {
+		t.Fatalf("code %q, want %q", e.Error.Code, CodePayloadTooLarge)
+	}
+}

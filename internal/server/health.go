@@ -1,0 +1,136 @@
+package server
+
+import (
+	"net/http"
+	"time"
+)
+
+// Degraded modes: the daemon's answer to a sick substrate.
+//
+// graphjsd's liveness is a three-state machine — healthy, degraded,
+// draining — instead of a boolean. When the persistent store starts
+// reporting write errors or corrupt entries, or the warm StatePool is
+// evicting under its byte ceiling, failing scan requests would punish
+// clients for the server's disk; instead the daemon transitions to
+// degraded and keeps serving *cold* scans (correct, just slower),
+// advertising the state on /v1/status, /healthz and /readyz so
+// operators and load balancers can react. Degraded heals itself: after
+// DegradedCooldown without a fresh fault signal the machine returns to
+// healthy. Draining (entered by Drain, i.e. SIGTERM) is terminal.
+//
+// Every transition increments a "from->to" counter exposed in
+// /v1/metrics, so a flapping substrate is visible as a number, not
+// just a log grep.
+
+// Health states reported by /v1/status, /healthz and /readyz.
+const (
+	HealthHealthy  = "healthy"
+	HealthDegraded = "degraded"
+	HealthDraining = "draining"
+)
+
+// setHealthLocked transitions the health machine, counting the edge.
+// Caller holds s.mu. Draining is terminal: no edge leaves it.
+func (s *Server) setHealthLocked(to, reason string) {
+	if s.health == to || s.health == HealthDraining {
+		return
+	}
+	s.transitions[s.health+"->"+to]++
+	s.health = to
+	s.healthReason = reason
+}
+
+// observeHealth folds fresh substrate signals into the health machine.
+// It is called after every scan/sweep and from the status endpoints,
+// so degradation is detected at the moment a request trips it and
+// recovery happens even on an idle server being polled.
+func (s *Server) observeHealth() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.health == HealthDraining {
+		return
+	}
+	now := s.now()
+
+	var reason string
+	if s.opts.Store != nil {
+		ss := s.opts.Store.Stats()
+		if ss.WriteErrors > s.lastWriteErrors {
+			reason = "store write errors (disk full or failing?)"
+		} else if ss.Quarantined > s.lastQuarantined {
+			reason = "store corruption quarantined"
+		}
+		s.lastWriteErrors = ss.WriteErrors
+		s.lastQuarantined = ss.Quarantined
+	}
+	if reason == "" && s.pool != nil && s.opts.StateMaxBytes > 0 {
+		_, evictedBytes := s.pool.Evictions()
+		if evictedBytes > s.lastEvictedBytes {
+			reason = "warm-state pool at byte ceiling, evicting"
+		}
+		s.lastEvictedBytes = evictedBytes
+	}
+
+	if reason != "" {
+		s.degradedUntil = now.Add(s.opts.DegradedCooldown)
+		s.setHealthLocked(HealthDegraded, reason)
+		return
+	}
+	if s.health == HealthDegraded && !now.Before(s.degradedUntil) {
+		s.setHealthLocked(HealthHealthy, "")
+	}
+}
+
+// degraded reports whether the daemon is currently in degraded mode
+// (warm state bypassed; scans run cold).
+func (s *Server) degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.health == HealthDegraded
+}
+
+// healthSnapshot returns the current state, its reason, and a copy of
+// the transition counters.
+func (s *Server) healthSnapshot() (state, reason string, transitions map[string]int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	transitions = make(map[string]int64, len(s.transitions))
+	for k, v := range s.transitions {
+		transitions[k] = v
+	}
+	return s.health, s.healthReason, transitions
+}
+
+// handleHealthz is GET /healthz: process liveness. It answers 200 in
+// every health state — degraded and draining daemons are still alive
+// and must NOT be restarted by an orchestrator's liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.observeHealth()
+	state, _, _ := s.healthSnapshot()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		Health:   state,
+		UptimeMs: float64(time.Since(s.start).Microseconds()) / 1000,
+	})
+}
+
+// handleReadyz is GET /readyz: traffic readiness. Draining answers 503
+// so load balancers stop routing here during shutdown; degraded stays
+// 200 (the daemon still serves correct results, just cold) with the
+// state in the body for balancers that weigh by content.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.observeHealth()
+	state, reason, _ := s.healthSnapshot()
+	resp := ReadyResponse{Ready: state != HealthDraining, Health: state, Reason: reason}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+)
+
+// The three-state health machine over HTTP: healthy servers answer ok
+// on both probes, Drain flips readiness (and only readiness) off, and
+// every edge is countable in /v1/metrics.
+func TestHealthzReadyzLifecycle(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1})
+
+	h := decodeResp[HealthResponse](t, getURL(t, ts.URL+"/healthz"), http.StatusOK)
+	if h.Status != "ok" || h.Health != HealthHealthy {
+		t.Fatalf("fresh healthz = %+v", h)
+	}
+	r := decodeResp[ReadyResponse](t, getURL(t, ts.URL+"/readyz"), http.StatusOK)
+	if !r.Ready || r.Health != HealthHealthy {
+		t.Fatalf("fresh readyz = %+v", r)
+	}
+
+	s.Drain()
+
+	// Liveness stays up — a draining daemon must not be killed by its
+	// orchestrator — while readiness goes 503 so balancers route away.
+	h = decodeResp[HealthResponse](t, getURL(t, ts.URL+"/healthz"), http.StatusOK)
+	if h.Status != "ok" || h.Health != HealthDraining {
+		t.Fatalf("draining healthz = %+v", h)
+	}
+	raw := getURL(t, ts.URL+"/readyz")
+	if raw.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz status %d, want 503", raw.StatusCode)
+	}
+	r = decodeResp[ReadyResponse](t, raw, http.StatusServiceUnavailable)
+	if r.Ready || r.Health != HealthDraining || r.Reason == "" {
+		t.Fatalf("draining readyz = %+v", r)
+	}
+
+	m := decodeResp[MetricsResponse](t, getURL(t, ts.URL+"/v1/metrics"), http.StatusOK)
+	if m.HealthTransitions["healthy->draining"] != 1 {
+		t.Fatalf("transitions = %+v", m.HealthTransitions)
+	}
+}
+
+// A failing disk under the persistent store degrades the daemon: it
+// keeps answering, but cold (warm state bypassed), advertises the state
+// everywhere, and heals itself once the cooldown passes without fresh
+// faults.
+func TestStoreWriteFaultDegradesThenHeals(t *testing.T) {
+	st := openServerStore(t, filepath.Join(t.TempDir(), "cache"))
+	s, ts := newTestServer(t, Options{Workers: 1, Store: st, DegradedCooldown: time.Hour})
+	clk := newFakeClock()
+	s.now = clk.now
+
+	// First write into the store hits a simulated ENOSPC/short write.
+	budget.SetFaultPlan(&budget.FaultPlan{
+		Seed: 3, DiskProb: 1, Spread: 1,
+		Arm: func(label string) bool { return label == "store" },
+	})
+	req := ScanRequest{Name: "dsk", Source: "module.exports = function(c){ require('child_process').exec(c) }\n"}
+	first := decodeResp[ScanResponse](t, postJSON(t, ts.URL+"/v1/scan", req), http.StatusOK)
+	budget.SetFaultPlan(nil)
+	// The faulted write is a cache loss, not a scan failure.
+	if first.Failure != "" || first.ScanError != "" {
+		t.Fatalf("store fault failed the scan: %+v", first.ReportJSON)
+	}
+
+	status := decodeResp[StatusResponse](t, getURL(t, ts.URL+"/v1/status"), http.StatusOK)
+	if status.Health != HealthDegraded || status.HealthReason == "" {
+		t.Fatalf("status after store fault = %q (%q), want degraded", status.Health, status.HealthReason)
+	}
+	r := decodeResp[ReadyResponse](t, getURL(t, ts.URL+"/readyz"), http.StatusOK)
+	if !r.Ready || r.Health != HealthDegraded {
+		t.Fatalf("degraded readyz = %+v (degraded must stay ready)", r)
+	}
+
+	// Degraded mode serves cold scans: no warm state attached even
+	// though the pool holds this package from the first scan.
+	cold := decodeResp[ScanResponse](t, postJSON(t, ts.URL+"/v1/scan", req), http.StatusOK)
+	if cold.Effective.Warm {
+		t.Fatal("degraded scan ran warm")
+	}
+	if len(cold.Findings) != len(first.Findings) {
+		t.Fatalf("degraded scan changed findings: %d vs %d", len(cold.Findings), len(first.Findings))
+	}
+
+	// Cooldown elapses with no fresh fault signal: the machine heals and
+	// warm state comes back.
+	clk.advance(time.Hour + time.Minute)
+	status = decodeResp[StatusResponse](t, getURL(t, ts.URL+"/v1/status"), http.StatusOK)
+	if status.Health != HealthHealthy {
+		t.Fatalf("status after cooldown = %q, want healthy", status.Health)
+	}
+	warm := decodeResp[ScanResponse](t, postJSON(t, ts.URL+"/v1/scan", req), http.StatusOK)
+	if !warm.Effective.Warm {
+		t.Fatal("healed scan did not run warm")
+	}
+
+	m := decodeResp[MetricsResponse](t, getURL(t, ts.URL+"/v1/metrics"), http.StatusOK)
+	if m.HealthTransitions["healthy->degraded"] != 1 || m.HealthTransitions["degraded->healthy"] != 1 {
+		t.Fatalf("transitions = %+v", m.HealthTransitions)
+	}
+}
+
+// The warm-state pool evicting under its byte ceiling is a memory-
+// pressure signal: the daemon degrades (cold scans shed the pressure)
+// rather than thrashing the pool.
+func TestPoolEvictionDegrades(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1, StateMaxBytes: 1, DegradedCooldown: time.Hour})
+	clk := newFakeClock()
+	s.now = clk.now
+
+	// The pool never evicts the state it is handing out, so pressure
+	// needs a second package: fetching b's state evicts a's.
+	src := "module.exports = function(x){ return x }\n"
+	decodeResp[ScanResponse](t, postJSON(t, ts.URL+"/v1/scan",
+		ScanRequest{Name: "evict-a", Source: src}), http.StatusOK)
+	decodeResp[ScanResponse](t, postJSON(t, ts.URL+"/v1/scan",
+		ScanRequest{Name: "evict-b", Source: src}), http.StatusOK)
+
+	status := decodeResp[StatusResponse](t, getURL(t, ts.URL+"/v1/status"), http.StatusOK)
+	if status.Health != HealthDegraded {
+		t.Fatalf("status after forced eviction = %q (%q), want degraded",
+			status.Health, status.HealthReason)
+	}
+}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTPOptions are the transport-level protections on the daemon's
+// listener. They exist because the scan handlers' admission control
+// only defends work the HTTP layer has already accepted: a slowloris
+// client that dribbles header bytes, or a reader that never drains its
+// response, holds a connection (and its goroutine) without ever
+// reaching admit. The zero value resolves to safe production defaults;
+// a negative duration disables that timeout explicitly.
+type HTTPOptions struct {
+	// ReadHeaderTimeout bounds how long a client may take to finish
+	// sending request headers (0 = 10s). This is the slowloris defense:
+	// a connection that trickles one header byte per second is closed
+	// long before it can pile up against the file-descriptor limit.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading the entire request including the body
+	// (0 = 2m — ample for a 16 MiB upload on a slow link).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing the response, measured from the end
+	// of the request headers (0 = maxScan+30s so the longest admitted
+	// scan can still answer; sweeps lift it per-connection via
+	// http.ResponseController). maxScan is the server's MaxTimeout.
+	WriteTimeout time.Duration
+	// IdleTimeout bounds how long a keep-alive connection may sit
+	// between requests (0 = 2m).
+	IdleTimeout time.Duration
+	// MaxHeaderBytes bounds request header size (0 = 64 KiB).
+	MaxHeaderBytes int
+}
+
+// withDefaults resolves the documented zero values. maxScan is the
+// longest scan the server will admit (Options.MaxTimeout after
+// defaulting); WriteTimeout must outlast it or every long scan would
+// be killed at the transport while still computing.
+func (h HTTPOptions) withDefaults(maxScan time.Duration) HTTPOptions {
+	resolve := func(d *time.Duration, def time.Duration) {
+		if *d == 0 {
+			*d = def
+		} else if *d < 0 {
+			*d = 0 // stdlib semantics: zero disables
+		}
+	}
+	resolve(&h.ReadHeaderTimeout, 10*time.Second)
+	resolve(&h.ReadTimeout, 2*time.Minute)
+	resolve(&h.WriteTimeout, maxScan+30*time.Second)
+	resolve(&h.IdleTimeout, 2*time.Minute)
+	if h.MaxHeaderBytes == 0 {
+		h.MaxHeaderBytes = 64 << 10
+	} else if h.MaxHeaderBytes < 0 {
+		h.MaxHeaderBytes = 0
+	}
+	return h
+}
+
+// NewHTTPServer wraps the daemon's handler in an http.Server with the
+// transport protections resolved against the scan server's own
+// ceilings. cmd/graphjsd serves exclusively through this (never bare
+// http.ListenAndServe, which ships with no timeouts at all).
+func (s *Server) NewHTTPServer(addr string, h HTTPOptions) *http.Server {
+	h = h.withDefaults(s.opts.MaxTimeout)
+	return &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: h.ReadHeaderTimeout,
+		ReadTimeout:       h.ReadTimeout,
+		WriteTimeout:      h.WriteTimeout,
+		IdleTimeout:       h.IdleTimeout,
+		MaxHeaderBytes:    h.MaxHeaderBytes,
+	}
+}

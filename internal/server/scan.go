@@ -1,8 +1,12 @@
 package server
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"time"
@@ -43,8 +47,30 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts.Tree = req.Tree
+	// Thread the request context into the scan's budget: a client that
+	// disconnects or times out cancels its scan at the next budget
+	// checkpoint, freeing the run slot for a client that is still
+	// listening. Canceled results are classified, never cached.
+	opts.Context = r.Context()
 
-	release, ok := s.admit(w)
+	// Offender breaker: content the daemon has repeatedly died on is
+	// answered from the ledger instead of burning another run slot.
+	hash := contentHash(files)
+	if dec := s.offenders.admit(hash); dec.quarantined {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(dec.retryAfter.Seconds()+0.999)))
+		writeError(w, http.StatusTooManyRequests, CodeQuarantined,
+			fmt.Sprintf("content quarantined after repeated %s failures; retry later", dec.lastClass))
+		return
+	}
+	// Engine breaker: while the native engine's rolling panic rate is
+	// tripped, native-first requests run the fallback engine instead.
+	if pinnedEng, pinned := s.engines.pin(opts.Engine); pinned {
+		opts.Engine = pinnedEng
+		eff.Engine = string(pinnedEng)
+		eff.EnginePinned = true
+	}
+
+	release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
@@ -56,7 +82,7 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	var rep *scanner.Report
 	gerr := budget.Guard("serve-scan", func() error {
 		if testHookScanning != nil {
-			testHookScanning(name)
+			testHookScanning(name, r.Context())
 		}
 		st := s.state(name, req.Cold)
 		eff.Warm = st != nil
@@ -65,14 +91,46 @@ func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	s.scans.Add(1)
+	// A request that asked for less than the server's default timeout
+	// can time out on innocent content; only full-allowance timeouts
+	// strike the offender ledger.
+	strikeEligible := !(req.TimeoutMs > 0 &&
+		time.Duration(req.TimeoutMs)*time.Millisecond < s.opts.DefaultTimeout)
 	if gerr != nil {
+		s.offenders.record(hash, budget.ClassOf(gerr), strikeEligible)
 		s.recordFailure(budget.ClassPanic)
+		s.observeHealth()
 		writeError(w, http.StatusInternalServerError, CodeInternal,
 			fmt.Sprintf("scan %s: %v", name, gerr))
 		return
 	}
+	s.offenders.record(hash, rep.Failure, strikeEligible)
+	if ran, panicked := nativeOutcome(opts.Engine, rep); ran {
+		s.engines.record(panicked)
+	}
 	s.recordFailure(rep.Failure)
+	s.observeHealth()
+	if rep.Failure == budget.ClassCanceled {
+		// Nobody is reading this body, but the status line makes the
+		// outcome visible in access logs and to tests.
+		s.canceled.Add(1)
+		writeError(w, StatusClientClosedRequest, CodeCanceled,
+			fmt.Sprintf("scan %s canceled by client disconnect", name))
+		return
+	}
 	writeJSON(w, http.StatusOK, scanResponse(rep, eff))
+}
+
+// contentHash fingerprints a request's exact file set for the offender
+// ledger: same rel paths, same bytes → same hash, regardless of the
+// package name the client chose.
+func contentHash(files []scanner.SourceFile) string {
+	h := sha256.New()
+	for _, f := range files {
+		fmt.Fprintf(h, "%d %s\x00%d ", len(f.Rel), f.Rel, len(f.Src))
+		io.WriteString(h, f.Src)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // files normalizes the request's source/files forms into the sorted
@@ -196,11 +254,18 @@ func scanResponse(rep *scanner.Report, eff EffectiveJSON) ScanResponse {
 
 // decodeBody decodes a JSON request body with a size bound and strict
 // field checking (an unknown knob is a client bug worth failing, not
-// silently ignoring), answering 400 itself on failure.
+// silently ignoring), answering 400 — or a structured 413 when the
+// body exceeds the size bound — itself on failure.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+			return false
+		}
 		writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("decode body: %v", err))
 		return false
 	}

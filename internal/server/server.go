@@ -30,6 +30,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -95,6 +96,22 @@ type Options struct {
 	// NoFsync disables per-append journal fsync for sweeps
 	// (benchmarks; a crash may lose acknowledged journal entries).
 	NoFsync bool
+
+	// BreakerStrikes is how many consecutive panic/timeout outcomes a
+	// content hash accrues before the offender breaker quarantines it
+	// (0 = 3; negative disables the offender ledger). BreakerCooldown
+	// is the quarantine window before a half-open probe (0 = 30s).
+	BreakerStrikes  int
+	BreakerCooldown time.Duration
+	// EngineBreakWindow is the rolling sample window for the native
+	// engine's panic rate (0 = 20 outcomes); EngineBreakRate is the
+	// rate at/above which native/differential requests are pinned to
+	// the fallback engine (0 = 0.5; negative disables the breaker).
+	EngineBreakWindow int
+	EngineBreakRate   float64
+	// DegradedCooldown is how long the daemon stays degraded after the
+	// last substrate fault signal before healing to healthy (0 = 30s).
+	DegradedCooldown time.Duration
 }
 
 // withDefaults resolves the zero values documented on Options.
@@ -134,6 +151,9 @@ func (o Options) withDefaults() Options {
 	clampDefault(&o.DefaultSteps, o.MaxSteps)
 	clampDefault(&o.DefaultNodes, o.MaxNodes)
 	clampDefault(&o.DefaultEdges, o.MaxEdges)
+	if o.DegradedCooldown <= 0 {
+		o.DegradedCooldown = 30 * time.Second
+	}
 	return o
 }
 
@@ -157,32 +177,58 @@ type Server struct {
 	sweeps   atomic.Int64
 	rejected atomic.Int64
 
-	// mu guards the drain state, the in-flight count, and the failure
-	// counters; idle is signalled when the in-flight count reaches
-	// zero (what Drain waits on).
+	// mu guards the drain state, the in-flight count, the failure
+	// counters, and the health machine; idle is signalled when the
+	// in-flight count reaches zero (what Drain waits on).
 	mu       sync.Mutex
 	idle     *sync.Cond
 	draining bool
 	inflight int
 	failures map[string]int64
+
+	// Health state machine (health.go). The last* fields snapshot the
+	// substrate counters so observeHealth reacts to deltas, not
+	// lifetime totals.
+	health                           string
+	healthReason                     string
+	transitions                      map[string]int64
+	degradedUntil                    time.Time
+	lastWriteErrors, lastQuarantined int64
+	lastEvictedBytes                 int64
+	canceled                         atomic.Int64
+
+	// Circuit breakers (breaker.go); either may be nil (disabled).
+	offenders *offenderLedger
+	engines   *engineBreaker
+
+	// now is the clock, injectable so breaker/degraded cooldown tests
+	// don't sleep.
+	now func() time.Time
 }
 
 // testHookScanning, when non-nil, runs while a scan request holds its
-// run slot, before the scan executes. Admission-control tests use it
-// to pin workers; it must only be set while no requests are in flight.
-var testHookScanning func(name string)
+// run slot, before the scan executes, with the request's context.
+// Admission-control tests use it to pin workers, and cancellation
+// tests use ctx to wait until the server has observed a client
+// disconnect; it must only be set while no requests are in flight.
+var testHookScanning func(name string, ctx context.Context)
 
 // New builds a Server (resolving option defaults) without binding a
 // listener; the caller serves s.Handler() however it likes.
 func New(opts Options) *Server {
 	o := opts.withDefaults()
 	s := &Server{
-		opts:     o,
-		mux:      http.NewServeMux(),
-		queue:    make(chan struct{}, o.Workers+o.QueueDepth),
-		slots:    make(chan struct{}, o.Workers),
-		start:    time.Now(),
-		failures: map[string]int64{},
+		opts:        o,
+		mux:         http.NewServeMux(),
+		queue:       make(chan struct{}, o.Workers+o.QueueDepth),
+		slots:       make(chan struct{}, o.Workers),
+		start:       time.Now(),
+		failures:    map[string]int64{},
+		health:      HealthHealthy,
+		transitions: map[string]int64{},
+		offenders:   newOffenderLedger(o.BreakerStrikes, o.BreakerCooldown),
+		engines:     newEngineBreaker(o.EngineBreakWindow, o.EngineBreakRate),
+		now:         time.Now,
 	}
 	s.idle = sync.NewCond(&s.mu)
 	if !o.NoWarmState {
@@ -196,6 +242,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/status", s.handleStatus)
 	s.mux.HandleFunc("/v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s
 }
 
@@ -210,6 +258,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Drain() {
 	s.mu.Lock()
 	s.draining = true
+	s.setHealthLocked(HealthDraining, "drain requested")
 	for s.inflight > 0 {
 		s.idle.Wait()
 	}
@@ -225,9 +274,12 @@ func (s *Server) Draining() bool {
 
 // admit implements admission control for scan-like work: it rejects
 // drain-mode requests with 503, sheds with 429 + Retry-After when the
-// queue is full, then blocks for a run slot. On success the caller
-// must call the returned release function exactly once.
-func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+// queue is full, then blocks for a run slot — racing the slot wait
+// against the request context so a client that disconnects while
+// queued gives its place back immediately (answered 499, never
+// occupying a slot it will not read the response of). On success the
+// caller must call the returned release function exactly once.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -247,9 +299,7 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 				cap(s.slots), cap(s.queue)-cap(s.slots)))
 		return nil, false
 	}
-	s.slots <- struct{}{}
-	return func() {
-		<-s.slots
+	releaseQueue := func() {
 		<-s.queue
 		s.mu.Lock()
 		s.inflight--
@@ -257,6 +307,20 @@ func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
 			s.idle.Broadcast()
 		}
 		s.mu.Unlock()
+	}
+	select {
+	case s.slots <- struct{}{}:
+	case <-r.Context().Done():
+		releaseQueue()
+		s.canceled.Add(1)
+		s.recordFailure(budget.ClassCanceled)
+		writeError(w, StatusClientClosedRequest, CodeCanceled,
+			"request canceled while waiting for a run slot")
+		return nil, false
+	}
+	return func() {
+		<-s.slots
+		releaseQueue()
 	}, true
 }
 
@@ -273,10 +337,12 @@ func (s *Server) recordFailure(class budget.Class) {
 }
 
 // state returns the incremental state for a named package, or nil when
-// warm state is disabled, the request asked for a cold scan, or the
-// package is anonymous.
+// warm state is disabled, the request asked for a cold scan, the
+// package is anonymous, or the daemon is degraded (degraded mode
+// serves cold scans only — correct results without leaning on the
+// sick warm-state substrate).
 func (s *Server) state(name string, cold bool) *scanner.IncrementalState {
-	if s.pool == nil || cold || name == "" {
+	if s.pool == nil || cold || name == "" || s.degraded() {
 		return nil
 	}
 	return s.pool.Get(name)

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -152,7 +153,7 @@ func TestAdmissionShedding(t *testing.T) {
 
 	started := make(chan string, 1)
 	release := make(chan struct{})
-	testHookScanning = func(name string) {
+	testHookScanning = func(name string, _ context.Context) {
 		started <- name
 		<-release
 	}
@@ -320,7 +321,7 @@ func TestDrainWaitsForInflight(t *testing.T) {
 
 	started := make(chan string, 1)
 	release := make(chan struct{})
-	testHookScanning = func(name string) {
+	testHookScanning = func(name string, _ context.Context) {
 		started <- name
 		<-release
 	}
@@ -464,7 +465,7 @@ func TestBudgetClamping(t *testing.T) {
 // structured 500 and the daemon keeps serving.
 func TestPanicFence(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1})
-	testHookScanning = func(name string) {
+	testHookScanning = func(name string, _ context.Context) {
 		if name == "boom" {
 			panic(fmt.Sprintf("injected fault in %s", name))
 		}

@@ -65,13 +65,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	release, ok := s.admit(w)
+	release, ok := s.admit(w, r)
 	if !ok {
 		return
 	}
 	defer release()
 
+	// A sweep can legitimately outlive any server-level WriteTimeout;
+	// lift the connection's write deadline for this response instead of
+	// weakening the timeout for every other route.
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
+
 	opts.Workers = s.opts.Workers
+	// A disconnected sweep client cancels the whole ladder: each
+	// in-flight target finishes as canceled (journaled retryable, so a
+	// resume re-scans it) and no further targets start.
+	opts.Context = r.Context()
 	start := time.Now()
 	var sw *metrics.Sweep
 	var stats *metrics.SuperviseStats
@@ -101,6 +110,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Completed:   stats.Completed,
 		Degraded:    stats.Degraded,
 		Quarantined: stats.Quarantined,
+		Canceled:    stats.Canceled,
 		Resumed:     stats.Resumed,
 		Torn:        stats.Torn,
 		WallMs:      float64(time.Since(start).Microseconds()) / 1000,
@@ -110,13 +120,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.recordFailure(sw.Results[i].Failure)
 		resp.Findings += len(sw.Results[i].Findings)
 	}
+	s.observeHealth()
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // sweepState resolves the warm-state pool a sweep's scans draw from
-// (nil disables incremental reuse for the sweep).
+// (nil disables incremental reuse for the sweep; degraded mode forces
+// cold sweeps like it forces cold scans).
 func (s *Server) sweepState(cold bool) *scanner.StatePool {
-	if cold {
+	if cold || s.degraded() {
 		return nil
 	}
 	return s.pool
@@ -194,6 +206,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		resp.Failures[k] = v
 	}
 	s.mu.Unlock()
+	_, _, resp.HealthTransitions = s.healthSnapshot()
+	s.offenders.snapshot(&resp.Breakers)
+	s.engines.snapshot(&resp.Breakers)
 	if s.pool != nil {
 		ps := s.pool.Stats()
 		resp.StatePool = IncrStatsJSON{
@@ -208,6 +223,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // status assembles the shared status snapshot.
 func (s *Server) status() StatusResponse {
+	s.observeHealth()
+	health, healthReason, _ := s.healthSnapshot()
 	running := len(s.slots)
 	admitted := len(s.queue)
 	queued := admitted - running
@@ -215,14 +232,17 @@ func (s *Server) status() StatusResponse {
 		queued = 0
 	}
 	st := StatusResponse{
-		UptimeMs: float64(time.Since(s.start).Microseconds()) / 1000,
-		Workers:  cap(s.slots),
-		Running:  running,
-		Queued:   queued,
-		Draining: s.Draining(),
-		Scans:    s.scans.Load(),
-		Sweeps:   s.sweeps.Load(),
-		Rejected: s.rejected.Load(),
+		UptimeMs:     float64(time.Since(s.start).Microseconds()) / 1000,
+		Workers:      cap(s.slots),
+		Running:      running,
+		Queued:       queued,
+		Draining:     s.Draining(),
+		Health:       health,
+		HealthReason: healthReason,
+		Scans:        s.scans.Load(),
+		Sweeps:       s.sweeps.Load(),
+		Rejected:     s.rejected.Load(),
+		Canceled:     s.canceled.Load(),
 	}
 	if s.pool != nil {
 		st.StatePackages = s.pool.Len()

@@ -40,6 +40,12 @@ const (
 	// StateQuarantined: every rung failed; later sweeps skip the
 	// package by default (requarantine overrides).
 	StateQuarantined = "quarantined"
+	// StateCanceled: the sweep's request context was canceled (client
+	// disconnect, server shutdown) before the package finished. Unlike
+	// the three states above it says nothing about the package, so a
+	// canceled entry is always retryable: resume re-scans it even when
+	// hash and fingerprint match.
+	StateCanceled = "canceled"
 )
 
 // Finding is the journal's flat rendering of one queries.Finding
